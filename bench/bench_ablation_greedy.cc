@@ -1,0 +1,89 @@
+// Ablation (DESIGN.md §5): the lazy-heap Greedy vs a naive rescan-all-pairs
+// Greedy. Both must produce the same objective (lazy evaluation is exact
+// under submodularity); the heap turns the O(P·R) per-iteration scan into
+// amortized log time — the complexity claim of Sec. 4.1.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace {
+
+using namespace wgrap;
+
+// Naive reference: rescan every feasible pair each iteration (Eq. 4
+// literally). O(P·δp · P·R · T).
+Result<core::Assignment> NaiveGreedy(const core::Instance& instance) {
+  core::Assignment assignment(&instance);
+  const int64_t target =
+      static_cast<int64_t>(instance.num_papers()) * instance.group_size();
+  for (int64_t step = 0; step < target; ++step) {
+    int best_p = -1, best_r = -1;
+    double best_gain = -1.0;
+    for (int p = 0; p < instance.num_papers(); ++p) {
+      if (static_cast<int>(assignment.GroupFor(p).size()) >=
+          instance.group_size()) {
+        continue;
+      }
+      for (int r = 0; r < instance.num_reviewers(); ++r) {
+        if (assignment.LoadOf(r) >= instance.reviewer_workload() ||
+            assignment.Contains(p, r) || instance.IsConflict(r, p)) {
+          continue;
+        }
+        const double gain = assignment.MarginalGain(p, r);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_p = p;
+          best_r = r;
+        }
+      }
+    }
+    if (best_p < 0) return Status::Infeasible("no feasible pair");
+    WGRAP_RETURN_IF_ERROR(assignment.Add(best_p, best_r));
+  }
+  return assignment;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: lazy-heap Greedy vs naive rescan Greedy "
+              "(dp = 3) ===\n\n");
+  TablePrinter table({"dataset", "lazy heap", "naive rescan", "score diff"});
+  // Theory'09 is the smallest dataset; the naive version is quadratic.
+  for (auto [area, year] :
+       std::vector<std::pair<data::Area, int>>{{data::Area::kTheory, 2009},
+                                               {data::Area::kDatabases, 2008}}) {
+    auto setup = bench::MakeConference(area, year, /*group_size=*/3);
+    Stopwatch lazy_watch;
+    auto lazy = core::SolveCraGreedy(setup.instance);
+    bench::DieOnError(lazy.status(), "lazy greedy");
+    const double lazy_seconds = lazy_watch.ElapsedSeconds();
+    Stopwatch naive_watch;
+    auto naive = NaiveGreedy(setup.instance);
+    bench::DieOnError(naive.status(), "naive greedy");
+    const double naive_seconds = naive_watch.ElapsedSeconds();
+    // Exact equality is not guaranteed: equal-gain ties are broken in scan
+    // order by the naive version and in heap order by the lazy one. Both
+    // are valid greedy executions; the objectives must agree to well under
+    // a percent on non-degenerate data.
+    const double rel_diff =
+        std::abs(lazy->TotalScore() - naive->TotalScore()) /
+        std::max(lazy->TotalScore(), naive->TotalScore());
+    table.AddRow({bench::DatasetLabel(area, year),
+                  StrFormat("%.2fs (score %.2f)", lazy_seconds,
+                            lazy->TotalScore()),
+                  StrFormat("%.2fs (score %.2f)", naive_seconds,
+                            naive->TotalScore()),
+                  StrFormat("%.4f%%", 100.0 * rel_diff)});
+    if (rel_diff > 0.005) {
+      std::fprintf(stderr, "lazy and naive greedy diverged beyond ties!\n");
+      return 1;
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// The Sec. 5.1 text comparison: a generic constraint-programming solver
+// (the paper used IBM CPLEX CP Optimizer; here, the cp/ select-k engine —
+// see DESIGN.md substitutions) against BBA on a small JRA instance
+// (R = 30, δp = 3). The paper: CPLEX 14.35 s to optimality vs BBA 4 ms —
+// generic CP lacks a tight group-coverage bound.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace wgrap;
+  const int kGroupSize = 3;
+  std::printf("=== Sec. 5.1: generic CP vs BBA on JRA (dp = %d; paper "
+              "setting is R = 30) ===\n\n",
+              kGroupSize);
+  TablePrinter table({"R", "CP time (s)", "CP nodes", "BBA time (s)",
+                      "BBA nodes", "node ratio"});
+  for (int reviewers : {30, 100, 300, 600}) {
+    core::Instance instance = bench::MakeJraPool(reviewers, kGroupSize);
+    core::JraOptions cp_options;
+    cp_options.time_limit_seconds = 60.0;
+    auto cp = core::SolveJraCp(instance, 0, cp_options);
+    bench::DieOnError(cp.status(), "SolveJraCp");
+    auto bba = core::SolveJraBba(instance, 0);
+    bench::DieOnError(bba.status(), "SolveJraBba");
+    if (cp->proven_optimal &&
+        std::abs(cp->score - bba->score) > 1e-9) {
+      std::fprintf(stderr, "CP and BBA disagree on the optimum!\n");
+      return 1;
+    }
+    table.AddRow({std::to_string(reviewers),
+                  TablePrinter::Num(cp->seconds, 4) +
+                      (cp->proven_optimal ? "" : " (capped)"),
+                  std::to_string(cp->nodes_explored),
+                  TablePrinter::Num(bba->seconds, 4),
+                  std::to_string(bba->nodes_explored),
+                  TablePrinter::Num(static_cast<double>(cp->nodes_explored) /
+                                        std::max<int64_t>(
+                                            1, bba->nodes_explored),
+                                    1)});
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper): the generic bound cannot prune "
+              "group coverage, so CP's gap to BBA grows by orders of "
+              "magnitude with R (CPLEX: 14.35s vs BBA 4ms at R=30).\n");
+  return 0;
+}

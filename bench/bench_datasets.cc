@@ -1,0 +1,34 @@
+// Table 3 of the paper: dataset statistics (papers / reviewers per area and
+// year), printed from the synthetic DBLP generator so every other bench is
+// traceable to the same inputs.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace wgrap;
+  std::printf("=== Table 3: data used in the evaluation ===\n");
+  std::printf("(synthetic DBLP substitute at the paper's scale; see "
+              "DESIGN.md for the substitution rationale)\n\n");
+  TablePrinter table({"Area", "Year", "#Papers", "#Reviewers", "min dr(dp=3)"});
+  for (data::Area area : {data::Area::kDataMining, data::Area::kDatabases,
+                          data::Area::kTheory}) {
+    for (int year : {2008, 2009}) {
+      auto stats = data::GetTable3Stats(area, year);
+      bench::DieOnError(stats.status(), "GetTable3Stats");
+      auto setup = bench::MakeConference(area, year, /*group_size=*/3);
+      table.AddRow({data::AreaCode(area), std::to_string(year),
+                    std::to_string(setup.instance.num_papers()),
+                    std::to_string(setup.instance.num_reviewers()),
+                    std::to_string(setup.instance.reviewer_workload())});
+      if (setup.instance.num_papers() != stats->num_papers ||
+          setup.instance.num_reviewers() != stats->num_reviewers) {
+        std::fprintf(stderr, "generator drifted from Table 3\n");
+        return 1;
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}

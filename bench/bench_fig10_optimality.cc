@@ -1,0 +1,16 @@
+// Figure 10: optimality ratio c(A)/c(AI) vs group size δp on the Databases
+// and Data Mining 2008 conferences. Expected shape (paper): SDGA > {SM, ILP,
+// BRGG}, SDGA ≈ Greedy, SDGA-SRA ≈ 1 and above Greedy by 0.4-2%.
+#include <cstdio>
+
+#include "quality_tables.h"
+
+int main() {
+  using namespace wgrap;
+  std::printf("=== Figure 10: optimality ratio (DB08 / DM08) ===\n\n");
+  bench::QualityConfig config;
+  config.datasets = {{data::Area::kDatabases, 2008},
+                     {data::Area::kDataMining, 2008}};
+  config.print_superiority = false;
+  return bench::RunQualityTables(config);
+}

@@ -1,0 +1,18 @@
+// Figure 11: superiority ratio of SDGA-SRA over SM / ILP / BRGG / Greedy on
+// DB08 and DM08. Expected shape (paper): near-100% vs SM and ILP, >=89.4%
+// vs Greedy, weakest against BRGG (whose early papers get superb groups at
+// the cost of the overall objective — cf. Fig. 10).
+#include <cstdio>
+
+#include "quality_tables.h"
+
+int main() {
+  using namespace wgrap;
+  std::printf("=== Figure 11: superiority ratio of SDGA-SRA (DB08 / DM08) "
+              "===\n\n");
+  bench::QualityConfig config;
+  config.datasets = {{data::Area::kDatabases, 2008},
+                     {data::Area::kDataMining, 2008}};
+  config.print_optimality = false;
+  return bench::RunQualityTables(config);
+}

@@ -1,0 +1,11 @@
+// Figure 14 (Appendix C): JRA scalability with the alternate defaults,
+// (a) δp sweep at R=300, (b) R sweep at δp=4.
+#include "jra_scalability.h"
+
+int main() {
+  wgrap::bench::JraSweepConfig config;
+  config.fixed_r = 300;
+  config.fixed_dp = 4;
+  config.figure_name = "Figure 14";
+  return wgrap::bench::RunJraScalability(config);
+}

@@ -1,0 +1,19 @@
+// Figures 17 and 18 (Appendix C): the Fig. 10/11 experiments repeated on
+// Theory 2008 and on all three 2009 datasets. The paper reports "no
+// difference in overall trends" vs the 2008 DB/DM results.
+#include <cstdio>
+
+#include "quality_tables.h"
+
+int main() {
+  using namespace wgrap;
+  std::printf("=== Figures 17-18: optimality & superiority on T08 and the "
+              "2009 datasets ===\n\n");
+  bench::QualityConfig config;
+  config.datasets = {{data::Area::kTheory, 2008},
+                     {data::Area::kTheory, 2009},
+                     {data::Area::kDatabases, 2009},
+                     {data::Area::kDataMining, 2009}};
+  config.sra_budget_seconds = 8.0;  // four datasets; keep the sweep bounded
+  return bench::RunQualityTables(config);
+}

@@ -1,0 +1,10 @@
+// Figure 9: JRA scalability, (a) δp sweep at R=200, (b) R sweep at δp=3.
+#include "jra_scalability.h"
+
+int main() {
+  wgrap::bench::JraSweepConfig config;
+  config.fixed_r = 200;
+  config.fixed_dp = 3;
+  config.figure_name = "Figure 9";
+  return wgrap::bench::RunJraScalability(config);
+}

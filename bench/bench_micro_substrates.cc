@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks for the substrates the WGRAP solvers
+// stand on: weighted-coverage scoring, marginal gain, Hungarian, min-cost
+// transportation, BBA and one SDGA stage.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "la/hungarian.h"
+#include "la/transportation.h"
+
+namespace {
+
+using namespace wgrap;
+
+void BM_ScoreVectors(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const auto r = rng.NextDirichlet(T, 0.2);
+  const auto p = rng.NextDirichlet(T, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ScoreVectors(
+        core::ScoringFunction::kWeightedCoverage, r.data(), p.data(), T, 1.0));
+  }
+}
+BENCHMARK(BM_ScoreVectors)->Arg(30)->Arg(100);
+
+void BM_MarginalGain(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const auto g = rng.NextDirichlet(T, 0.2);
+  const auto r = rng.NextDirichlet(T, 0.2);
+  const auto p = rng.NextDirichlet(T, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MarginalGainVectors(
+        core::ScoringFunction::kWeightedCoverage, g.data(), r.data(),
+        p.data(), T, 1.0));
+  }
+}
+BENCHMARK(BM_MarginalGain)->Arg(30);
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Matrix cost(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) cost.At(i, j) = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    auto result = la::SolveMinCostAssignment(cost);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Transportation(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  const int agents = tasks / 4;
+  Rng rng(4);
+  Matrix profit(tasks, agents);
+  for (int t = 0; t < tasks; ++t) {
+    for (int a = 0; a < agents; ++a) profit.At(t, a) = rng.NextDouble();
+  }
+  std::vector<int> capacity(agents, 5);
+  for (auto _ : state) {
+    auto result = la::SolveTransportation(profit, capacity);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Transportation)->Arg(100)->Arg(400);
+
+void BM_JraBba(benchmark::State& state) {
+  const int reviewers = static_cast<int>(state.range(0));
+  core::Instance instance = bench::MakeJraPool(reviewers, 3);
+  for (auto _ : state) {
+    auto result = core::SolveJraBba(instance, 0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_JraBba)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_SdgaStage(benchmark::State& state) {
+  // Full SDGA on the smallest conference dataset, dominated by stage LAPs.
+  auto setup = bench::MakeConference(data::Area::kTheory, 2009, 3);
+  for (auto _ : state) {
+    auto result = core::SolveCraSdga(setup.instance);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SdgaStage)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,22 @@
+// Table 7 (Appendix C): lowest coverage score min_p c(g→, p→) across all six
+// datasets and δp ∈ {3, 4, 5}. Expected shape (paper): SDGA-SRA and Greedy
+// far above SM/ILP/BRGG, SDGA-SRA best or tied in most cells, with the gap
+// largest at low δp.
+#include <cstdio>
+
+#include "quality_tables.h"
+
+int main() {
+  using namespace wgrap;
+  std::printf("=== Table 7: lowest coverage score in A ===\n\n");
+  bench::QualityConfig config;
+  config.datasets = {
+      {data::Area::kDatabases, 2008},  {data::Area::kDataMining, 2008},
+      {data::Area::kTheory, 2008},     {data::Area::kDatabases, 2009},
+      {data::Area::kDataMining, 2009}, {data::Area::kTheory, 2009}};
+  config.sra_budget_seconds = 6.0;  // 18 cells; keep the table bounded
+  config.print_optimality = false;
+  config.print_superiority = false;
+  config.print_lowest = true;
+  return bench::RunQualityTables(config);
+}

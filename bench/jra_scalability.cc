@@ -1,0 +1,113 @@
+#include "jra_scalability.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace wgrap::bench {
+
+namespace {
+
+struct MethodTiming {
+  double total_seconds = 0.0;
+  int completed = 0;
+  int capped = 0;
+};
+
+std::string Cell(const MethodTiming& timing, int papers, double cap) {
+  if (timing.capped == papers) return StrFormat(">%.0fs (cap)", cap);
+  std::string cell =
+      StrFormat("%.3fs", timing.total_seconds / std::max(1, timing.completed));
+  if (timing.capped > 0) {
+    cell += StrFormat(" (%d/%d capped)", timing.capped, papers);
+  }
+  return cell;
+}
+
+void RunPoint(const core::Instance& instance, int papers, double cap,
+              MethodTiming* bfs, MethodTiming* ilp, MethodTiming* bba) {
+  for (int p = 0; p < papers; ++p) {
+    core::JraOptions capped;
+    capped.time_limit_seconds = cap;
+    double bfs_score = -1.0;
+    // Once a baseline hits the cap on one paper it will on all papers of
+    // this point (same R, δp); skip the rest and report the point capped.
+    if (bfs->capped == 0) {
+      auto result = core::SolveJraBruteForce(instance, p, capped);
+      if (result.ok() && result->proven_optimal) {
+        bfs->total_seconds += result->seconds;
+        ++bfs->completed;
+        bfs_score = result->score;
+      } else {
+        bfs->capped = papers;
+      }
+    }
+    if (ilp->capped == 0) {
+      auto result = core::SolveJraIlp(instance, p, capped);
+      if (result.ok() && result->proven_optimal) {
+        ilp->total_seconds += result->seconds;
+        ++ilp->completed;
+      } else {
+        ilp->capped = papers;
+      }
+    }
+    {
+      auto result = core::SolveJraBba(instance, p);
+      DieOnError(result.status(), "BBA");
+      bba->total_seconds += result->seconds;
+      ++bba->completed;
+      // Exactness spot-check wherever BFS finished: the speedup must not
+      // be buying a wrong answer.
+      if (bfs_score >= 0.0 && std::abs(result->score - bfs_score) > 1e-9) {
+        std::fprintf(stderr, "BBA (%f) != BFS (%f) on paper %d!\n",
+                     result->score, bfs_score, p);
+        std::exit(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int RunJraScalability(const JraSweepConfig& config) {
+  std::printf("=== %s: JRA scalability (avg response time over %d papers; "
+              "BFS/ILP capped at %.0fs per run) ===\n\n",
+              config.figure_name, config.num_papers, config.time_cap);
+
+  std::printf("--- (a) effect of group size dp (R = %d) ---\n",
+              config.fixed_r);
+  TablePrinter by_dp({"dp", "BFS", "ILP", "BBA"});
+  for (int dp : {3, 4, 5, 6}) {
+    core::Instance instance = MakeJraPool(config.fixed_r, dp);
+    MethodTiming bfs, ilp, bba;
+    RunPoint(instance, config.num_papers, config.time_cap, &bfs, &ilp, &bba);
+    by_dp.AddRow({std::to_string(dp),
+                  Cell(bfs, config.num_papers, config.time_cap),
+                  Cell(ilp, config.num_papers, config.time_cap),
+                  Cell(bba, config.num_papers, config.time_cap)});
+  }
+  by_dp.Print();
+
+  std::printf("\n--- (b) effect of reviewer count R (dp = %d) ---\n",
+              config.fixed_dp);
+  TablePrinter by_r({"R", "BFS", "ILP", "BBA"});
+  for (int r : {200, 300, 400, 500}) {
+    core::Instance instance = MakeJraPool(r, config.fixed_dp);
+    MethodTiming bfs, ilp, bba;
+    RunPoint(instance, config.num_papers, config.time_cap, &bfs, &ilp, &bba);
+    by_r.AddRow({std::to_string(r),
+                 Cell(bfs, config.num_papers, config.time_cap),
+                 Cell(ilp, config.num_papers, config.time_cap),
+                 Cell(bba, config.num_papers, config.time_cap)});
+  }
+  by_r.Print();
+  std::printf("\nExpected shape (paper): BBA orders of magnitude below ILP, "
+              "ILP below BFS; all more sensitive to dp than to R.\n");
+  return 0;
+}
+
+}  // namespace wgrap::bench

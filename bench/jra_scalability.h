@@ -1,0 +1,24 @@
+// Shared driver for the JRA scalability figures (Fig. 9 and Fig. 14): run
+// BFS / ILP / BBA over a δp sweep at fixed R and an R sweep at fixed δp,
+// averaging response time over a set of papers, with per-run time caps for
+// the baselines (the paper's BFS/ILP runs reach hours; capped runs are
+// reported as ">cap", preserving the figure's shape).
+#ifndef WGRAP_BENCH_JRA_SCALABILITY_H_
+#define WGRAP_BENCH_JRA_SCALABILITY_H_
+
+namespace wgrap::bench {
+
+struct JraSweepConfig {
+  int fixed_r = 200;        // R for the δp sweep (Fig. 9a / 14a)
+  int fixed_dp = 3;         // δp for the R sweep (Fig. 9b / 14b)
+  int num_papers = 3;       // papers averaged per point (paper uses 20)
+  double time_cap = 10.0;   // per-run cap for BFS and ILP, seconds
+  const char* figure_name = "Figure 9";
+};
+
+/// Prints both sweeps; returns a process exit code.
+int RunJraScalability(const JraSweepConfig& config);
+
+}  // namespace wgrap::bench
+
+#endif  // WGRAP_BENCH_JRA_SCALABILITY_H_

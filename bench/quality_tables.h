@@ -1,0 +1,30 @@
+// Shared driver for the CRA quality experiments: optimality ratio (Fig. 10,
+// 17(a), 18(c,e), 21), superiority ratio (Fig. 11, 17(b), 18(d,f)) and
+// lowest coverage (Table 7) over a (dataset, δp) grid.
+#ifndef WGRAP_BENCH_QUALITY_TABLES_H_
+#define WGRAP_BENCH_QUALITY_TABLES_H_
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace wgrap::bench {
+
+struct QualityConfig {
+  std::vector<std::pair<data::Area, int>> datasets;  // (area, year)
+  std::vector<int> group_sizes = {3, 4, 5};
+  double sra_budget_seconds = 12.0;
+  core::ScoringFunction scoring = core::ScoringFunction::kWeightedCoverage;
+  bool scale_by_h_index = false;
+  bool print_optimality = true;
+  bool print_superiority = true;
+  bool print_lowest = false;
+};
+
+/// Runs every method on every (dataset, δp) cell and prints the requested
+/// tables. Returns a process exit code.
+int RunQualityTables(const QualityConfig& config);
+
+}  // namespace wgrap::bench
+
+#endif  // WGRAP_BENCH_QUALITY_TABLES_H_

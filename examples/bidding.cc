@@ -1,0 +1,71 @@
+// Bid-aware assignment (the extension sketched in the paper's Sec. 6
+// conclusion): reviewers bid on papers and the chair trades topic coverage
+// against honouring preferences via the bid weight λ. The bid term is
+// modular, so every approximation guarantee survives (see
+// Instance::SetBids).
+//
+//   build/examples/bidding
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/wgrap.h"
+#include "data/synthetic_dblp.h"
+
+int main() {
+  using namespace wgrap;
+  data::SyntheticDblpConfig config;
+  config.num_topics = 16;
+  config.seed = 31;
+  auto dataset = data::GenerateReviewerPool(/*num_reviewers=*/30,
+                                            /*num_papers=*/50, config);
+  if (!dataset.ok()) return 1;
+  core::InstanceParams params;
+  params.group_size = 3;
+  auto base = core::Instance::FromDataset(*dataset, params);
+  if (!base.ok()) return 1;
+
+  // Simulate bidding: reviewers tend to bid on papers close to their
+  // expertise, with noise (some bid out of curiosity, many skip bidding —
+  // the "too lazy to go through the list" effect from the introduction).
+  Rng rng(7);
+  Matrix bids(base->num_papers(), base->num_reviewers(), 0.0);
+  for (int r = 0; r < base->num_reviewers(); ++r) {
+    for (int p = 0; p < base->num_papers(); ++p) {
+      if (rng.NextDouble() < 0.6) continue;  // reviewer never saw this paper
+      const double affinity = base->PairScore(r, p);
+      bids(p, r) = rng.NextDouble() < 0.2 ? rng.NextDouble()  // curiosity
+                                          : std::min(1.0, 2.0 * affinity);
+    }
+  }
+
+  std::printf("%10s %14s %16s\n", "bid w.", "coverage", "bid satisfaction");
+  core::SraOptions sra;
+  sra.time_limit_seconds = 4.0;
+  for (double weight : {0.0, 0.2, 0.5, 1.0, 2.0}) {
+    core::InstanceParams p2 = params;
+    auto instance = core::Instance::FromDataset(*dataset, p2);
+    if (!instance.ok()) return 1;
+    if (weight > 0.0) {
+      Matrix copy = bids;
+      if (!instance->SetBids(std::move(copy), weight).ok()) return 1;
+    }
+    auto assignment = core::SolveCraSdgaSra(*instance, {}, sra);
+    if (!assignment.ok()) {
+      std::fprintf(stderr, "%s\n", assignment.status().ToString().c_str());
+      return 1;
+    }
+    // Coverage (bid-free objective) and average bid of assigned pairs.
+    double coverage = 0.0, bid_total = 0.0;
+    for (int p = 0; p < instance->num_papers(); ++p) {
+      coverage += core::ScoreGroup(*base, p, assignment->GroupFor(p));
+      for (int r : assignment->GroupFor(p)) bid_total += bids(p, r);
+    }
+    const double pairs = instance->num_papers() * 3.0;
+    std::printf("%10.1f %14.3f %15.1f%%\n", weight, coverage,
+                100.0 * bid_total / pairs);
+  }
+  std::printf("\nraising the bid weight buys bid satisfaction at a small "
+              "coverage cost — the trade-off the paper's future-work "
+              "formulation anticipates.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Program-chair what-if workflows: conflicts of interest and workload
+// policy. Shows (1) that solvers honour COI declarations with no quality
+// cliff (Sec. 4.3), and (2) how the coverage/balance trade-off moves as the
+// chair loosens the reviewer workload δr above the minimal balanced value.
+//
+//   build/examples/coi_and_workloads
+#include <cstdio>
+
+#include "core/wgrap.h"
+#include "data/synthetic_dblp.h"
+
+int main() {
+  using namespace wgrap;
+  data::SyntheticDblpConfig config;
+  config.num_topics = 20;
+  config.seed = 99;
+  auto dataset = data::GenerateReviewerPool(/*num_reviewers=*/35,
+                                            /*num_papers=*/70, config);
+  if (!dataset.ok()) return 1;
+
+  // --- Part 1: conflicts of interest -------------------------------------
+  core::InstanceParams params;
+  params.group_size = 3;
+  auto instance = core::Instance::FromDataset(*dataset, params);
+  if (!instance.ok()) return 1;
+
+  core::SraOptions sra;
+  sra.time_limit_seconds = 5.0;
+  auto before = core::SolveCraSdgaSra(*instance, {}, sra);
+  if (!before.ok()) return 1;
+
+  // Declare COIs: each paper's single best-matching reviewer is an author's
+  // close collaborator (a pessimistic blanket policy).
+  for (int p = 0; p < instance->num_papers(); ++p) {
+    int best = 0;
+    for (int r = 1; r < instance->num_reviewers(); ++r) {
+      if (instance->PairScore(r, p) > instance->PairScore(best, p)) best = r;
+    }
+    instance->AddConflict(best, p);
+  }
+  auto after = core::SolveCraSdgaSra(*instance, {}, sra);
+  if (!after.ok()) return 1;
+  std::printf("--- conflicts of interest ---\n");
+  std::printf("total coverage without COIs: %.3f\n", before->TotalScore());
+  std::printf("after conflicting every paper's best reviewer: %.3f "
+              "(-%.1f%%)\n",
+              after->TotalScore(),
+              100.0 * (1.0 - after->TotalScore() / before->TotalScore()));
+  // Verify no conflicted pair leaked through.
+  for (int p = 0; p < instance->num_papers(); ++p) {
+    for (int r : after->GroupFor(p)) {
+      if (instance->IsConflict(r, p)) {
+        std::fprintf(stderr, "COI violated!\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("no conflicted pair appears in the assignment.\n\n");
+
+  // --- Part 2: workload policy sweep --------------------------------------
+  std::printf("--- workload policy (dp = 3, minimal dr = %d) ---\n",
+              core::Instance::MinimalWorkload(dataset->num_papers(),
+                                              dataset->num_reviewers(), 3));
+  std::printf("%6s %14s %12s %14s\n", "dr", "total coverage", "lowest",
+              "busiest load");
+  for (int dr_extra : {0, 1, 2, 4}) {
+    core::InstanceParams sweep_params;
+    sweep_params.group_size = 3;
+    sweep_params.reviewer_workload =
+        core::Instance::MinimalWorkload(dataset->num_papers(),
+                                        dataset->num_reviewers(), 3) +
+        dr_extra;
+    auto sweep_instance = core::Instance::FromDataset(*dataset, sweep_params);
+    if (!sweep_instance.ok()) return 1;
+    auto assignment = core::SolveCraSdgaSra(*sweep_instance, {}, sra);
+    if (!assignment.ok()) return 1;
+    int busiest = 0;
+    for (int r = 0; r < sweep_instance->num_reviewers(); ++r) {
+      busiest = std::max(busiest, assignment->LoadOf(r));
+    }
+    std::printf("%6d %14.3f %12.3f %14d\n",
+                sweep_instance->reviewer_workload(),
+                assignment->TotalScore(), core::LowestCoverage(*assignment),
+                busiest);
+  }
+  std::printf("\nlooser workloads buy coverage at the cost of balance — the "
+              "trade-off the WGRAP constraints make explicit.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Internal invariant checks. WGRAP_CHECK aborts with a message on violation;
+// it guards programming errors (not user input — user input goes through
+// Status). Enabled in all build types, as in RocksDB's assert-heavy style
+// for cheap checks on cold paths.
+#ifndef WGRAP_COMMON_CHECK_H_
+#define WGRAP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define WGRAP_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "WGRAP_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define WGRAP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "WGRAP_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // WGRAP_COMMON_CHECK_H_

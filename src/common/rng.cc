@@ -1,0 +1,142 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace wgrap {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  WGRAP_CHECK(bound > 0);
+  // Rejection sampling over the largest multiple of bound.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::NextInt(int lo, int hi) {
+  WGRAP_CHECK(lo <= hi);
+  return lo + static_cast<int>(NextBounded(
+                  static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1));
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextGamma(double shape) {
+  WGRAP_CHECK(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang trick).
+    const double u = NextDouble();
+    return NextGamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::NextDirichlet(int dim, double alpha) {
+  return NextDirichlet(std::vector<double>(dim, alpha));
+}
+
+std::vector<double> Rng::NextDirichlet(const std::vector<double>& alpha) {
+  std::vector<double> out(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = NextGamma(alpha[i]);
+    total += out[i];
+  }
+  if (total <= 0.0) {
+    // Degenerate draw; fall back to uniform.
+    for (auto& v : out) v = 1.0 / static_cast<double>(out.size());
+    return out;
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+int Rng::SampleDiscrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return -1;
+  double u = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  WGRAP_CHECK(k >= 0 && k <= n);
+  // Partial Fisher–Yates over an index vector.
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(NextBounded(static_cast<uint64_t>(n - i)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace wgrap

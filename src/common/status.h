@@ -1,0 +1,131 @@
+// Status / Result<T>: exception-free error handling in the style of
+// RocksDB's Status and Arrow's Result. Library code returns Status (or
+// Result<T>) instead of throwing; callers must inspect the code.
+#ifndef WGRAP_COMMON_STATUS_H_
+#define WGRAP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace wgrap {
+
+/// Error category of an operation outcome.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,   // e.g. time / iteration budget exceeded
+  kInfeasible,          // optimization model has no feasible solution
+  kUnbounded,           // optimization model is unbounded
+  kNumericalError,      // solver lost numerical precision
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: a code plus an optional message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse:  return value;  return status;
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace wgrap
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define WGRAP_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::wgrap::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // WGRAP_COMMON_STATUS_H_

@@ -1,0 +1,26 @@
+// Small string helpers shared across modules.
+#ifndef WGRAP_COMMON_STRING_UTIL_H_
+#define WGRAP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace wgrap {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on a delimiter character; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char delim);
+
+/// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Human-friendly seconds: "4 ms", "2.2 s", "45.6 min", "5.1 h".
+std::string HumanSeconds(double seconds);
+
+}  // namespace wgrap
+
+#endif  // WGRAP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+// Plain-text table rendering for the per-figure/table bench harnesses, so
+// every bench prints the same rows/series the paper reports in a uniform
+// aligned format.
+#ifndef WGRAP_COMMON_TABLE_PRINTER_H_
+#define WGRAP_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace wgrap {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders the table with column separators and a header rule.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wgrap
+
+#endif  // WGRAP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,134 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace wgrap::core {
+
+Assignment::Assignment(const Instance* instance)
+    : instance_(instance),
+      groups_(instance->num_papers()),
+      load_(instance->num_reviewers(), 0),
+      group_vec_(instance->num_papers(), instance->num_topics(), 0.0),
+      paper_score_(instance->num_papers(), 0.0) {}
+
+bool Assignment::Contains(int paper, int reviewer) const {
+  const auto& group = groups_[paper];
+  return std::find(group.begin(), group.end(), reviewer) != group.end();
+}
+
+double Assignment::MarginalGain(int paper, int reviewer) const {
+  return MarginalGainVectors(
+             instance_->scoring(), group_vec_.Row(paper),
+             instance_->ReviewerVector(reviewer),
+             instance_->PaperVector(paper), instance_->num_topics(),
+             instance_->PaperMass(paper)) +
+         instance_->BidBonus(reviewer, paper);
+}
+
+Status Assignment::AddUnchecked(int paper, int reviewer) {
+  if (paper < 0 || paper >= instance_->num_papers() || reviewer < 0 ||
+      reviewer >= instance_->num_reviewers()) {
+    return Status::OutOfRange("paper or reviewer id out of range");
+  }
+  if (Contains(paper, reviewer)) {
+    return Status::FailedPrecondition("pair already assigned");
+  }
+  if (instance_->IsConflict(reviewer, paper)) {
+    return Status::FailedPrecondition("conflict of interest");
+  }
+  const double gain = MarginalGain(paper, reviewer);
+  groups_[paper].push_back(reviewer);
+  ++load_[reviewer];
+  ++size_;
+  const double* rv = instance_->ReviewerVector(reviewer);
+  double* gv = group_vec_.Row(paper);
+  for (int t = 0; t < instance_->num_topics(); ++t) {
+    gv[t] = std::max(gv[t], rv[t]);
+  }
+  paper_score_[paper] += gain;
+  total_score_ += gain;
+  return Status::OK();
+}
+
+Status Assignment::Add(int paper, int reviewer) {
+  if (paper < 0 || paper >= instance_->num_papers() || reviewer < 0 ||
+      reviewer >= instance_->num_reviewers()) {
+    return Status::OutOfRange("paper or reviewer id out of range");
+  }
+  if (static_cast<int>(groups_[paper].size()) >= instance_->group_size()) {
+    return Status::FailedPrecondition(
+        StrFormat("paper %d already has %d reviewers", paper,
+                  instance_->group_size()));
+  }
+  if (load_[reviewer] >= instance_->reviewer_workload()) {
+    return Status::FailedPrecondition(
+        StrFormat("reviewer %d is at full workload", reviewer));
+  }
+  return AddUnchecked(paper, reviewer);
+}
+
+Status Assignment::Remove(int paper, int reviewer) {
+  if (paper < 0 || paper >= instance_->num_papers() || reviewer < 0 ||
+      reviewer >= instance_->num_reviewers()) {
+    return Status::OutOfRange("paper or reviewer id out of range");
+  }
+  auto& group = groups_[paper];
+  auto it = std::find(group.begin(), group.end(), reviewer);
+  if (it == group.end()) {
+    return Status::NotFound("pair not in assignment");
+  }
+  group.erase(it);
+  --load_[reviewer];
+  --size_;
+  RecomputePaper(paper);
+  return Status::OK();
+}
+
+void Assignment::RecomputePaper(int paper) {
+  double* gv = group_vec_.Row(paper);
+  const int T = instance_->num_topics();
+  std::fill(gv, gv + T, 0.0);
+  for (int r : groups_[paper]) {
+    const double* rv = instance_->ReviewerVector(r);
+    for (int t = 0; t < T; ++t) gv[t] = std::max(gv[t], rv[t]);
+  }
+  const double old_score = paper_score_[paper];
+  double score = 0.0;
+  if (!groups_[paper].empty()) {
+    score = ScoreVectors(instance_->scoring(), gv,
+                         instance_->PaperVector(paper), T,
+                         instance_->PaperMass(paper));
+    for (int r : groups_[paper]) score += instance_->BidBonus(r, paper);
+  }
+  paper_score_[paper] = score;
+  total_score_ += paper_score_[paper] - old_score;
+}
+
+Status Assignment::ValidateComplete() const {
+  for (int p = 0; p < instance_->num_papers(); ++p) {
+    if (static_cast<int>(groups_[p].size()) != instance_->group_size()) {
+      return Status::FailedPrecondition(
+          StrFormat("paper %d has %zu reviewers, expected %d", p,
+                    groups_[p].size(), instance_->group_size()));
+    }
+    for (int r : groups_[p]) {
+      if (instance_->IsConflict(r, p)) {
+        return Status::FailedPrecondition(
+            StrFormat("conflicted pair (r=%d, p=%d) in assignment", r, p));
+      }
+    }
+  }
+  for (int r = 0; r < instance_->num_reviewers(); ++r) {
+    if (load_[r] > instance_->reviewer_workload()) {
+      return Status::FailedPrecondition(
+          StrFormat("reviewer %d load %d exceeds workload %d", r, load_[r],
+                    instance_->reviewer_workload()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wgrap::core

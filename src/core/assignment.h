@@ -1,0 +1,76 @@
+// A (possibly partial) WGRAP assignment A ⊆ P × R with incremental
+// group-expertise maintenance: adding a reviewer updates the group
+// max-vector (Definition 2) and cached coverage score in O(T).
+#ifndef WGRAP_CORE_ASSIGNMENT_H_
+#define WGRAP_CORE_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "core/instance.h"
+
+namespace wgrap::core {
+
+/// Mutable assignment bound to an Instance (which must outlive it).
+class Assignment {
+ public:
+  explicit Assignment(const Instance* instance);
+
+  const Instance& instance() const { return *instance_; }
+
+  /// Reviewers currently assigned to paper p (unordered).
+  const std::vector<int>& GroupFor(int paper) const {
+    return groups_[paper];
+  }
+  /// Number of papers currently assigned to reviewer r.
+  int LoadOf(int reviewer) const { return load_[reviewer]; }
+  bool Contains(int paper, int reviewer) const;
+
+  /// Total number of (r, p) pairs in A.
+  int64_t size() const { return size_; }
+
+  /// Group expertise vector g→ of paper p (element-wise max, Definition 2).
+  const double* GroupVector(int paper) const { return group_vec_.Row(paper); }
+
+  /// Cached c(g→, p→) for paper p (plus the per-pair bid bonuses when the
+  /// instance carries bids — see Instance::SetBids).
+  double PaperScore(int paper) const { return paper_score_[paper]; }
+
+  /// Σ_p c(g→, p→) — the WGRAP objective (Definition 3).
+  double TotalScore() const { return total_score_; }
+
+  /// gain(A[p], r, p) per Definition 8 (+ bid bonus if bids are set); O(T).
+  double MarginalGain(int paper, int reviewer) const;
+
+  /// Adds (r, p). Fails on duplicates, COI, full group, or exhausted
+  /// workload. O(T) on success.
+  Status Add(int paper, int reviewer);
+
+  /// Adds (r, p) without capacity checks (used to build the *ideal*
+  /// assignment AI of Sec. 5.2, which deliberately ignores workloads).
+  /// Duplicate and COI checks still apply.
+  Status AddUnchecked(int paper, int reviewer);
+
+  /// Removes (r, p); recomputes p's group vector in O(δp·T).
+  Status Remove(int paper, int reviewer);
+
+  /// OK iff every group has exactly δp reviewers, loads respect δr, and no
+  /// COI pair is used.
+  Status ValidateComplete() const;
+
+ private:
+  void RecomputePaper(int paper);
+
+  const Instance* instance_;
+  std::vector<std::vector<int>> groups_;
+  std::vector<int> load_;
+  Matrix group_vec_;  // P x T running max
+  std::vector<double> paper_score_;
+  double total_score_ = 0.0;
+  int64_t size_ = 0;
+};
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_ASSIGNMENT_H_

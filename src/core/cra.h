@@ -1,0 +1,121 @@
+// Conference Reviewer Assignment — the general WGRAP (Definition 3, Sec. 4).
+// Solvers mirror the paper's Sec. 5.2 line-up:
+//
+//   SolveCraGreedy         — Long et al.'s 1/3-approx greedy (Eq. 4) with a
+//                            lazy heap (gains are submodular-monotone).
+//   SolveCraBrgg           — Best Reviewer Group Greedy: per iteration, the
+//                            best (group, paper) pair is committed whole.
+//   SolveCraSdga           — Stage Deepening Greedy (Algorithm 2): δp
+//                            linear-assignment stages, 1/2-approx (≥1-1/e
+//                            when δp | δr).
+//   RefineSra              — Stochastic Refinement (Algorithm 3) on top of
+//                            any feasible assignment.
+//   RefineLocalSearch      — plain hill-climbing refinement (Fig. 12's LS).
+//   SolveCraStableMatching — Gale–Shapley college-admissions baseline (SM).
+//   SolveCraIlpArap        — exact ARAP (per-pair objective) via min-cost
+//                            flow; the paper's "ILP" baseline.
+#ifndef WGRAP_CORE_CRA_H_
+#define WGRAP_CORE_CRA_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace wgrap::core {
+
+struct CraOptions {
+  double time_limit_seconds = 0.0;  // 0 = unlimited
+};
+
+/// LAP backend used by each SDGA stage (and the SRA completion step).
+enum class LapBackend {
+  kMinCostFlow,  // transportation network, default
+  kHungarian,    // reviewer columns replicated per unit of stage capacity
+};
+
+struct SdgaOptions : CraOptions {
+  LapBackend backend = LapBackend::kMinCostFlow;
+  /// Per-stage reviewer cap ⌈δr/δp⌉ (Definition 9). Turning this off
+  /// forfeits the approximation guarantee — ablation knob (DESIGN.md §5).
+  bool confine_stage_workload = true;
+};
+
+/// Progress callback: (elapsed seconds, best objective so far). Used by the
+/// refinement-over-time experiments (Fig. 12, Fig. 16).
+using RefineTrace = std::function<void(double, double)>;
+
+struct SraOptions : CraOptions {
+  /// ω — stop after this many rounds without improvement (Sec. 4.4; the
+  /// paper's default is 10).
+  int convergence_window = 10;
+  /// λ — decay rate of the data-driven term in Eq. 10.
+  double decay_lambda = 0.05;
+  /// Hard cap on refinement rounds.
+  int max_iterations = 10000;
+  /// Ablation: replace Eq. 10 with the uniform model P(r|p) = 1/R.
+  bool uniform_probability = false;
+  uint64_t seed = 20150531;  // SIGMOD'15 opening day
+  RefineTrace trace;
+};
+
+struct LocalSearchOptions : CraOptions {
+  /// Stop after this many consecutive non-improving proposals.
+  int max_stall_proposals = 20000;
+  uint64_t seed = 20150531;
+  RefineTrace trace;
+};
+
+Result<Assignment> SolveCraGreedy(const Instance& instance,
+                                  const CraOptions& options = {});
+
+Result<Assignment> SolveCraBrgg(const Instance& instance,
+                                const CraOptions& options = {});
+
+Result<Assignment> SolveCraSdga(const Instance& instance,
+                                const SdgaOptions& options = {});
+
+/// Runs stochastic refinement on `initial` (typically SDGA output) and
+/// returns the best assignment encountered.
+Result<Assignment> RefineSra(const Instance& instance,
+                             const Assignment& initial,
+                             const SraOptions& options = {});
+
+/// Hill-climbing swap/replace refinement; the comparison baseline of
+/// Fig. 12 ("SDGA-LS").
+Result<Assignment> RefineLocalSearch(const Instance& instance,
+                                     const Assignment& initial,
+                                     const LocalSearchOptions& options = {});
+
+Result<Assignment> SolveCraStableMatching(const Instance& instance,
+                                          const CraOptions& options = {});
+
+Result<Assignment> SolveCraIlpArap(const Instance& instance,
+                                   const CraOptions& options = {});
+
+/// Convenience: SDGA followed by SRA (the paper's SDGA-SRA method).
+Result<Assignment> SolveCraSdgaSra(const Instance& instance,
+                                   const SdgaOptions& sdga_options = {},
+                                   const SraOptions& sra_options = {});
+
+/// Output of the retrieval-based baseline (Definition 4): per-paper
+/// reviewer lists (sizes unconstrained) plus imbalance diagnostics. Not an
+/// Assignment because RRAP does not satisfy the group-size constraint.
+struct RrapResult {
+  std::vector<std::vector<int>> reviewers_of_paper;
+  double pairwise_score = 0.0;
+  int papers_without_reviewers = 0;
+  int under_reviewed_papers = 0;  // fewer than δp reviewers
+  int max_reviewers_per_paper = 0;
+};
+
+/// Retrieval-based RAP: each reviewer takes their top-δr papers
+/// independently. The historical baseline whose imbalance (Fig. 1(a))
+/// motivates the group-size constraint.
+RrapResult SolveCraRrap(const Instance& instance);
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_CRA_H_

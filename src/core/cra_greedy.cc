@@ -1,0 +1,81 @@
+// The greedy algorithm of Long et al. [22] applied to WGRAP (Sec. 4.1):
+// repeatedly commit the feasible (reviewer, paper) pair with the largest
+// marginal gain. Implemented with the classic lazy-evaluation heap: since
+// the objective is submodular, a pair's gain only decreases as the
+// assignment grows, so a stale heap entry is an upper bound and can be
+// re-inserted after re-evaluation instead of rescanning all pairs.
+#include <queue>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/cra.h"
+#include "core/repair.h"
+
+namespace wgrap::core {
+
+namespace {
+
+struct HeapEntry {
+  double gain;
+  int paper;
+  int reviewer;
+  int paper_version;  // assignment version of `paper` when gain was computed
+
+  bool operator<(const HeapEntry& other) const { return gain < other.gain; }
+};
+
+}  // namespace
+
+Result<Assignment> SolveCraGreedy(const Instance& instance,
+                                  const CraOptions& options) {
+  Deadline deadline(options.time_limit_seconds);
+  Assignment assignment(&instance);
+  const int P = instance.num_papers();
+  const int R = instance.num_reviewers();
+
+  std::priority_queue<HeapEntry> heap;
+  for (int p = 0; p < P; ++p) {
+    for (int r = 0; r < R; ++r) {
+      if (instance.IsConflict(r, p)) continue;
+      heap.push({instance.PairUtility(r, p), p, r, 0});
+    }
+  }
+
+  std::vector<int> version(P, 0);
+  int64_t remaining =
+      static_cast<int64_t>(P) * instance.group_size();
+  while (remaining > 0) {
+    if (deadline.Expired()) {
+      return Status::ResourceExhausted("greedy time limit");
+    }
+    if (heap.empty()) {
+      // Tight-capacity corner: the remaining papers only have spare
+      // capacity on reviewers already in their groups. Swap repair
+      // completes the assignment (Sec. 5.2 minimal-workload setting).
+      WGRAP_RETURN_IF_ERROR(CompleteWithSwapRepair(instance, &assignment));
+      break;
+    }
+    HeapEntry top = heap.top();
+    heap.pop();
+    const auto& group = assignment.GroupFor(top.paper);
+    if (static_cast<int>(group.size()) >= instance.group_size()) continue;
+    if (assignment.LoadOf(top.reviewer) >= instance.reviewer_workload()) {
+      continue;  // reviewer saturated; the pair can never become feasible
+    }
+    if (assignment.Contains(top.paper, top.reviewer)) continue;
+    if (top.paper_version != version[top.paper]) {
+      // Stale: the paper's group changed since this gain was computed.
+      top.gain = assignment.MarginalGain(top.paper, top.reviewer);
+      top.paper_version = version[top.paper];
+      heap.push(top);
+      continue;
+    }
+    WGRAP_RETURN_IF_ERROR(assignment.Add(top.paper, top.reviewer));
+    ++version[top.paper];
+    --remaining;
+  }
+  WGRAP_RETURN_IF_ERROR(assignment.ValidateComplete());
+  return assignment;
+}
+
+}  // namespace wgrap::core

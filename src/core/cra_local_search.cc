@@ -1,0 +1,112 @@
+// Plain local-search refinement — the "LS" baseline of Fig. 12. Proposes
+// random swap moves (exchange the papers of two assigned reviewers) and
+// replace moves (swap an assigned reviewer for an idle one) and accepts any
+// strict improvement; terminates on a proposal-stall threshold or the time
+// budget. As the paper observes, this gets stuck in local maxima that the
+// stochastic refinement escapes.
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/cra.h"
+
+namespace wgrap::core {
+
+namespace {
+
+// Applies "remove (p, out); add (p, in)" if it improves the total score.
+// Returns true when the move was kept.
+bool TryReplace(Assignment* assignment, int paper, int out, int in) {
+  const Instance& instance = assignment->instance();
+  if (assignment->Contains(paper, in) || instance.IsConflict(in, paper)) {
+    return false;
+  }
+  const double before = assignment->TotalScore();
+  if (!assignment->Remove(paper, out).ok()) return false;
+  if (!assignment->Add(paper, in).ok()) {
+    // Roll back (the add can fail only on workload, COI checked above).
+    Status st = assignment->Add(paper, out);
+    (void)st;
+    return false;
+  }
+  if (assignment->TotalScore() > before + 1e-12) return true;
+  // Not an improvement: undo.
+  Status st = assignment->Remove(paper, in);
+  (void)st;
+  st = assignment->Add(paper, out);
+  (void)st;
+  return false;
+}
+
+}  // namespace
+
+Result<Assignment> RefineLocalSearch(const Instance& instance,
+                                     const Assignment& initial,
+                                     const LocalSearchOptions& options) {
+  WGRAP_RETURN_IF_ERROR(initial.ValidateComplete());
+  const int P = instance.num_papers();
+  const int R = instance.num_reviewers();
+  Stopwatch watch;
+  Deadline deadline(options.time_limit_seconds);
+  Rng rng(options.seed);
+
+  Assignment current = initial;
+  if (options.trace) {
+    options.trace(watch.ElapsedSeconds(), current.TotalScore());
+  }
+  int stall = 0;
+  int64_t proposals = 0;
+  while (stall < options.max_stall_proposals && !deadline.Expired()) {
+    ++proposals;
+    bool improved = false;
+    if (P >= 2 && rng.NextDouble() < 0.5) {
+      // Swap move: r1 reviews p2 instead of p1, r2 reviews p1 instead of p2.
+      const int p1 = static_cast<int>(rng.NextBounded(P));
+      int p2 = static_cast<int>(rng.NextBounded(P - 1));
+      if (p2 >= p1) ++p2;
+      const auto& g1 = current.GroupFor(p1);
+      const auto& g2 = current.GroupFor(p2);
+      const int r1 = g1[rng.NextBounded(g1.size())];
+      const int r2 = g2[rng.NextBounded(g2.size())];
+      if (r1 != r2 && !current.Contains(p1, r2) && !current.Contains(p2, r1) &&
+          !instance.IsConflict(r2, p1) && !instance.IsConflict(r1, p2)) {
+        const double before = current.TotalScore();
+        // Loads are unchanged by a swap, so the four ops cannot fail on
+        // workload; perform and evaluate.
+        Status st = current.Remove(p1, r1);
+        if (st.ok()) st = current.Remove(p2, r2);
+        if (st.ok()) st = current.Add(p1, r2);
+        if (st.ok()) st = current.Add(p2, r1);
+        if (st.ok() && current.TotalScore() > before + 1e-12) {
+          improved = true;
+        } else if (st.ok()) {
+          st = current.Remove(p1, r2);
+          if (st.ok()) st = current.Remove(p2, r1);
+          if (st.ok()) st = current.Add(p1, r1);
+          if (st.ok()) st = current.Add(p2, r2);
+          if (!st.ok()) return st;
+        } else {
+          return st;
+        }
+      }
+    } else {
+      // Replace move: bring in a reviewer with spare workload.
+      const int p = static_cast<int>(rng.NextBounded(P));
+      const auto& group = current.GroupFor(p);
+      const int out = group[rng.NextBounded(group.size())];
+      const int in = static_cast<int>(rng.NextBounded(R));
+      if (current.LoadOf(in) < instance.reviewer_workload()) {
+        improved = TryReplace(&current, p, out, in);
+      }
+    }
+    stall = improved ? 0 : stall + 1;
+    if (improved && options.trace) {
+      options.trace(watch.ElapsedSeconds(), current.TotalScore());
+    }
+  }
+  (void)proposals;
+  WGRAP_RETURN_IF_ERROR(current.ValidateComplete());
+  return current;
+}
+
+}  // namespace wgrap::core

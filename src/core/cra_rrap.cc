@@ -1,0 +1,58 @@
+// Retrieval-based RAP (Definition 4, Dumais & Nielsen [10]): every reviewer
+// independently retrieves their top-δr most relevant papers. There is no
+// group-size constraint, so papers can end up with too many or zero
+// reviewers — the imbalance WGRAP's constraints eliminate (Fig. 1(a)).
+// Provided as the historical baseline; the diagnostics let callers (tests,
+// the fairness example) quantify the imbalance.
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/cra.h"
+
+namespace wgrap::core {
+
+RrapResult SolveCraRrap(const Instance& instance) {
+  const int P = instance.num_papers();
+  const int R = instance.num_reviewers();
+  RrapResult result;
+  result.reviewers_of_paper.assign(P, {});
+
+  std::vector<int> order(P);
+  for (int r = 0; r < R; ++r) {
+    std::iota(order.begin(), order.end(), 0);
+    const int take = std::min(P, instance.reviewer_workload());
+    std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                      [&](int a, int b) {
+                        const double sa = instance.IsConflict(r, a)
+                                              ? -1.0
+                                              : instance.PairScore(r, a);
+                        const double sb = instance.IsConflict(r, b)
+                                              ? -1.0
+                                              : instance.PairScore(r, b);
+                        if (sa != sb) return sa > sb;
+                        return a < b;
+                      });
+    for (int i = 0; i < take; ++i) {
+      const int p = order[i];
+      if (instance.IsConflict(r, p)) continue;
+      result.reviewers_of_paper[p].push_back(r);
+    }
+  }
+
+  for (int p = 0; p < P; ++p) {
+    const int n = static_cast<int>(result.reviewers_of_paper[p].size());
+    result.max_reviewers_per_paper =
+        std::max(result.max_reviewers_per_paper, n);
+    if (n == 0) ++result.papers_without_reviewers;
+    if (n < instance.group_size()) ++result.under_reviewed_papers;
+    // Objective under RRAP semantics: per-pair sum (no group aggregation).
+    for (int r : result.reviewers_of_paper[p]) {
+      result.pairwise_score += instance.PairScore(r, p);
+    }
+  }
+  return result;
+}
+
+}  // namespace wgrap::core

@@ -1,0 +1,153 @@
+// Stage Deepening Greedy Algorithm (SDGA) — Algorithm 2 / Definition 9.
+//
+// The assignment is built in δp stages. Each stage assigns exactly one
+// reviewer to every paper by solving a linear assignment problem whose
+// profits are the marginal gains w.r.t. the groups accumulated in earlier
+// stages (Eq. 5); the per-stage reviewer cap ⌈δr/δp⌉ reserves workload for
+// later stages, which is what the (1 - 1/e) / 1/2 approximation proof
+// (Theorems 1 and 2) relies on. Conflicts of interest are forbidden edges
+// and do not affect the guarantee (Sec. 4.3).
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/cra.h"
+#include "la/hungarian.h"
+#include "la/transportation.h"
+
+namespace wgrap::core {
+
+namespace {
+
+// One SDGA stage: assigns one reviewer to every paper, maximizing summed
+// marginal gain, respecting per-stage capacities. Shared with the SRA
+// completion step (cra_sra.cc) via SolveStageAssignment.
+Status RunStage(const Instance& instance, const std::vector<int>& capacity,
+                LapBackend backend, Assignment* assignment) {
+  const int P = instance.num_papers();
+  const int R = instance.num_reviewers();
+
+  Matrix profit(P, R, la::kTransportForbidden);
+  std::vector<int> papers_needing;  // papers still missing a reviewer
+  for (int p = 0; p < P; ++p) {
+    if (static_cast<int>(assignment->GroupFor(p).size()) >=
+        instance.group_size()) {
+      continue;
+    }
+    papers_needing.push_back(p);
+  }
+  if (papers_needing.empty()) return Status::OK();
+
+  Matrix stage_profit(static_cast<int>(papers_needing.size()), R,
+                      la::kTransportForbidden);
+  for (size_t i = 0; i < papers_needing.size(); ++i) {
+    const int p = papers_needing[i];
+    for (int r = 0; r < R; ++r) {
+      if (capacity[r] <= 0 || instance.IsConflict(r, p) ||
+          assignment->Contains(p, r)) {
+        continue;
+      }
+      stage_profit(static_cast<int>(i), r) = assignment->MarginalGain(p, r);
+    }
+  }
+
+  std::vector<std::pair<int, int>> pairs;  // (paper, reviewer)
+  if (backend == LapBackend::kMinCostFlow) {
+    auto solved = la::SolveTransportation(stage_profit, capacity);
+    if (!solved.ok()) return solved.status();
+    for (size_t i = 0; i < papers_needing.size(); ++i) {
+      pairs.emplace_back(papers_needing[i],
+                         solved->task_to_agent[static_cast<int>(i)]);
+    }
+  } else {
+    // Hungarian backend: replicate each reviewer column per capacity unit.
+    std::vector<int> column_owner;
+    for (int r = 0; r < R; ++r) {
+      for (int c = 0; c < capacity[r]; ++c) column_owner.push_back(r);
+    }
+    const int cols = static_cast<int>(column_owner.size());
+    if (cols < static_cast<int>(papers_needing.size())) {
+      return Status::Infeasible("stage capacity below paper count");
+    }
+    Matrix expanded(static_cast<int>(papers_needing.size()), cols);
+    for (int i = 0; i < expanded.rows(); ++i) {
+      for (int c = 0; c < cols; ++c) {
+        const double v = stage_profit(i, column_owner[c]);
+        expanded(i, c) =
+            v <= la::kTransportForbidden / 2 ? la::kForbiddenProfit : v;
+      }
+    }
+    auto solved = la::SolveMaxProfitAssignment(expanded);
+    if (!solved.ok()) return solved.status();
+    for (size_t i = 0; i < papers_needing.size(); ++i) {
+      pairs.emplace_back(
+          papers_needing[i],
+          column_owner[solved->row_to_col[static_cast<int>(i)]]);
+    }
+  }
+  for (const auto& [p, r] : pairs) {
+    WGRAP_RETURN_IF_ERROR(assignment->Add(p, r));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// Exposed for cra_sra.cc (declared there): completes an assignment where
+// every paper is missing at most one reviewer.
+Status SolveStageAssignment(const Instance& instance,
+                            const std::vector<int>& capacity,
+                            LapBackend backend, Assignment* assignment) {
+  return RunStage(instance, capacity, backend, assignment);
+}
+
+Result<Assignment> SolveCraSdga(const Instance& instance,
+                                const SdgaOptions& options) {
+  Deadline deadline(options.time_limit_seconds);
+  Assignment assignment(&instance);
+  const int R = instance.num_reviewers();
+  const int dp = instance.group_size();
+  const int dr = instance.reviewer_workload();
+  const int stage_cap = (dr + dp - 1) / dp;  // ⌈δr/δp⌉
+
+  for (int stage = 0; stage < dp; ++stage) {
+    if (deadline.Expired()) {
+      return Status::ResourceExhausted("SDGA time limit");
+    }
+    std::vector<int> capacity(R);
+    for (int r = 0; r < R; ++r) {
+      const int remaining_total = dr - assignment.LoadOf(r);
+      capacity[r] = options.confine_stage_workload
+                        ? std::min(stage_cap, remaining_total)
+                        : remaining_total;
+    }
+    Status stage_status =
+        RunStage(instance, capacity, options.backend, &assignment);
+    if (!stage_status.ok() &&
+        stage_status.code() == StatusCode::kInfeasible &&
+        options.confine_stage_workload) {
+      // When δp ∤ δr, the ⌈δr/δp⌉ cap can strand capacity in tail stages
+      // (Σ min(cap, δr - load) < P even though Σ (δr - load) >= P). The
+      // general-case ratio proof (Theorem 2) already discards the last
+      // stage's contribution, so relaxing the cap to the full remaining
+      // workload keeps the 1/2 guarantee intact.
+      for (int r = 0; r < R; ++r) capacity[r] = dr - assignment.LoadOf(r);
+      stage_status = RunStage(instance, capacity, options.backend,
+                              &assignment);
+    }
+    WGRAP_RETURN_IF_ERROR(stage_status);
+  }
+  WGRAP_RETURN_IF_ERROR(assignment.ValidateComplete());
+  return assignment;
+}
+
+Result<Assignment> SolveCraSdgaSra(const Instance& instance,
+                                   const SdgaOptions& sdga_options,
+                                   const SraOptions& sra_options) {
+  auto sdga = SolveCraSdga(instance, sdga_options);
+  if (!sdga.ok()) return sdga.status();
+  return RefineSra(instance, *sdga, sra_options);
+}
+
+}  // namespace wgrap::core

@@ -1,0 +1,115 @@
+// Stochastic Refinement Algorithm (SRA) — Algorithm 3 / Sec. 4.4.
+//
+// Each round removes exactly one reviewer from every paper — sampled with
+// probability proportional to 1 - P(r|p), where P(r|p) is the data-driven
+// suitability model of Eq. 9 with the exponential decay and 1/R floor of
+// Eq. 10 — and completes the assignment with one Stage-WGRAP linear
+// assignment (the same machinery as SDGA's stages). The best assignment
+// seen is kept; the process stops after ω rounds without improvement.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/cra.h"
+
+namespace wgrap::core {
+
+// Defined in cra_sdga.cc.
+Status SolveStageAssignment(const Instance& instance,
+                            const std::vector<int>& capacity,
+                            LapBackend backend, Assignment* assignment);
+
+Result<Assignment> RefineSra(const Instance& instance,
+                             const Assignment& initial,
+                             const SraOptions& options) {
+  if (options.convergence_window <= 0) {
+    return Status::InvalidArgument("convergence_window must be > 0");
+  }
+  WGRAP_RETURN_IF_ERROR(initial.ValidateComplete());
+
+  const int P = instance.num_papers();
+  const int R = instance.num_reviewers();
+  Stopwatch watch;
+  Deadline deadline(options.time_limit_seconds);
+  Rng rng(options.seed);
+
+  // Pair scores c(r→, p→) and per-reviewer totals Σ_p' c(r→, p'→) (the
+  // TF-IDF-style denominator of Eq. 9). O(PR) precomputation.
+  Matrix pair_score(P, R);
+  std::vector<double> reviewer_total(R, 0.0);
+  for (int p = 0; p < P; ++p) {
+    for (int r = 0; r < R; ++r) {
+      const double s = instance.PairUtility(r, p);
+      pair_score(p, r) = s;
+      reviewer_total[r] += s;
+    }
+  }
+
+  Assignment current = initial;
+  Assignment best = initial;
+  if (options.trace) options.trace(watch.ElapsedSeconds(), best.TotalScore());
+
+  int rounds_without_improvement = 0;
+  std::vector<double> removal_weight;
+  for (int iteration = 0;
+       iteration < options.max_iterations &&
+       rounds_without_improvement < options.convergence_window &&
+       !deadline.Expired();
+       ++iteration) {
+    const double decay = std::exp(-options.decay_lambda * iteration);
+    // Removal phase: drop one reviewer per paper, favouring low P(r|p).
+    for (int p = 0; p < P; ++p) {
+      const std::vector<int> group = current.GroupFor(p);  // copy: mutating
+      removal_weight.resize(group.size());
+      double total = 0.0;
+      for (size_t i = 0; i < group.size(); ++i) {
+        const int r = group[i];
+        double suitability;
+        if (options.uniform_probability) {
+          suitability = 1.0 / R;
+        } else {
+          const double data_term =
+              reviewer_total[r] > 0.0
+                  ? decay * pair_score(p, r) / reviewer_total[r]
+                  : 0.0;
+          suitability = std::max(1.0 / R, data_term);  // Eq. 10
+        }
+        removal_weight[i] = std::max(0.0, 1.0 - suitability);
+        total += removal_weight[i];
+      }
+      int victim;
+      if (total <= 0.0) {
+        victim = static_cast<int>(rng.NextBounded(group.size()));
+      } else {
+        victim = rng.SampleDiscrete(removal_weight);
+        WGRAP_CHECK(victim >= 0);
+      }
+      WGRAP_RETURN_IF_ERROR(current.Remove(p, group[victim]));
+    }
+    // Completion phase: one Stage-WGRAP linear assignment over the freed
+    // slots (capacity = remaining workload, always feasible because every
+    // removal freed exactly one unit).
+    std::vector<int> capacity(R);
+    for (int r = 0; r < R; ++r) {
+      capacity[r] = instance.reviewer_workload() - current.LoadOf(r);
+    }
+    WGRAP_RETURN_IF_ERROR(SolveStageAssignment(
+        instance, capacity, LapBackend::kMinCostFlow, &current));
+    if (current.TotalScore() > best.TotalScore() + 1e-12) {
+      best = current;
+      rounds_without_improvement = 0;
+    } else {
+      ++rounds_without_improvement;
+    }
+    if (options.trace) {
+      options.trace(watch.ElapsedSeconds(), best.TotalScore());
+    }
+  }
+  WGRAP_RETURN_IF_ERROR(best.ValidateComplete());
+  return best;
+}
+
+}  // namespace wgrap::core

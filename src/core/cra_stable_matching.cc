@@ -1,0 +1,105 @@
+// Stable-Matching baseline (SM in Sec. 5.2) — Gale–Shapley college
+// admissions [13]: every paper fields δp "slots" proposing down the paper's
+// preference list (reviewers ordered by c(r→, p→)); each reviewer holds at
+// most δr proposals, evicting the least-preferred one when over quota, and
+// never holds two slots of the same paper. Like ILP/ARAP, SM scores pairs
+// individually and is blind to group coverage — the drawback WGRAP fixes.
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/cra.h"
+#include "core/repair.h"
+
+namespace wgrap::core {
+
+Result<Assignment> SolveCraStableMatching(const Instance& instance,
+                                          const CraOptions& options) {
+  Deadline deadline(options.time_limit_seconds);
+  const int P = instance.num_papers();
+  const int R = instance.num_reviewers();
+  const int dp = instance.group_size();
+  const int dr = instance.reviewer_workload();
+
+  // Per-paper preference lists over eligible reviewers, best first.
+  std::vector<std::vector<int>> preference(P);
+  for (int p = 0; p < P; ++p) {
+    auto& prefs = preference[p];
+    for (int r = 0; r < R; ++r) {
+      if (!instance.IsConflict(r, p)) prefs.push_back(r);
+    }
+    std::sort(prefs.begin(), prefs.end(), [&](int a, int b) {
+      const double sa = instance.PairUtility(a, p);
+      const double sb = instance.PairUtility(b, p);
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+  }
+
+  // Reviewer state: held (score, paper) pairs, worst first in a set.
+  struct Held {
+    double score;
+    int paper;
+    bool operator<(const Held& other) const {
+      if (score != other.score) return score < other.score;
+      return paper < other.paper;
+    }
+  };
+  std::vector<std::set<Held>> held(R);
+  std::vector<std::vector<char>> holds_paper(R, std::vector<char>(P, 0));
+
+  // Slot state: (paper, next index into the preference list). A paper with
+  // k free slots appears k times in the queue.
+  std::vector<int> next_choice(P, 0);
+  std::deque<int> free_slots;
+  for (int p = 0; p < P; ++p) {
+    for (int s = 0; s < dp; ++s) free_slots.push_back(p);
+  }
+
+  while (!free_slots.empty()) {
+    if (deadline.Expired()) {
+      return Status::ResourceExhausted("stable matching time limit");
+    }
+    const int p = free_slots.front();
+    free_slots.pop_front();
+    while (next_choice[p] < static_cast<int>(preference[p].size())) {
+      const int r = preference[p][next_choice[p]++];
+      if (holds_paper[r][p]) continue;  // one slot per (r, p)
+      const double score = instance.PairUtility(r, p);
+      if (static_cast<int>(held[r].size()) < dr) {
+        held[r].insert({score, p});
+        holds_paper[r][p] = 1;
+        break;
+      }
+      const Held worst = *held[r].begin();
+      if (worst.score < score) {
+        // Evict the worst proposal; its slot re-enters the queue.
+        held[r].erase(held[r].begin());
+        holds_paper[r][worst.paper] = 0;
+        free_slots.push_back(worst.paper);
+        held[r].insert({score, p});
+        holds_paper[r][p] = 1;
+        break;
+      }
+    }
+    // A slot whose preference list is exhausted (possible only because of
+    // the one-slot-per-paper rule) is left for the fallback pass below.
+  }
+
+  Assignment assignment(&instance);
+  for (int r = 0; r < R; ++r) {
+    for (const Held& h : held[r]) {
+      WGRAP_RETURN_IF_ERROR(assignment.Add(h.paper, r));
+    }
+  }
+  // Complete any unplaced slots (the one-slot-per-paper rule can strand a
+  // slot under the tight minimal-workload setting) via swap repair.
+  WGRAP_RETURN_IF_ERROR(CompleteWithSwapRepair(instance, &assignment));
+  WGRAP_RETURN_IF_ERROR(assignment.ValidateComplete());
+  return assignment;
+}
+
+}  // namespace wgrap::core

@@ -1,0 +1,92 @@
+#include "core/instance.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace wgrap::core {
+
+int Instance::MinimalWorkload(int num_papers, int num_reviewers,
+                              int group_size) {
+  WGRAP_CHECK(num_reviewers > 0);
+  const int64_t demand = static_cast<int64_t>(num_papers) * group_size;
+  return static_cast<int>((demand + num_reviewers - 1) / num_reviewers);
+}
+
+Result<Instance> Instance::FromDataset(const data::RapDataset& dataset,
+                                       const InstanceParams& params) {
+  WGRAP_RETURN_IF_ERROR(dataset.Validate());
+  if (params.group_size <= 0) {
+    return Status::InvalidArgument("group_size must be > 0");
+  }
+  if (dataset.reviewers.empty()) {
+    return Status::InvalidArgument("no reviewers");
+  }
+  if (params.group_size > dataset.num_reviewers()) {
+    return Status::InvalidArgument("group_size exceeds reviewer count");
+  }
+
+  Instance instance;
+  instance.group_size_ = params.group_size;
+  instance.scoring_ = params.scoring;
+  const int R = dataset.num_reviewers();
+  const int P = dataset.num_papers();
+  const int T = dataset.num_topics;
+  instance.reviewer_workload_ =
+      params.reviewer_workload > 0
+          ? params.reviewer_workload
+          : MinimalWorkload(P, R, params.group_size);
+  const int64_t capacity =
+      static_cast<int64_t>(R) * instance.reviewer_workload_;
+  const int64_t demand = static_cast<int64_t>(P) * params.group_size;
+  if (capacity < demand) {
+    return Status::InvalidArgument(
+        StrFormat("R*dr = %lld < P*dp = %lld: not enough review capacity",
+                  static_cast<long long>(capacity),
+                  static_cast<long long>(demand)));
+  }
+
+  instance.reviewers_ = Matrix(R, T);
+  for (int r = 0; r < R; ++r) {
+    for (int t = 0; t < T; ++t) {
+      instance.reviewers_(r, t) = dataset.reviewers[r].topics[t];
+    }
+  }
+  instance.papers_ = Matrix(P, T);
+  instance.paper_mass_.resize(P);
+  for (int p = 0; p < P; ++p) {
+    double mass = 0.0;
+    for (int t = 0; t < T; ++t) {
+      instance.papers_(p, t) = dataset.papers[p].topics[t];
+      mass += dataset.papers[p].topics[t];
+    }
+    instance.paper_mass_[p] = mass;
+  }
+  instance.conflicts_.assign(static_cast<size_t>(P) * R, 0);
+  return instance;
+}
+
+Status Instance::SetBids(Matrix bids, double weight) {
+  if (bids.rows() != num_papers() || bids.cols() != num_reviewers()) {
+    return Status::InvalidArgument("bid matrix must be P x R");
+  }
+  if (weight < 0.0) return Status::InvalidArgument("negative bid weight");
+  for (int p = 0; p < bids.rows(); ++p) {
+    for (int r = 0; r < bids.cols(); ++r) {
+      const double b = bids(p, r);
+      if (b < 0.0 || b > 1.0) {
+        return Status::InvalidArgument("bids must lie in [0, 1]");
+      }
+    }
+  }
+  bids_ = std::move(bids);
+  bid_weight_ = weight;
+  return Status::OK();
+}
+
+void Instance::AddConflict(int reviewer, int paper) {
+  WGRAP_CHECK(reviewer >= 0 && reviewer < num_reviewers());
+  WGRAP_CHECK(paper >= 0 && paper < num_papers());
+  conflicts_[static_cast<size_t>(paper) * num_reviewers() + reviewer] = 1;
+}
+
+}  // namespace wgrap::core

@@ -1,0 +1,104 @@
+// A WGRAP problem instance (Definition 3): reviewer and paper topic
+// matrices, the group-size constraint δp, the reviewer workload δr, the
+// scoring function, and conflicts of interest. Instances are immutable
+// after construction apart from COI registration.
+#ifndef WGRAP_CORE_INSTANCE_H_
+#define WGRAP_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "core/scoring.h"
+#include "data/dataset.h"
+
+namespace wgrap::core {
+
+struct InstanceParams {
+  /// δp — reviewers per paper.
+  int group_size = 3;
+  /// δr — max papers per reviewer. 0 selects the paper's default, the
+  /// minimum feasible workload ⌈P·δp/R⌉ (Sec. 5.2).
+  int reviewer_workload = 0;
+  ScoringFunction scoring = ScoringFunction::kWeightedCoverage;
+};
+
+/// Immutable WGRAP instance over dense topic matrices.
+class Instance {
+ public:
+  /// Validates the dataset and copies vectors into dense matrices. Fails if
+  /// R·δr < P·δp (not enough review capacity, Sec. 2.2 assumption).
+  static Result<Instance> FromDataset(const data::RapDataset& dataset,
+                                      const InstanceParams& params);
+
+  int num_reviewers() const { return reviewers_.rows(); }
+  int num_papers() const { return papers_.rows(); }
+  int num_topics() const { return reviewers_.cols(); }
+  int group_size() const { return group_size_; }
+  int reviewer_workload() const { return reviewer_workload_; }
+  ScoringFunction scoring() const { return scoring_; }
+
+  const double* ReviewerVector(int r) const { return reviewers_.Row(r); }
+  const double* PaperVector(int p) const { return papers_.Row(p); }
+  /// Σ_t p→[t], the normalization denominator of Eq. 1.
+  double PaperMass(int p) const { return paper_mass_[p]; }
+
+  /// c(r→, p→) for a single reviewer (Definition 1).
+  double PairScore(int r, int p) const {
+    return ScoreVectors(scoring_, ReviewerVector(r), PaperVector(p),
+                        num_topics(), paper_mass_[p]);
+  }
+
+  /// Registers a conflict of interest; (r, p) then never appears in any
+  /// solver's output (Sec. 4.3 "Supporting COIs").
+  void AddConflict(int reviewer, int paper);
+
+  /// Installs reviewer bids (the paper's Sec. 6 future-work extension).
+  /// `bids` is P x R with entries in [0, 1] (willingness to review);
+  /// `weight` trades off coverage vs preference. The objective becomes
+  ///   Σ_p [ c(g→, p→) + weight · Σ_{r∈A[p]} bid(p, r) / δp ],
+  /// whose bid term is modular, so it stays submodular and every CRA
+  /// guarantee (Theorems 1-2) carries over. CRA solvers honour bids via
+  /// Assignment scoring; JRA solvers optimize pure coverage.
+  Status SetBids(Matrix bids, double weight);
+
+  bool has_bids() const { return bid_weight_ > 0.0; }
+  double bid_weight() const { return bid_weight_; }
+
+  /// Per-slot utility bonus of assigning r to p (0 without bids).
+  double BidBonus(int reviewer, int paper) const {
+    return has_bids() ? bid_weight_ * bids_(paper, reviewer) / group_size_
+                      : 0.0;
+  }
+
+  /// c(r→, p→) plus the bid bonus — the pair utility used by the
+  /// pair-centric baselines (SM, ILP-ARAP) and the SRA probability model.
+  double PairUtility(int reviewer, int paper) const {
+    return PairScore(reviewer, paper) + BidBonus(reviewer, paper);
+  }
+  bool IsConflict(int reviewer, int paper) const {
+    return conflicts_[static_cast<size_t>(paper) * num_reviewers() + reviewer];
+  }
+
+  /// The paper's default minimum workload ⌈P·δp/R⌉ for this instance size.
+  static int MinimalWorkload(int num_papers, int num_reviewers,
+                             int group_size);
+
+ private:
+  Instance() = default;
+
+  Matrix reviewers_;  // R x T
+  Matrix papers_;     // P x T
+  Matrix bids_;       // P x R when has_bids()
+  double bid_weight_ = 0.0;
+  std::vector<double> paper_mass_;
+  std::vector<uint8_t> conflicts_;  // P x R, row-major by paper
+  int group_size_ = 0;
+  int reviewer_workload_ = 0;
+  ScoringFunction scoring_ = ScoringFunction::kWeightedCoverage;
+};
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_INSTANCE_H_

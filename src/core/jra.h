@@ -1,0 +1,70 @@
+// Journal Reviewer Assignment (Definition 6): find the δp-subset of
+// reviewers maximizing c(g→, p→) for a single paper. NP-hard (Lemma 1);
+// four solvers are provided, mirroring Sec. 3 / Sec. 5.1 of the paper:
+//
+//   SolveJraBruteForce — enumerate all C(R, δp) groups (the BFS baseline).
+//   SolveJraBba        — the paper's Branch-and-Bound Algorithm (Alg. 1).
+//   SolveJraBbaTopK    — BBA returning the k best groups (Fig. 15).
+//   SolveJraIlp        — MIP formulation on the lp/ simplex + B&B solver.
+//   SolveJraCp         — generic CP search (the CPLEX-CP comparison).
+#ifndef WGRAP_CORE_JRA_H_
+#define WGRAP_CORE_JRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/instance.h"
+
+namespace wgrap::core {
+
+struct JraOptions {
+  double time_limit_seconds = 0.0;  // 0 = unlimited
+  int64_t max_nodes = 0;            // 0 = unlimited (BFS: group evaluations)
+};
+
+struct JraResult {
+  std::vector<int> group;  // reviewer ids, size δp
+  double score = 0.0;      // c(g→, p→)
+  int64_t nodes_explored = 0;
+  bool proven_optimal = true;
+  double seconds = 0.0;
+};
+
+/// BBA-specific switches (for the ablation study; both on reproduces
+/// Algorithm 1 exactly).
+struct BbaOptions : JraOptions {
+  /// Use the cursor upper bound (Eq. 3) to prune. Off = exhaustive
+  /// backtracking in cursor order.
+  bool use_bounding = true;
+  /// Pick the max-marginal-gain cursor reviewer when branching
+  /// (Definition 8). Off = first non-nil cursor.
+  bool use_gain_branching = true;
+};
+
+Result<JraResult> SolveJraBruteForce(const Instance& instance, int paper,
+                                     const JraOptions& options = {});
+
+Result<JraResult> SolveJraBba(const Instance& instance, int paper,
+                              const BbaOptions& options = {});
+
+/// Top-k variant: `bsf` becomes a size-k heap (Sec. 3, final remark).
+/// Results are sorted by score, best first.
+Result<std::vector<JraResult>> SolveJraBbaTopK(const Instance& instance,
+                                               int paper, int k,
+                                               const BbaOptions& options = {});
+
+Result<JraResult> SolveJraIlp(const Instance& instance, int paper,
+                              const JraOptions& options = {});
+
+Result<JraResult> SolveJraCp(const Instance& instance, int paper,
+                             const JraOptions& options = {});
+
+/// Scores an explicit reviewer group against a paper (test helper and the
+/// shared evaluation path of all JRA solvers).
+double ScoreGroup(const Instance& instance, int paper,
+                  const std::vector<int>& group);
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_JRA_H_

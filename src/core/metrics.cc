@@ -1,0 +1,73 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace wgrap::core {
+
+Result<Assignment> BuildIdealAssignment(const Instance& instance) {
+  Assignment ideal(&instance);
+  const int R = instance.num_reviewers();
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    for (int pick = 0; pick < instance.group_size(); ++pick) {
+      int best = -1;
+      double best_gain = -1.0;
+      for (int r = 0; r < R; ++r) {
+        if (ideal.Contains(p, r) || instance.IsConflict(r, p)) continue;
+        const double gain = ideal.MarginalGain(p, r);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = r;
+        }
+      }
+      if (best < 0) return Status::Infeasible("not enough eligible reviewers");
+      WGRAP_RETURN_IF_ERROR(ideal.AddUnchecked(p, best));
+    }
+  }
+  return ideal;
+}
+
+double OptimalityRatio(const Assignment& assignment, const Assignment& ideal) {
+  const double denom = ideal.TotalScore();
+  WGRAP_CHECK(denom > 0.0);
+  return assignment.TotalScore() / denom;
+}
+
+Superiority SuperiorityRatio(const Assignment& x, const Assignment& y) {
+  const int P = x.instance().num_papers();
+  WGRAP_CHECK(P == y.instance().num_papers());
+  constexpr double kEps = 1e-12;
+  Superiority out;
+  int better_or_equal = 0, ties = 0;
+  for (int p = 0; p < P; ++p) {
+    const double sx = x.PaperScore(p);
+    const double sy = y.PaperScore(p);
+    if (sx >= sy - kEps) ++better_or_equal;
+    if (std::abs(sx - sy) <= kEps) ++ties;
+  }
+  out.better_or_equal = static_cast<double>(better_or_equal) / P;
+  out.tie = static_cast<double>(ties) / P;
+  return out;
+}
+
+double LowestCoverage(const Assignment& assignment) {
+  double lowest = 1e300;
+  for (int p = 0; p < assignment.instance().num_papers(); ++p) {
+    lowest = std::min(lowest, assignment.PaperScore(p));
+  }
+  return lowest;
+}
+
+double SdgaRatioIntegral(int group_size) {
+  WGRAP_CHECK(group_size >= 1);
+  return 1.0 - std::pow(1.0 - 1.0 / group_size, group_size);
+}
+
+double SdgaRatioGeneral(int group_size) {
+  WGRAP_CHECK(group_size >= 1);
+  return 1.0 - std::pow(1.0 - 1.0 / group_size, group_size - 1);
+}
+
+}  // namespace wgrap::core

@@ -1,0 +1,36 @@
+#include "core/reassign.h"
+
+#include <vector>
+
+#include "core/repair.h"
+
+namespace wgrap::core {
+
+Status ReassignPaper(const Instance& instance, int paper,
+                     Assignment* assignment) {
+  if (paper < 0 || paper >= instance.num_papers()) {
+    return Status::OutOfRange("paper id out of range");
+  }
+  const std::vector<int> old_group = assignment->GroupFor(paper);  // copy
+  for (int r : old_group) {
+    WGRAP_RETURN_IF_ERROR(assignment->Remove(paper, r));
+  }
+  // CompleteWithSwapRepair fills under-δp groups greedily by marginal gain
+  // (direct adds first, swaps only when stuck) — exactly the refill we
+  // want, and it may legitimately re-pick members of the old group.
+  return CompleteWithSwapRepair(instance, assignment);
+}
+
+Status DeclareConflictAndRepair(Instance* instance, int reviewer, int paper,
+                                Assignment* assignment) {
+  if (paper < 0 || paper >= instance->num_papers() || reviewer < 0 ||
+      reviewer >= instance->num_reviewers()) {
+    return Status::OutOfRange("reviewer or paper id out of range");
+  }
+  instance->AddConflict(reviewer, paper);
+  if (!assignment->Contains(paper, reviewer)) return Status::OK();
+  WGRAP_RETURN_IF_ERROR(assignment->Remove(paper, reviewer));
+  return CompleteWithSwapRepair(*instance, assignment);
+}
+
+}  // namespace wgrap::core

@@ -1,0 +1,31 @@
+// Post-hoc assignment maintenance — the operations a program chair needs
+// after the initial solve: a reviewer declares a late conflict, or the
+// chair wants to re-optimize one paper's group without disturbing the rest
+// of the assignment more than necessary.
+#ifndef WGRAP_CORE_REASSIGN_H_
+#define WGRAP_CORE_REASSIGN_H_
+
+#include "common/status.h"
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace wgrap::core {
+
+/// Rebuilds paper `paper`'s group from scratch: removes its current
+/// reviewers and refills greedily by marginal gain from spare capacity,
+/// falling back to one-step swaps (core/repair) if capacity is tight.
+/// Never decreases the paper's own score below what greedy refill achieves;
+/// other papers change only when a swap is required.
+Status ReassignPaper(const Instance& instance, int paper,
+                     Assignment* assignment);
+
+/// Handles a late conflict declaration: registers (reviewer, paper) as a
+/// COI on the instance and, if the pair is currently assigned, replaces
+/// that reviewer (best-gain spare reviewer, or a one-step swap). The rest
+/// of the assignment is left untouched.
+Status DeclareConflictAndRepair(Instance* instance, int reviewer, int paper,
+                                Assignment* assignment);
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_REASSIGN_H_

@@ -1,0 +1,99 @@
+#include "core/repair.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace wgrap::core {
+
+namespace {
+
+// Adds the best spare-capacity reviewer to `paper`; returns false when none
+// is eligible.
+bool TryDirectAdd(const Instance& instance, Assignment* assignment,
+                  int paper) {
+  int best = -1;
+  double best_gain = -1.0;
+  for (int r = 0; r < instance.num_reviewers(); ++r) {
+    if (assignment->LoadOf(r) >= instance.reviewer_workload() ||
+        assignment->Contains(paper, r) || instance.IsConflict(r, paper)) {
+      continue;
+    }
+    const double gain = assignment->MarginalGain(paper, r);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best = r;
+    }
+  }
+  if (best < 0) return false;
+  WGRAP_CHECK(assignment->Add(paper, best).ok());
+  return true;
+}
+
+// One-step swap: take reviewer r from some paper q (r not in `paper`'s
+// group), give r to `paper`, and backfill q with a spare reviewer r'.
+// Picks the (q, r, r') triple with the best total score delta.
+bool TrySwapRepair(const Instance& instance, Assignment* assignment,
+                   int paper) {
+  // Spare reviewers eligible as backfill.
+  std::vector<int> spare;
+  for (int r = 0; r < instance.num_reviewers(); ++r) {
+    if (assignment->LoadOf(r) < instance.reviewer_workload()) {
+      spare.push_back(r);
+    }
+  }
+  if (spare.empty()) return false;
+
+  struct Move {
+    int donor_paper = -1;
+    int moved = -1;
+    int backfill = -1;
+    double delta = -1e300;
+  };
+  Move best;
+  for (int q = 0; q < instance.num_papers(); ++q) {
+    if (q == paper) continue;
+    const std::vector<int> donors = assignment->GroupFor(q);  // copy
+    for (int r : donors) {
+      if (assignment->Contains(paper, r) || instance.IsConflict(r, paper)) {
+        continue;
+      }
+      // Evaluate: remove (q, r); gain for paper from r; best backfill r'.
+      WGRAP_CHECK(assignment->Remove(q, r).ok());
+      const double gain_paper = assignment->MarginalGain(paper, r);
+      for (int rp : spare) {
+        if (rp == r || assignment->Contains(q, rp) ||
+            instance.IsConflict(rp, q) ||
+            assignment->LoadOf(rp) >= instance.reviewer_workload()) {
+          continue;
+        }
+        const double delta = gain_paper + assignment->MarginalGain(q, rp);
+        if (delta > best.delta) best = {q, r, rp, delta};
+      }
+      WGRAP_CHECK(assignment->Add(q, r).ok());
+    }
+  }
+  if (best.donor_paper < 0) return false;
+  WGRAP_CHECK(assignment->Remove(best.donor_paper, best.moved).ok());
+  WGRAP_CHECK(assignment->Add(best.donor_paper, best.backfill).ok());
+  WGRAP_CHECK(assignment->Add(paper, best.moved).ok());
+  return true;
+}
+
+}  // namespace
+
+Status CompleteWithSwapRepair(const Instance& instance,
+                              Assignment* assignment) {
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    while (static_cast<int>(assignment->GroupFor(p).size()) <
+           instance.group_size()) {
+      if (TryDirectAdd(instance, assignment, p)) continue;
+      if (TrySwapRepair(instance, assignment, p)) continue;
+      return Status::Infeasible(
+          "swap repair could not complete the assignment");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wgrap::core

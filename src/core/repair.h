@@ -1,0 +1,28 @@
+// Swap-repair completion for partially built assignments.
+//
+// Construction heuristics that commit pairs greedily (SM's deferred
+// acceptance with the one-slot-per-paper rule, BRGG's whole-group commits,
+// plain Greedy) can strand a paper under tight capacity (the Sec. 5.2
+// minimal-workload setting δr = ⌈P·δp/R⌉): every reviewer with spare
+// workload is already in the paper's group. Global capacity still suffices,
+// so a one-step swap always resolves it in practice: move some assigned
+// reviewer r from another paper q to the stranded paper, backfilling q with
+// a reviewer that has spare capacity.
+#ifndef WGRAP_CORE_REPAIR_H_
+#define WGRAP_CORE_REPAIR_H_
+
+#include "common/status.h"
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace wgrap::core {
+
+/// Fills every under-δp group in `assignment`, preferring direct additions
+/// by marginal gain and falling back to the best one-step swap. Returns
+/// kInfeasible if a slot cannot be filled even with swaps.
+Status CompleteWithSwapRepair(const Instance& instance,
+                              Assignment* assignment);
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_REPAIR_H_

@@ -1,0 +1,58 @@
+// Assignment-quality scoring functions (Definition 1 and Appendix B,
+// Table 5 of the paper). All four are submodular set functions over
+// reviewer groups: they are sums of per-topic contributions (C.1), each
+// monotone in the reviewer/group expertise (C.2), so the SDGA approximation
+// guarantee (Theorem 1/2) holds for every choice.
+#ifndef WGRAP_CORE_SCORING_H_
+#define WGRAP_CORE_SCORING_H_
+
+#include <string>
+
+namespace wgrap::core {
+
+/// Which per-topic contribution f(r[t], p[t]) to use (Table 5).
+enum class ScoringFunction {
+  /// min{r[t], p[t]} — the paper's default weighted coverage c.
+  kWeightedCoverage,
+  /// r[t] if r[t] >= p[t] else 0 — winner-takes-all on the reviewer side.
+  kReviewerCoverage,
+  /// p[t] if r[t] >= p[t] else 0 — winner-takes-all on the paper side.
+  kPaperCoverage,
+  /// r[t] * p[t] — dot product.
+  kDotProduct,
+};
+
+/// "c", "cR", "cP", "cD" (paper notation).
+std::string ScoringFunctionName(ScoringFunction f);
+
+/// Per-topic contribution f(r_t, p_t) of expertise r_t to paper weight p_t.
+inline double TopicContribution(ScoringFunction f, double r_t, double p_t) {
+  switch (f) {
+    case ScoringFunction::kWeightedCoverage:
+      return r_t < p_t ? r_t : p_t;
+    case ScoringFunction::kReviewerCoverage:
+      return r_t >= p_t ? r_t : 0.0;
+    case ScoringFunction::kPaperCoverage:
+      return r_t >= p_t ? p_t : 0.0;
+    case ScoringFunction::kDotProduct:
+      return r_t * p_t;
+  }
+  return 0.0;
+}
+
+/// c(r→, p→): sum of per-topic contributions normalized by the paper mass
+/// Σ_t p[t] (Eq. 1). `expertise` may be a single reviewer vector or a group
+/// max-vector (Definition 2) — both length `num_topics`.
+double ScoreVectors(ScoringFunction f, const double* expertise,
+                    const double* paper, int num_topics, double paper_mass);
+
+/// Marginal gain of raising the group expertise from `group` to
+/// max(group, reviewer) element-wise (Definition 8), without materializing
+/// the merged vector.
+double MarginalGainVectors(ScoringFunction f, const double* group,
+                           const double* reviewer, const double* paper,
+                           int num_topics, double paper_mass);
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_SCORING_H_

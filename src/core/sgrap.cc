@@ -1,0 +1,67 @@
+#include "core/sgrap.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace wgrap::core {
+
+namespace {
+
+std::vector<double> BinarizeVector(const std::vector<double>& weights,
+                                   const BinarizeOptions& options) {
+  const double max_weight = *std::max_element(weights.begin(), weights.end());
+  WGRAP_CHECK(max_weight > 0.0);
+  const double cut = options.relative_threshold * max_weight;
+  // Collect qualifying topics, strongest first when capping.
+  std::vector<int> selected;
+  for (size_t t = 0; t < weights.size(); ++t) {
+    if (weights[t] >= cut) selected.push_back(static_cast<int>(t));
+  }
+  if (options.max_topics_per_entity > 0 &&
+      static_cast<int>(selected.size()) > options.max_topics_per_entity) {
+    std::sort(selected.begin(), selected.end(), [&](int a, int b) {
+      if (weights[a] != weights[b]) return weights[a] > weights[b];
+      return a < b;
+    });
+    selected.resize(options.max_topics_per_entity);
+  }
+  std::vector<double> binary(weights.size(), 0.0);
+  for (int t : selected) binary[t] = 1.0;
+  return binary;
+}
+
+}  // namespace
+
+Result<data::RapDataset> BinarizeDataset(const data::RapDataset& dataset,
+                                         const BinarizeOptions& options) {
+  WGRAP_RETURN_IF_ERROR(dataset.Validate());
+  if (options.relative_threshold < 0.0 || options.relative_threshold > 1.0) {
+    return Status::InvalidArgument("relative_threshold must be in [0, 1]");
+  }
+  if (options.max_topics_per_entity < 0) {
+    return Status::InvalidArgument("max_topics_per_entity must be >= 0");
+  }
+  data::RapDataset binary = dataset;
+  for (auto& reviewer : binary.reviewers) {
+    reviewer.topics = BinarizeVector(reviewer.topics, options);
+  }
+  for (auto& paper : binary.papers) {
+    paper.topics = BinarizeVector(paper.topics, options);
+  }
+  WGRAP_RETURN_IF_ERROR(binary.Validate());
+  return binary;
+}
+
+double SetCoverageRatio(const std::vector<int>& group_topics,
+                        const std::vector<int>& paper_topics) {
+  WGRAP_CHECK(!paper_topics.empty());
+  const std::set<int> group(group_topics.begin(), group_topics.end());
+  const std::set<int> paper(paper_topics.begin(), paper_topics.end());
+  int covered = 0;
+  for (int t : paper) covered += group.count(t) > 0;
+  return static_cast<double>(covered) / static_cast<double>(paper.size());
+}
+
+}  // namespace wgrap::core

@@ -1,0 +1,40 @@
+// SGRAP — the Set-coverage Group-based RAP of Long et al. [22] — as the
+// special case of WGRAP the paper derives in Sec. 2.3: transform topic sets
+// into binary T-dimensional vectors and the WGRAP coverage function becomes
+// exactly the set-coverage ratio |T_g ∩ T_p| / |T_p|. These helpers
+// binarize weighted datasets so every WGRAP solver doubles as an SGRAP
+// solver (including the improved 1/2 ratio the paper's abstract highlights
+// over [22]'s 1/3).
+#ifndef WGRAP_CORE_SGRAP_H_
+#define WGRAP_CORE_SGRAP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace wgrap::core {
+
+struct BinarizeOptions {
+  /// A topic enters an entity's topic set when its weight is at least
+  /// `threshold` times the entity's maximum weight.
+  double relative_threshold = 0.25;
+  /// Upper bound on topic-set size (0 = unlimited); keeps sets focused the
+  /// way [22]'s extraction does.
+  int max_topics_per_entity = 0;
+};
+
+/// Converts weighted topic vectors into binary ones (the Sec. 2.3
+/// reduction). Every entity keeps at least its single strongest topic, so
+/// no vector becomes all-zero.
+Result<data::RapDataset> BinarizeDataset(const data::RapDataset& dataset,
+                                         const BinarizeOptions& options = {});
+
+/// |T_g ∩ T_p| / |T_p| on explicit topic sets — the SGRAP coverage
+/// function, for tests and direct set-based use.
+double SetCoverageRatio(const std::vector<int>& group_topics,
+                        const std::vector<int>& paper_topics);
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_SGRAP_H_

@@ -1,0 +1,26 @@
+// Umbrella header: the full public API of the WGRAP library.
+//
+// Quick start (see examples/quickstart.cc for a runnable version):
+//
+//   auto dataset = wgrap::data::GenerateConferenceDataset(
+//       wgrap::data::Area::kDatabases, 2008, {});
+//   wgrap::core::InstanceParams params;
+//   params.group_size = 3;
+//   auto instance = wgrap::core::Instance::FromDataset(*dataset, params);
+//   auto assignment = wgrap::core::SolveCraSdgaSra(*instance);
+//   printf("coverage score: %.3f\n", assignment->TotalScore());
+#ifndef WGRAP_CORE_WGRAP_H_
+#define WGRAP_CORE_WGRAP_H_
+
+#include "core/assignment.h"   // IWYU pragma: export
+#include "core/case_study.h"   // IWYU pragma: export
+#include "core/cra.h"          // IWYU pragma: export
+#include "core/instance.h"     // IWYU pragma: export
+#include "core/jra.h"          // IWYU pragma: export
+#include "core/metrics.h"      // IWYU pragma: export
+#include "core/reassign.h"     // IWYU pragma: export
+#include "core/repair.h"       // IWYU pragma: export
+#include "core/scoring.h"      // IWYU pragma: export
+#include "core/sgrap.h"        // IWYU pragma: export
+
+#endif  // WGRAP_CORE_WGRAP_H_

@@ -1,0 +1,112 @@
+#include "cp/select_k.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace wgrap::cp {
+
+namespace {
+
+class Search {
+ public:
+  Search(int n, int k, const SelectionObjective& objective,
+         const std::vector<std::pair<int, int>>& forbidden,
+         const SelectKOptions& options)
+      : n_(n), k_(k), objective_(objective), options_(options),
+        deadline_(options.time_limit_seconds), adjacency_(n) {
+    for (const auto& [a, b] : forbidden) {
+      WGRAP_CHECK(a >= 0 && a < n && b >= 0 && b < n);
+      adjacency_[a].push_back(b);
+      adjacency_[b].push_back(a);
+    }
+    blocked_.assign(n, 0);
+  }
+
+  Result<SelectKResult> Run() {
+    std::vector<int> chosen;
+    chosen.reserve(k_);
+    const Status st = Explore(&chosen, 0);
+    SelectKResult out;
+    out.nodes_explored = nodes_;
+    out.proven_optimal =
+        st.ok() || st.code() != StatusCode::kResourceExhausted;
+    if (!best_.has_value()) {
+      if (st.code() == StatusCode::kResourceExhausted) return st;
+      return Status::Infeasible("no feasible k-subset");
+    }
+    out.chosen = *best_;
+    out.objective = best_value_;
+    if (!st.ok() && st.code() == StatusCode::kResourceExhausted) {
+      out.proven_optimal = false;
+    }
+    return out;
+  }
+
+ private:
+  Status Explore(std::vector<int>* chosen, int next) {
+    if (deadline_.Expired()) return Status::ResourceExhausted("time limit");
+    if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) {
+      return Status::ResourceExhausted("node limit");
+    }
+    ++nodes_;
+
+    const int picked = static_cast<int>(chosen->size());
+    if (picked == k_) {
+      const double value = objective_.Evaluate(*chosen);
+      if (!best_.has_value() || value > best_value_) {
+        best_ = *chosen;
+        best_value_ = value;
+      }
+      return Status::OK();
+    }
+    const int remaining_needed = k_ - picked;
+    // Cardinality propagation: not enough candidates left.
+    if (n_ - next < remaining_needed) return Status::OK();
+    // Objective pruning.
+    if (best_.has_value() &&
+        objective_.Bound(*chosen, next, remaining_needed) <= best_value_) {
+      return Status::OK();
+    }
+
+    // Branch 1: include `next` (if not blocked by a forbidden pair).
+    if (blocked_[next] == 0) {
+      chosen->push_back(next);
+      for (int other : adjacency_[next]) ++blocked_[other];
+      Status st = Explore(chosen, next + 1);
+      for (int other : adjacency_[next]) --blocked_[other];
+      chosen->pop_back();
+      if (!st.ok()) return st;
+    }
+    // Branch 2: exclude `next`.
+    return Explore(chosen, next + 1);
+  }
+
+  const int n_;
+  const int k_;
+  const SelectionObjective& objective_;
+  const SelectKOptions& options_;
+  Deadline deadline_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<int> blocked_;
+  std::optional<std::vector<int>> best_;
+  double best_value_ = 0.0;
+  int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+Result<SelectKResult> SolveSelectK(
+    int n, int k, const SelectionObjective& objective,
+    const std::vector<std::pair<int, int>>& forbidden_pairs,
+    const SelectKOptions& options) {
+  if (n < 0 || k < 0) return Status::InvalidArgument("negative n or k");
+  if (k > n) return Status::Infeasible("k exceeds number of items");
+  if (k == 0) return SelectKResult{};
+  Search search(n, k, objective, forbidden_pairs, options);
+  return search.Run();
+}
+
+}  // namespace wgrap::cp

@@ -1,0 +1,63 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace wgrap::data {
+
+namespace {
+
+Status ValidateVector(const std::vector<double>& v, int num_topics,
+                      const std::string& what) {
+  if (static_cast<int>(v.size()) != num_topics) {
+    return Status::InvalidArgument(
+        StrFormat("%s has %zu topics, expected %d", what.c_str(), v.size(),
+                  num_topics));
+  }
+  double total = 0.0;
+  for (double x : v) {
+    if (x < 0.0 || !std::isfinite(x)) {
+      return Status::InvalidArgument(
+          StrFormat("%s has a negative or non-finite weight", what.c_str()));
+    }
+    total += x;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(StrFormat("%s has zero mass", what.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RapDataset::Validate() const {
+  if (num_topics <= 0) return Status::InvalidArgument("num_topics must be > 0");
+  for (size_t i = 0; i < reviewers.size(); ++i) {
+    WGRAP_RETURN_IF_ERROR(ValidateVector(reviewers[i].topics, num_topics,
+                                         StrFormat("reviewer %zu", i)));
+  }
+  for (size_t i = 0; i < papers.size(); ++i) {
+    WGRAP_RETURN_IF_ERROR(
+        ValidateVector(papers[i].topics, num_topics, StrFormat("paper %zu", i)));
+  }
+  return Status::OK();
+}
+
+void ScaleReviewersByHIndex(RapDataset* dataset) {
+  if (dataset->reviewers.empty()) return;
+  int h_min = dataset->reviewers[0].h_index;
+  int h_max = h_min;
+  for (const auto& r : dataset->reviewers) {
+    h_min = std::min(h_min, r.h_index);
+    h_max = std::max(h_max, r.h_index);
+  }
+  const double range = h_max > h_min ? h_max - h_min : 1.0;
+  for (auto& r : dataset->reviewers) {
+    const double scale = 1.0 + (r.h_index - h_min) / range;
+    for (double& w : r.topics) w *= scale;
+  }
+}
+
+}  // namespace wgrap::data

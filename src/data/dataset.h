@@ -1,0 +1,47 @@
+// Reviewer-assignment dataset entities: reviewers and papers carrying
+// T-dimensional topic vectors (Sec. 2.1 of the paper), plus metadata used by
+// case studies (names/titles) and the h-index experiment (Fig. 21(d)).
+#ifndef WGRAP_DATA_DATASET_H_
+#define WGRAP_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wgrap::data {
+
+/// A candidate reviewer: expertise vector over T topics plus metadata.
+struct ReviewerInfo {
+  std::string name;
+  std::vector<double> topics;
+  int h_index = 0;
+};
+
+/// A submitted paper: relevance vector over T topics plus metadata.
+struct PaperInfo {
+  std::string title;
+  std::vector<double> topics;
+  std::string venue;
+};
+
+/// A full RAP instance input: reviewers + papers over a shared topic space.
+struct RapDataset {
+  int num_topics = 0;
+  std::vector<ReviewerInfo> reviewers;
+  std::vector<PaperInfo> papers;
+
+  int num_reviewers() const { return static_cast<int>(reviewers.size()); }
+  int num_papers() const { return static_cast<int>(papers.size()); }
+
+  /// Checks vector dimensions, non-negativity and (near-)normalization.
+  Status Validate() const;
+};
+
+/// Scales reviewer vectors by their h-index as in Eq. 15 of the paper:
+/// r→ := (1 + (h_r - h_min) / (h_max - h_min)) * r→, mapping into [1, 2]x.
+void ScaleReviewersByHIndex(RapDataset* dataset);
+
+}  // namespace wgrap::data
+
+#endif  // WGRAP_DATA_DATASET_H_

@@ -1,0 +1,206 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace wgrap::data {
+
+namespace {
+
+// Quotes a field if it contains a comma or quote (RFC-4180 style).
+std::string QuoteField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits one CSV line honouring quoted fields.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              size_t row) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        StrFormat("row %zu: unterminated quoted field", row));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<double> ParseDouble(const std::string& field, size_t row) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("row %zu: '%s' is not a number", row, field.c_str()));
+  }
+  return v;
+}
+
+Result<int> ParseInt(const std::string& field, size_t row) {
+  auto v = ParseDouble(field, row);
+  if (!v.ok()) return v.status();
+  return static_cast<int>(*v);
+}
+
+}  // namespace
+
+std::string DatasetToCsv(const RapDataset& dataset) {
+  std::string out = "kind,name,venue,h_index";
+  for (int t = 0; t < dataset.num_topics; ++t) {
+    out += StrFormat(",t%d", t);
+  }
+  out += "\n";
+  auto append_vector = [&](const std::vector<double>& topics) {
+    for (double w : topics) out += StrFormat(",%.17g", w);
+    out += "\n";
+  };
+  for (const auto& r : dataset.reviewers) {
+    out += "reviewer," + QuoteField(r.name) + "," +
+           StrFormat(",%d", r.h_index);
+    append_vector(r.topics);
+  }
+  for (const auto& p : dataset.papers) {
+    out += "paper," + QuoteField(p.title) + "," + QuoteField(p.venue) + ",0";
+    append_vector(p.topics);
+  }
+  return out;
+}
+
+Result<RapDataset> DatasetFromCsv(const std::string& csv) {
+  std::istringstream stream(csv);
+  std::string line;
+  RapDataset dataset;
+  size_t row = 0;
+  int num_topics = -1;
+  while (std::getline(stream, line)) {
+    ++row;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line, row);
+    if (!fields.ok()) return fields.status();
+    if (row == 1) {
+      if (fields->size() < 5 || (*fields)[0] != "kind") {
+        return Status::InvalidArgument("missing or malformed header row");
+      }
+      num_topics = static_cast<int>(fields->size()) - 4;
+      dataset.num_topics = num_topics;
+      continue;
+    }
+    if (static_cast<int>(fields->size()) != num_topics + 4) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: expected %d fields, got %zu", row,
+                    num_topics + 4, fields->size()));
+    }
+    std::vector<double> topics(num_topics);
+    for (int t = 0; t < num_topics; ++t) {
+      auto v = ParseDouble((*fields)[4 + t], row);
+      if (!v.ok()) return v.status();
+      topics[t] = *v;
+    }
+    const std::string& kind = (*fields)[0];
+    if (kind == "reviewer") {
+      auto h = ParseInt((*fields)[3], row);
+      if (!h.ok()) return h.status();
+      dataset.reviewers.push_back({(*fields)[1], std::move(topics), *h});
+    } else if (kind == "paper") {
+      dataset.papers.push_back({(*fields)[1], std::move(topics),
+                                (*fields)[2]});
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: unknown kind '%s'", row, kind.c_str()));
+    }
+  }
+  if (num_topics < 0) return Status::InvalidArgument("empty CSV");
+  WGRAP_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+Status SaveDataset(const RapDataset& dataset, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::NotFound("cannot open " + path + " for writing");
+  file << DatasetToCsv(dataset);
+  if (!file.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<RapDataset> LoadDataset(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DatasetFromCsv(buffer.str());
+}
+
+std::string AssignmentPairsToCsv(
+    const std::vector<std::pair<int, int>>& pairs) {
+  std::string out = "paper_id,reviewer_id\n";
+  for (const auto& [p, r] : pairs) {
+    out += StrFormat("%d,%d\n", p, r);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<int, int>>> AssignmentPairsFromCsv(
+    const std::string& csv) {
+  std::istringstream stream(csv);
+  std::string line;
+  std::vector<std::pair<int, int>> pairs;
+  size_t row = 0;
+  while (std::getline(stream, line)) {
+    ++row;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (row == 1) {
+      if (line != "paper_id,reviewer_id") {
+        return Status::InvalidArgument("missing assignment header row");
+      }
+      continue;
+    }
+    auto fields = SplitCsvLine(line, row);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: expected 2 fields", row));
+    }
+    auto p = ParseInt((*fields)[0], row);
+    auto r = ParseInt((*fields)[1], row);
+    if (!p.ok()) return p.status();
+    if (!r.ok()) return r.status();
+    pairs.emplace_back(*p, *r);
+  }
+  return pairs;
+}
+
+}  // namespace wgrap::data

@@ -1,0 +1,44 @@
+// CSV import/export for datasets and assignments, so a program chair can
+// bring real reviewer/paper vectors (e.g. produced by an external topic
+// model) and export the computed assignment to their conference system.
+//
+// Dataset format (one header line, then one row per entity):
+//   kind,name,venue,h_index,t0,t1,...,t{T-1}
+// where kind is "reviewer" or "paper"; reviewers leave venue empty and
+// papers leave h_index 0. Assignment format:
+//   paper_id,reviewer_id
+#ifndef WGRAP_DATA_IO_H_
+#define WGRAP_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace wgrap::data {
+
+/// Serializes the dataset into CSV (see header comment for the schema).
+std::string DatasetToCsv(const RapDataset& dataset);
+
+/// Parses a CSV produced by DatasetToCsv (or hand-written to the same
+/// schema). Fails with a row-numbered message on malformed input.
+Result<RapDataset> DatasetFromCsv(const std::string& csv);
+
+/// Writes the dataset to a file.
+Status SaveDataset(const RapDataset& dataset, const std::string& path);
+
+/// Reads a dataset from a file.
+Result<RapDataset> LoadDataset(const std::string& path);
+
+/// Serializes "paper_id,reviewer_id" rows (with header).
+std::string AssignmentPairsToCsv(
+    const std::vector<std::pair<int, int>>& pairs);
+
+/// Parses assignment pairs.
+Result<std::vector<std::pair<int, int>>> AssignmentPairsFromCsv(
+    const std::string& csv);
+
+}  // namespace wgrap::data
+
+#endif  // WGRAP_DATA_IO_H_

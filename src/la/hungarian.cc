@@ -1,0 +1,104 @@
+#include "la/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace wgrap::la {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<AssignmentResult> SolveMinCostAssignment(const Matrix& cost) {
+  const int n = cost.rows();
+  const int m = cost.cols();
+  if (n == 0) return AssignmentResult{};
+  if (n > m) {
+    return Status::InvalidArgument("Hungarian requires rows <= cols");
+  }
+
+  // 1-indexed JV implementation. p[j] = row matched to column j.
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0), way(m + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = -1;
+      const double* row = cost.Row(i0 - 1);
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = row[j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      if (j1 < 0 || delta == kInf) {
+        return Status::Infeasible("no augmenting path in assignment");
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.row_to_col.assign(n, -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p[j] > 0) result.row_to_col[p[j] - 1] = j - 1;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int j = result.row_to_col[i];
+    WGRAP_CHECK(j >= 0);
+    const double c = cost.At(i, j);
+    if (c >= kForbidden / 2) {
+      return Status::Infeasible("assignment uses a forbidden pair");
+    }
+    result.objective += c;
+  }
+  return result;
+}
+
+Result<AssignmentResult> SolveMaxProfitAssignment(const Matrix& profit) {
+  Matrix cost(profit.rows(), profit.cols());
+  for (int r = 0; r < profit.rows(); ++r) {
+    for (int c = 0; c < profit.cols(); ++c) {
+      const double p = profit.At(r, c);
+      cost.At(r, c) = p <= kForbiddenProfit / 2 ? kForbidden : -p;
+    }
+  }
+  auto solved = SolveMinCostAssignment(cost);
+  if (!solved.ok()) return solved.status();
+  AssignmentResult result = std::move(solved).value();
+  result.objective = 0.0;
+  for (int i = 0; i < profit.rows(); ++i) {
+    result.objective += profit.At(i, result.row_to_col[i]);
+  }
+  return result;
+}
+
+}  // namespace wgrap::la

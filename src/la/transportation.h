@@ -1,0 +1,48 @@
+// Capacitated max-profit assignment ("transportation") on top of min-cost
+// flow: every task (paper) receives exactly one agent (reviewer), each agent
+// serves at most `capacity[a]` tasks, total profit maximized. This is the
+// per-stage subproblem of SDGA (Definition 9, Stage-WGRAP) and also solves
+// ILP-ARAP exactly because the constraint matrix is totally unimodular.
+#ifndef WGRAP_LA_TRANSPORTATION_H_
+#define WGRAP_LA_TRANSPORTATION_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace wgrap::la {
+
+/// A task<->agent matching: task_to_agent[t] is the agent serving task t.
+struct TransportationResult {
+  std::vector<int> task_to_agent;
+  double profit = 0.0;
+};
+
+/// Profit marking an infeasible (forbidden) pair, e.g. conflicts of interest.
+inline constexpr double kTransportForbidden = -1e15;
+
+/// Maximizes total profit assigning each of `profit.rows()` tasks exactly one
+/// of `profit.cols()` agents, agent a used at most capacity[a] times.
+///
+/// Profits are scaled to int64 internally (profits must lie in
+/// [-1e6, 1e6] apart from the forbidden marker). Returns
+/// Status::Infeasible when capacities cannot cover all tasks or only
+/// forbidden pairs remain for some task.
+Result<TransportationResult> SolveTransportation(
+    const Matrix& profit, const std::vector<int>& capacity);
+
+/// Variant where every task needs `demand` agents (all distinct), used by
+/// ILP-ARAP: paper p needs δp reviewers, reviewer r serves ≤ δr papers.
+/// Returns one agent list per task.
+struct MultiTransportationResult {
+  std::vector<std::vector<int>> task_to_agents;
+  double profit = 0.0;
+};
+
+Result<MultiTransportationResult> SolveTransportationWithDemand(
+    const Matrix& profit, const std::vector<int>& capacity, int demand);
+
+}  // namespace wgrap::la
+
+#endif  // WGRAP_LA_TRANSPORTATION_H_

@@ -1,0 +1,126 @@
+#include "lp/ilp.h"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace wgrap::lp {
+
+namespace {
+
+// A node is the root model plus a stack of variable bound tightenings
+// (var <= floor) / (var >= ceil) expressed as extra constraints.
+struct BranchBound {
+  int var;
+  Sense sense;
+  double rhs;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const IlpOptions& options)
+      : model_(model), options_(options), deadline_(options.time_limit_seconds) {}
+
+  Result<IlpSolution> Run() {
+    std::vector<BranchBound> stack;
+    Status st = Explore(&stack, 0);
+    if (!st.ok() && st.code() != StatusCode::kResourceExhausted) return st;
+    IlpSolution out;
+    out.nodes_explored = nodes_;
+    out.proven_optimal = st.ok();
+    if (!incumbent_.has_value()) {
+      if (!st.ok()) return st;
+      return Status::Infeasible("no integral solution exists");
+    }
+    out.solution = *incumbent_;
+    return out;
+  }
+
+ private:
+  // Returns ResourceExhausted when a limit fires; infeasible subproblems are
+  // pruned silently.
+  Status Explore(std::vector<BranchBound>* stack, int depth) {
+    if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) {
+      return Status::ResourceExhausted("node limit");
+    }
+    if (deadline_.Expired()) return Status::ResourceExhausted("time limit");
+    ++nodes_;
+
+    Model node = model_;
+    for (const auto& b : *stack) {
+      node.AddConstraint({{b.var, 1.0}}, b.sense, b.rhs);
+    }
+    auto relaxed = SolveLp(node, options_.simplex);
+    if (!relaxed.ok()) {
+      if (relaxed.status().code() == StatusCode::kInfeasible) {
+        return Status::OK();  // prune
+      }
+      return relaxed.status();
+    }
+    // Bound: relaxation no better than incumbent -> prune.
+    if (incumbent_.has_value() &&
+        relaxed->objective <=
+            incumbent_->objective + options_.integrality_tolerance) {
+      return Status::OK();
+    }
+    // Find most fractional integer variable.
+    int branch_var = -1;
+    double worst_frac = options_.integrality_tolerance;
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      if (!model_.integer_mask()[j]) continue;
+      const double xj = relaxed->x[j];
+      const double frac = std::abs(xj - std::round(xj));
+      if (frac > worst_frac) {
+        // Prefer the variable closest to 0.5 fractional part.
+        const double dist_to_half = std::abs(frac - 0.5);
+        if (branch_var < 0 || dist_to_half < best_dist_) {
+          branch_var = j;
+          best_dist_ = dist_to_half;
+        }
+        worst_frac = options_.integrality_tolerance;  // keep scanning all
+      }
+    }
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      if (!incumbent_.has_value() ||
+          relaxed->objective > incumbent_->objective) {
+        Solution rounded = std::move(relaxed).value();
+        for (int j = 0; j < model_.num_variables(); ++j) {
+          if (model_.integer_mask()[j]) rounded.x[j] = std::round(rounded.x[j]);
+        }
+        incumbent_ = std::move(rounded);
+      }
+      return Status::OK();
+    }
+    best_dist_ = 1.0;
+    const double xj = relaxed->x[branch_var];
+    // Explore the "down" branch first (x <= floor), then "up".
+    stack->push_back({branch_var, Sense::kLessEqual, std::floor(xj)});
+    Status st = Explore(stack, depth + 1);
+    stack->pop_back();
+    if (!st.ok()) return st;
+    stack->push_back({branch_var, Sense::kGreaterEqual, std::ceil(xj)});
+    st = Explore(stack, depth + 1);
+    stack->pop_back();
+    return st;
+  }
+
+  const Model& model_;
+  const IlpOptions& options_;
+  Deadline deadline_;
+  std::optional<Solution> incumbent_;
+  int64_t nodes_ = 0;
+  double best_dist_ = 1.0;
+};
+
+}  // namespace
+
+Result<IlpSolution> SolveIlp(const Model& model, const IlpOptions& options) {
+  BranchAndBound solver(model, options);
+  return solver.Run();
+}
+
+}  // namespace wgrap::lp

@@ -1,0 +1,39 @@
+// Branch & bound mixed-integer solver over the simplex LP relaxation.
+// Depth-first with most-fractional branching and an incumbent bound, the
+// classic textbook scheme lp_solve implements; used by the paper's ILP
+// baseline for JRA.
+#ifndef WGRAP_LP_ILP_H_
+#define WGRAP_LP_ILP_H_
+
+#include "common/status.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace wgrap::lp {
+
+struct IlpOptions {
+  SimplexOptions simplex;
+  /// Integrality tolerance: |x - round(x)| below this counts as integral.
+  double integrality_tolerance = 1e-6;
+  /// Stop once this many B&B nodes were explored (0 = unlimited).
+  int64_t max_nodes = 0;
+  /// Wall-clock budget in seconds (0 = unlimited). On expiry the solver
+  /// returns the incumbent if one exists, else kResourceExhausted.
+  double time_limit_seconds = 0.0;
+};
+
+struct IlpSolution {
+  Solution solution;
+  int64_t nodes_explored = 0;
+  /// True when search completed; false when a limit fired and `solution`
+  /// is only the best incumbent found so far.
+  bool proven_optimal = true;
+};
+
+/// Maximizes the model subject to the integrality of variables marked via
+/// Model::SetInteger.
+Result<IlpSolution> SolveIlp(const Model& model, const IlpOptions& options = {});
+
+}  // namespace wgrap::lp
+
+#endif  // WGRAP_LP_ILP_H_

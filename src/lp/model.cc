@@ -1,0 +1,51 @@
+#include "lp/model.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace wgrap::lp {
+
+int Model::AddVariable(double objective_coefficient, bool is_integer) {
+  objective_.push_back(objective_coefficient);
+  integer_.push_back(is_integer);
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+void Model::AddConstraint(std::vector<std::pair<int, double>> terms,
+                          Sense sense, double rhs) {
+  for (const auto& [var, coeff] : terms) {
+    WGRAP_CHECK(var >= 0 && var < num_variables());
+    (void)coeff;
+  }
+  rows_.push_back(ConstraintRow{std::move(terms), sense, rhs});
+}
+
+void Model::AddUpperBound(int var, double bound) {
+  AddConstraint({{var, 1.0}}, Sense::kLessEqual, bound);
+}
+
+void Model::SetInteger(int var) {
+  WGRAP_CHECK(var >= 0 && var < num_variables());
+  integer_[var] = true;
+}
+
+std::string Model::ToString() const {
+  std::string out = "maximize";
+  for (int j = 0; j < num_variables(); ++j) {
+    out += StrFormat(" %+g x%d", objective_[j], j);
+  }
+  out += "\nsubject to\n";
+  for (const auto& row : rows_) {
+    std::string line = " ";
+    for (const auto& [var, coeff] : row.terms) {
+      line += StrFormat(" %+g x%d", coeff, var);
+    }
+    const char* op = row.sense == Sense::kLessEqual   ? "<="
+                     : row.sense == Sense::kEqual     ? "="
+                                                      : ">=";
+    out += line + StrFormat(" %s %g\n", op, row.rhs);
+  }
+  return out;
+}
+
+}  // namespace wgrap::lp

@@ -1,0 +1,68 @@
+// Linear/mixed-integer program model shared by the simplex solver and the
+// branch-and-bound MIP driver. Plays the role of lp_solve's model API in the
+// paper's ILP baseline (Sec. 3 / Sec. 5.1).
+//
+// Canonical form handled here:
+//   maximize   c' x
+//   subject to a_i' x  {<=, =, >=}  b_i      for each constraint i
+//              x_j >= 0                       for every variable j
+// Upper bounds are expressed as explicit constraints by callers that need
+// them (AddUpperBound helper). A subset of variables may be marked integer.
+#ifndef WGRAP_LP_MODEL_H_
+#define WGRAP_LP_MODEL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wgrap::lp {
+
+enum class Sense { kLessEqual, kEqual, kGreaterEqual };
+
+/// Sparse constraint row: sum of coeff * var {sense} rhs.
+struct ConstraintRow {
+  std::vector<std::pair<int, double>> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A maximization LP/MIP under construction.
+class Model {
+ public:
+  /// Adds a variable with the given objective coefficient; returns its index.
+  int AddVariable(double objective_coefficient, bool is_integer = false);
+
+  /// Adds a constraint; all variable indices must already exist.
+  void AddConstraint(std::vector<std::pair<int, double>> terms, Sense sense,
+                     double rhs);
+
+  /// Convenience for x_j <= bound.
+  void AddUpperBound(int var, double bound);
+
+  /// Marks an existing variable integral (for the MIP solver).
+  void SetInteger(int var);
+
+  int num_variables() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<ConstraintRow>& rows() const { return rows_; }
+  const std::vector<bool>& integer_mask() const { return integer_; }
+
+  /// Multi-line human-readable dump (tests / debugging).
+  std::string ToString() const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<bool> integer_;
+  std::vector<ConstraintRow> rows_;
+};
+
+/// Primal solution of an LP or MIP.
+struct Solution {
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+}  // namespace wgrap::lp
+
+#endif  // WGRAP_LP_MODEL_H_

@@ -1,0 +1,235 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/matrix.h"
+
+namespace wgrap::lp {
+
+namespace {
+
+// Dense simplex tableau in standard form:
+//   rows 0..m-1:   constraints (b in last column), all b >= 0
+//   row  m:        phase objective (reduced costs, negated convention)
+// Columns: n structural | slacks/surplus | artificials | rhs.
+class Tableau {
+ public:
+  Tableau(const Model& model, double tol) : tol_(tol) {
+    const int n = model.num_variables();
+    const int m = model.num_constraints();
+    n_ = n;
+    m_ = m;
+
+    // Count slack (<=, >=) and artificial (>=, =) columns.
+    int num_slack = 0, num_art = 0;
+    for (const auto& row : model.rows()) {
+      const bool flip = row.rhs < 0;
+      Sense sense = row.sense;
+      if (flip) {
+        sense = sense == Sense::kLessEqual      ? Sense::kGreaterEqual
+                : sense == Sense::kGreaterEqual ? Sense::kLessEqual
+                                                : Sense::kEqual;
+      }
+      if (sense != Sense::kEqual) ++num_slack;
+      if (sense != Sense::kLessEqual) ++num_art;
+    }
+    slack_begin_ = n;
+    art_begin_ = n + num_slack;
+    cols_ = n + num_slack + num_art + 1;  // +1 for rhs
+    rhs_col_ = cols_ - 1;
+    a_ = Matrix(m + 1, cols_, 0.0);
+    basis_.assign(m, -1);
+
+    int slack = slack_begin_, art = art_begin_;
+    for (int i = 0; i < m; ++i) {
+      const auto& row = model.rows()[i];
+      const double sign = row.rhs < 0 ? -1.0 : 1.0;
+      Sense sense = row.sense;
+      if (sign < 0) {
+        sense = sense == Sense::kLessEqual      ? Sense::kGreaterEqual
+                : sense == Sense::kGreaterEqual ? Sense::kLessEqual
+                                                : Sense::kEqual;
+      }
+      for (const auto& [var, coeff] : row.terms) {
+        a_(i, var) += sign * coeff;
+      }
+      a_(i, rhs_col_) = sign * row.rhs;
+      if (sense == Sense::kLessEqual) {
+        a_(i, slack) = 1.0;
+        basis_[i] = slack++;
+      } else if (sense == Sense::kGreaterEqual) {
+        a_(i, slack++) = -1.0;
+        a_(i, art) = 1.0;
+        basis_[i] = art++;
+      } else {
+        a_(i, art) = 1.0;
+        basis_[i] = art++;
+      }
+    }
+  }
+
+  // Runs phase 1 (if artificials exist) and phase 2 with objective c (size n).
+  // Returns status; fills x (size n) and objective on success.
+  Status Optimize(const std::vector<double>& c, int max_pivots,
+                  std::vector<double>* x, double* objective) {
+    pivots_left_ = max_pivots;
+    if (art_begin_ < rhs_col_) {  // artificials exist
+      // Phase-1 objective: minimize sum of artificials == maximize -sum.
+      for (int j = 0; j < cols_; ++j) a_(m_, j) = 0.0;
+      for (int j = art_begin_; j < rhs_col_; ++j) a_(m_, j) = -1.0;
+      PriceOutBasis();
+      WGRAP_RETURN_IF_ERROR(RunSimplex(/*allow_unbounded=*/false));
+      // The objective-row rhs cell holds the *negated* objective value, so
+      // at the phase-1 optimum it equals min Σ(artificials) >= 0; a strictly
+      // positive residual means no feasible point exists.
+      double rhs_scale = 1.0;
+      for (int i = 0; i < m_; ++i) rhs_scale += std::abs(a_(i, rhs_col_));
+      if (a_(m_, rhs_col_) > tol_ * 100 * rhs_scale) {
+        return Status::Infeasible("phase-1 residual is positive");
+      }
+      // Drive any artificial still in the basis out of it (degenerate rows).
+      for (int i = 0; i < m_; ++i) {
+        if (basis_[i] < art_begin_) continue;
+        int enter = -1;
+        for (int j = 0; j < art_begin_; ++j) {
+          if (std::abs(a_(i, j)) > tol_) {
+            enter = j;
+            break;
+          }
+        }
+        if (enter >= 0) {
+          Pivot(i, enter);
+        }
+        // else: the row is all zeros over real columns — redundant row;
+        // the artificial stays basic at value 0, which is harmless.
+      }
+    }
+    // Phase 2.
+    for (int j = 0; j < cols_; ++j) a_(m_, j) = 0.0;
+    for (int j = 0; j < n_; ++j) a_(m_, j) = c[j];
+    // Forbid re-entry of artificial columns.
+    blocked_from_ = art_begin_;
+    PriceOutBasis();
+    WGRAP_RETURN_IF_ERROR(RunSimplex(/*allow_unbounded=*/true));
+
+    x->assign(n_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) (*x)[basis_[i]] = a_(i, rhs_col_);
+    }
+    *objective = 0.0;
+    for (int j = 0; j < n_; ++j) *objective += c[j] * (*x)[j];
+    return Status::OK();
+  }
+
+ private:
+  // Subtracts multiples of basic rows so reduced costs of basic vars are 0.
+  void PriceOutBasis() {
+    for (int i = 0; i < m_; ++i) {
+      const double coeff = a_(m_, basis_[i]);
+      if (std::abs(coeff) <= tol_) continue;
+      for (int j = 0; j < cols_; ++j) a_(m_, j) -= coeff * a_(i, j);
+    }
+  }
+
+  Status RunSimplex(bool allow_unbounded) {
+    int stall = 0;
+    // The rhs cell of the objective row is -objective; negate so that
+    // "improvement" means increase.
+    double last_obj = -a_(m_, rhs_col_);
+    while (true) {
+      if (pivots_left_-- <= 0) {
+        return Status::ResourceExhausted("simplex pivot limit");
+      }
+      const bool bland = stall > bland_threshold_;
+      // Entering column: max reduced cost (Dantzig) or first positive
+      // (Bland) — we maximize, objective row holds c_j - z_j.
+      int enter = -1;
+      double best = tol_;
+      for (int j = 0; j < rhs_col_; ++j) {
+        if (j >= blocked_from_) break;
+        const double rc = a_(m_, j);
+        if (rc > best) {
+          enter = j;
+          best = rc;
+          if (bland) break;
+        }
+      }
+      if (enter < 0) return Status::OK();  // optimal
+      // Ratio test.
+      int leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        const double aij = a_(i, enter);
+        if (aij <= tol_) continue;
+        const double ratio = a_(i, rhs_col_) / aij;
+        if (ratio < best_ratio - tol_ ||
+            (ratio < best_ratio + tol_ && leave >= 0 &&
+             basis_[i] < basis_[leave])) {  // Bland tie-break on basis index
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+      if (leave < 0) {
+        if (allow_unbounded) return Status::Unbounded("LP is unbounded");
+        return Status::Internal("phase-1 unbounded (should not happen)");
+      }
+      Pivot(leave, enter);
+      const double obj = -a_(m_, rhs_col_);
+      if (obj > last_obj + tol_) {
+        stall = 0;
+        last_obj = obj;
+      } else {
+        ++stall;
+      }
+    }
+  }
+
+  void Pivot(int row, int col) {
+    const double pivot = a_(row, col);
+    WGRAP_CHECK(std::abs(pivot) > 1e-12);
+    const double inv = 1.0 / pivot;
+    for (int j = 0; j < cols_; ++j) a_(row, j) *= inv;
+    a_(row, col) = 1.0;  // exact
+    for (int i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      const double factor = a_(i, col);
+      if (std::abs(factor) <= 1e-13) continue;
+      for (int j = 0; j < cols_; ++j) a_(i, j) -= factor * a_(row, j);
+      a_(i, col) = 0.0;  // exact
+    }
+    basis_[row] = col;
+  }
+
+  double tol_;
+  int n_ = 0, m_ = 0, cols_ = 0, rhs_col_ = 0;
+  int slack_begin_ = 0, art_begin_ = 0;
+  int blocked_from_ = std::numeric_limits<int>::max();
+  int pivots_left_ = 0;
+  static constexpr int bland_threshold_ = 200;
+  Matrix a_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+Result<Solution> SolveLp(const Model& model, const SimplexOptions& options) {
+  if (model.num_variables() == 0) {
+    return Status::InvalidArgument("empty model");
+  }
+  Tableau tableau(model, options.tolerance);
+  int max_pivots = options.max_pivots;
+  if (max_pivots <= 0) {
+    max_pivots = 50 * (model.num_constraints() + model.num_variables() + 10);
+  }
+  Solution solution;
+  Status st = tableau.Optimize(model.objective(), max_pivots, &solution.x,
+                               &solution.objective);
+  if (!st.ok()) return st;
+  return solution;
+}
+
+}  // namespace wgrap::lp

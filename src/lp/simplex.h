@@ -1,0 +1,26 @@
+// Two-phase dense primal simplex for the Model in model.h (integrality is
+// ignored here; see ilp.h for branch & bound). Dantzig pricing with a Bland
+// fallback after a stall threshold to guarantee termination.
+#ifndef WGRAP_LP_SIMPLEX_H_
+#define WGRAP_LP_SIMPLEX_H_
+
+#include "common/status.h"
+#include "lp/model.h"
+
+namespace wgrap::lp {
+
+struct SimplexOptions {
+  /// Hard cap on pivots across both phases (0 = automatic: 50 * (m + n)).
+  int max_pivots = 0;
+  /// Numerical tolerance for feasibility / optimality tests.
+  double tolerance = 1e-9;
+};
+
+/// Solves the LP relaxation of `model`. Returns kInfeasible, kUnbounded or
+/// kResourceExhausted (pivot cap) as appropriate.
+Result<Solution> SolveLp(const Model& model,
+                         const SimplexOptions& options = {});
+
+}  // namespace wgrap::lp
+
+#endif  // WGRAP_LP_SIMPLEX_H_

@@ -1,0 +1,183 @@
+#include "topic/atm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace wgrap::topic {
+
+namespace {
+
+// Collapsed Gibbs state for ATM: every token has a latent (author, topic)
+// pair; counts are maintained incrementally.
+class GibbsSampler {
+ public:
+  GibbsSampler(const Corpus& corpus, const AtmOptions& options, Rng* rng)
+      : corpus_(corpus), options_(options), rng_(rng),
+        author_topic_(corpus.num_authors, options.num_topics),
+        topic_word_(options.num_topics, corpus.vocab_size),
+        author_total_(corpus.num_authors, 0.0),
+        topic_total_(options.num_topics, 0.0),
+        theta_sum_(corpus.num_authors, options.num_topics),
+        phi_sum_(options.num_topics, corpus.vocab_size) {
+    // Random initialization of token assignments.
+    for (const Document& doc : corpus.documents) {
+      DocState state;
+      state.topics.reserve(doc.words.size());
+      state.authors.reserve(doc.words.size());
+      for (int w : doc.words) {
+        const int t = static_cast<int>(rng_->NextBounded(options.num_topics));
+        const int a =
+            doc.authors[rng_->NextBounded(doc.authors.size())];
+        state.topics.push_back(t);
+        state.authors.push_back(a);
+        AdjustCounts(a, t, w, +1.0);
+      }
+      doc_states_.push_back(std::move(state));
+    }
+  }
+
+  AtmModel Run() {
+    int samples_taken = 0;
+    for (int iter = 0; iter < options_.iterations; ++iter) {
+      Sweep();
+      const bool past_burn_in = iter >= options_.burn_in;
+      const bool on_lag =
+          options_.sample_lag <= 1 ||
+          (iter - options_.burn_in) % options_.sample_lag == 0;
+      if (past_burn_in && on_lag) {
+        AccumulatePosterior();
+        ++samples_taken;
+      }
+    }
+    if (samples_taken == 0) {  // degenerate config: take the final state
+      AccumulatePosterior();
+      samples_taken = 1;
+    }
+    AtmModel model;
+    model.theta = theta_sum_;
+    model.phi = phi_sum_;
+    model.theta.NormalizeRows();
+    model.phi.NormalizeRows();
+    (void)samples_taken;
+    return model;
+  }
+
+ private:
+  struct DocState {
+    std::vector<int> topics;
+    std::vector<int> authors;
+  };
+
+  void AdjustCounts(int author, int topic, int word, double delta) {
+    author_topic_(author, topic) += delta;
+    topic_word_(topic, word) += delta;
+    author_total_[author] += delta;
+    topic_total_[topic] += delta;
+  }
+
+  void Sweep() {
+    const int T = options_.num_topics;
+    const double v_beta = corpus_.vocab_size * options_.beta;
+    const double t_alpha = T * options_.alpha;
+    std::vector<double> weights;
+    for (int d = 0; d < corpus_.num_documents(); ++d) {
+      const Document& doc = corpus_.documents[d];
+      DocState& state = doc_states_[d];
+      const int num_doc_authors = static_cast<int>(doc.authors.size());
+      weights.resize(static_cast<size_t>(num_doc_authors) * T);
+      for (size_t i = 0; i < doc.words.size(); ++i) {
+        const int w = doc.words[i];
+        AdjustCounts(state.authors[i], state.topics[i], w, -1.0);
+        // Joint draw of (author, topic) proportional to
+        // (C_at + alpha) / (C_a. + T alpha) * (C_tw + beta) / (C_t. + V beta)
+        for (int ai = 0; ai < num_doc_authors; ++ai) {
+          const int a = doc.authors[ai];
+          const double a_norm = author_total_[a] + t_alpha;
+          for (int t = 0; t < T; ++t) {
+            const double w_author =
+                (author_topic_(a, t) + options_.alpha) / a_norm;
+            const double w_word = (topic_word_(t, w) + options_.beta) /
+                                  (topic_total_[t] + v_beta);
+            weights[static_cast<size_t>(ai) * T + t] = w_author * w_word;
+          }
+        }
+        const int pick = rng_->SampleDiscrete(weights);
+        WGRAP_CHECK(pick >= 0);
+        state.authors[i] = doc.authors[pick / T];
+        state.topics[i] = pick % T;
+        AdjustCounts(state.authors[i], state.topics[i], w, +1.0);
+      }
+    }
+  }
+
+  void AccumulatePosterior() {
+    for (int a = 0; a < corpus_.num_authors; ++a) {
+      for (int t = 0; t < options_.num_topics; ++t) {
+        theta_sum_(a, t) += (author_topic_(a, t) + options_.alpha) /
+                            (author_total_[a] +
+                             options_.num_topics * options_.alpha);
+      }
+    }
+    for (int t = 0; t < options_.num_topics; ++t) {
+      for (int w = 0; w < corpus_.vocab_size; ++w) {
+        phi_sum_(t, w) += (topic_word_(t, w) + options_.beta) /
+                          (topic_total_[t] +
+                           corpus_.vocab_size * options_.beta);
+      }
+    }
+  }
+
+  const Corpus& corpus_;
+  const AtmOptions& options_;
+  Rng* rng_;
+  Matrix author_topic_;  // C_at
+  Matrix topic_word_;    // C_tw
+  std::vector<double> author_total_;
+  std::vector<double> topic_total_;
+  Matrix theta_sum_;
+  Matrix phi_sum_;
+  std::vector<DocState> doc_states_;
+};
+
+}  // namespace
+
+Result<AtmModel> FitAtm(const Corpus& corpus, const AtmOptions& options,
+                        Rng* rng) {
+  WGRAP_RETURN_IF_ERROR(corpus.Validate());
+  if (options.num_topics <= 0) {
+    return Status::InvalidArgument("num_topics must be > 0");
+  }
+  if (options.iterations <= 0) {
+    return Status::InvalidArgument("iterations must be > 0");
+  }
+  if (options.alpha <= 0.0 || options.beta <= 0.0) {
+    return Status::InvalidArgument("alpha and beta must be > 0");
+  }
+  GibbsSampler sampler(corpus, options, rng);
+  return sampler.Run();
+}
+
+double ComputePerplexity(const Corpus& corpus, const AtmModel& model) {
+  // log p(w | d) with the document's authors mixed uniformly, as in the
+  // ATM generative story.
+  double log_likelihood = 0.0;
+  int64_t tokens = 0;
+  const int T = model.num_topics();
+  for (const Document& doc : corpus.documents) {
+    for (int w : doc.words) {
+      double pw = 0.0;
+      for (int a : doc.authors) {
+        for (int t = 0; t < T; ++t) {
+          pw += model.theta(a, t) * model.phi(t, w);
+        }
+      }
+      pw /= static_cast<double>(doc.authors.size());
+      log_likelihood += std::log(std::max(pw, 1e-300));
+      ++tokens;
+    }
+  }
+  return std::exp(-log_likelihood / static_cast<double>(tokens));
+}
+
+}  // namespace wgrap::topic

@@ -1,0 +1,44 @@
+#include "topic/corpus.h"
+
+#include "common/string_util.h"
+
+namespace wgrap::topic {
+
+int64_t Corpus::TotalTokens() const {
+  int64_t total = 0;
+  for (const auto& doc : documents) {
+    total += static_cast<int64_t>(doc.words.size());
+  }
+  return total;
+}
+
+Status Corpus::Validate() const {
+  if (vocab_size <= 0) return Status::InvalidArgument("vocab_size must be > 0");
+  if (num_authors <= 0) {
+    return Status::InvalidArgument("num_authors must be > 0");
+  }
+  for (size_t d = 0; d < documents.size(); ++d) {
+    const Document& doc = documents[d];
+    if (doc.words.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("document %zu has no tokens", d));
+    }
+    if (doc.authors.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("document %zu has no authors", d));
+    }
+    for (int w : doc.words) {
+      if (w < 0 || w >= vocab_size) {
+        return Status::OutOfRange(StrFormat("word id %d out of range", w));
+      }
+    }
+    for (int a : doc.authors) {
+      if (a < 0 || a >= num_authors) {
+        return Status::OutOfRange(StrFormat("author id %d out of range", a));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wgrap::topic

@@ -1,0 +1,38 @@
+// Bag-of-words corpus with per-document author lists — the input format of
+// the Author-Topic Model (Appendix A of the paper). Words and authors are
+// dense integer ids.
+#ifndef WGRAP_TOPIC_CORPUS_H_
+#define WGRAP_TOPIC_CORPUS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace wgrap::topic {
+
+/// One document: token stream (word ids, duplicates allowed) plus the ids of
+/// its authors.
+struct Document {
+  std::vector<int> words;
+  std::vector<int> authors;
+};
+
+/// A collection of documents over a fixed vocabulary and author set.
+struct Corpus {
+  int vocab_size = 0;
+  int num_authors = 0;
+  std::vector<Document> documents;
+
+  int num_documents() const { return static_cast<int>(documents.size()); }
+
+  /// Total token count across all documents.
+  int64_t TotalTokens() const;
+
+  /// Checks id ranges and that every document has at least one author and
+  /// one token.
+  Status Validate() const;
+};
+
+}  // namespace wgrap::topic
+
+#endif  // WGRAP_TOPIC_CORPUS_H_

@@ -1,0 +1,57 @@
+#include "topic/em.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wgrap::topic {
+
+Result<std::vector<double>> InferTopicMixture(const std::vector<int>& words,
+                                              const Matrix& phi,
+                                              const EmOptions& options) {
+  const int T = phi.rows();
+  const int V = phi.cols();
+  if (T <= 0 || V <= 0) return Status::InvalidArgument("empty phi");
+  if (words.empty()) return Status::InvalidArgument("empty word stream");
+  for (int w : words) {
+    if (w < 0 || w >= V) return Status::OutOfRange("word id out of range");
+  }
+
+  // Collapse the token stream into (word, count) pairs for speed.
+  std::vector<int> count(V, 0);
+  for (int w : words) ++count[w];
+  std::vector<std::pair<int, int>> unique_words;
+  for (int w = 0; w < V; ++w) {
+    if (count[w] > 0) unique_words.emplace_back(w, count[w]);
+  }
+
+  std::vector<double> pi(T, 1.0 / T);
+  std::vector<double> next(T);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const auto& [w, c] : unique_words) {
+      // E-step responsibilities gamma_t ∝ pi_t * phi_t(w).
+      double denom = 0.0;
+      for (int t = 0; t < T; ++t) denom += pi[t] * phi(t, w);
+      if (denom <= 1e-300) continue;  // word unexplained by any topic
+      for (int t = 0; t < T; ++t) {
+        next[t] += c * pi[t] * phi(t, w) / denom;
+      }
+    }
+    // M-step with smoothing.
+    double total = 0.0;
+    for (int t = 0; t < T; ++t) {
+      next[t] += options.smoothing;
+      total += next[t];
+    }
+    double max_delta = 0.0;
+    for (int t = 0; t < T; ++t) {
+      next[t] /= total;
+      max_delta = std::max(max_delta, std::abs(next[t] - pi[t]));
+    }
+    pi.swap(next);
+    if (max_delta < options.convergence_tolerance) break;
+  }
+  return pi;
+}
+
+}  // namespace wgrap::topic

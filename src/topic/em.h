@@ -1,0 +1,32 @@
+// EM inference of a paper's topic vector p→ given the fitted topic-word
+// distributions (Eq. 11 in the paper, following Zhai et al.'s cross-
+// collection mixture model): find mixture weights maximizing the likelihood
+// of the paper's abstract under the fixed topics.
+#ifndef WGRAP_TOPIC_EM_H_
+#define WGRAP_TOPIC_EM_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace wgrap::topic {
+
+struct EmOptions {
+  int max_iterations = 200;
+  /// Stop when the max absolute change of any weight falls below this.
+  double convergence_tolerance = 1e-6;
+  /// Dirichlet-style smoothing added to each topic weight per M-step to
+  /// keep the posterior away from exact zeros.
+  double smoothing = 1e-4;
+};
+
+/// Returns a T-dimensional normalized topic vector for the token stream
+/// `words` under topic-word matrix `phi` (T x V, rows normalized).
+Result<std::vector<double>> InferTopicMixture(const std::vector<int>& words,
+                                              const Matrix& phi,
+                                              const EmOptions& options = {});
+
+}  // namespace wgrap::topic
+
+#endif  // WGRAP_TOPIC_EM_H_

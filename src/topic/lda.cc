@@ -1,0 +1,109 @@
+#include "topic/lda.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace wgrap::topic {
+
+Result<LdaModel> FitLda(const Corpus& corpus, const LdaOptions& options,
+                        Rng* rng) {
+  WGRAP_RETURN_IF_ERROR(corpus.Validate());
+  if (options.num_topics <= 0) {
+    return Status::InvalidArgument("num_topics must be > 0");
+  }
+  if (options.iterations <= 0) {
+    return Status::InvalidArgument("iterations must be > 0");
+  }
+  if (options.alpha <= 0.0 || options.beta <= 0.0) {
+    return Status::InvalidArgument("alpha and beta must be > 0");
+  }
+
+  const int T = options.num_topics;
+  const int V = corpus.vocab_size;
+  const int D = corpus.num_documents();
+
+  Matrix doc_topic(D, T);   // C_dt
+  Matrix topic_word(T, V);  // C_tw
+  std::vector<double> topic_total(T, 0.0);
+  std::vector<std::vector<int>> assignments(D);
+
+  // Random initialization.
+  for (int d = 0; d < D; ++d) {
+    const auto& words = corpus.documents[d].words;
+    assignments[d].reserve(words.size());
+    for (int w : words) {
+      const int t = static_cast<int>(rng->NextBounded(T));
+      assignments[d].push_back(t);
+      doc_topic(d, t) += 1.0;
+      topic_word(t, w) += 1.0;
+      topic_total[t] += 1.0;
+    }
+  }
+
+  Matrix doc_sum(D, T);
+  Matrix phi_sum(T, V);
+  const double v_beta = V * options.beta;
+  std::vector<double> weights(T);
+  int samples = 0;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (int d = 0; d < D; ++d) {
+      const auto& words = corpus.documents[d].words;
+      for (size_t i = 0; i < words.size(); ++i) {
+        const int w = words[i];
+        const int old_topic = assignments[d][i];
+        doc_topic(d, old_topic) -= 1.0;
+        topic_word(old_topic, w) -= 1.0;
+        topic_total[old_topic] -= 1.0;
+        for (int t = 0; t < T; ++t) {
+          weights[t] = (doc_topic(d, t) + options.alpha) *
+                       (topic_word(t, w) + options.beta) /
+                       (topic_total[t] + v_beta);
+        }
+        const int new_topic = rng->SampleDiscrete(weights);
+        WGRAP_CHECK(new_topic >= 0);
+        assignments[d][i] = new_topic;
+        doc_topic(d, new_topic) += 1.0;
+        topic_word(new_topic, w) += 1.0;
+        topic_total[new_topic] += 1.0;
+      }
+    }
+    const bool take = iter >= options.burn_in &&
+                      (options.sample_lag <= 1 ||
+                       (iter - options.burn_in) % options.sample_lag == 0);
+    if (take) {
+      for (int d = 0; d < D; ++d) {
+        const double denom =
+            static_cast<double>(corpus.documents[d].words.size()) +
+            T * options.alpha;
+        for (int t = 0; t < T; ++t) {
+          doc_sum(d, t) += (doc_topic(d, t) + options.alpha) / denom;
+        }
+      }
+      for (int t = 0; t < T; ++t) {
+        for (int w = 0; w < V; ++w) {
+          phi_sum(t, w) += (topic_word(t, w) + options.beta) /
+                           (topic_total[t] + v_beta);
+        }
+      }
+      ++samples;
+    }
+  }
+  if (samples == 0) {
+    // Degenerate configuration: use the final state.
+    for (int d = 0; d < D; ++d) {
+      for (int t = 0; t < T; ++t) doc_sum(d, t) = doc_topic(d, t);
+    }
+    for (int t = 0; t < T; ++t) {
+      for (int w = 0; w < V; ++w) phi_sum(t, w) = topic_word(t, w);
+    }
+  }
+  LdaModel model;
+  model.doc_topics = std::move(doc_sum);
+  model.phi = std::move(phi_sum);
+  model.doc_topics.NormalizeRows();
+  model.phi.NormalizeRows();
+  return model;
+}
+
+}  // namespace wgrap::topic

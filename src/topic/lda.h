@@ -1,0 +1,41 @@
+// Plain Latent Dirichlet Allocation (Blei, Ng, Jordan [5]) via collapsed
+// Gibbs sampling. The paper uses ATM for reviewers (authors matter) but
+// cites LDA as the foundational extractor; LDA is the right tool when the
+// submissions themselves are the training corpus (no author structure), and
+// serves as a cross-check for the ATM implementation.
+#ifndef WGRAP_TOPIC_LDA_H_
+#define WGRAP_TOPIC_LDA_H_
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "topic/corpus.h"
+
+namespace wgrap::topic {
+
+struct LdaOptions {
+  int num_topics = 30;
+  double alpha = 0.5;    // document-topic prior
+  double beta = 0.01;    // topic-word prior
+  int iterations = 200;
+  int burn_in = 100;
+  int sample_lag = 10;
+};
+
+/// Fitted LDA model: document-topic mixtures and topic-word distributions
+/// (rows normalized).
+struct LdaModel {
+  Matrix doc_topics;  // D x T
+  Matrix phi;         // T x V
+
+  int num_topics() const { return phi.rows(); }
+  int vocab_size() const { return phi.cols(); }
+};
+
+/// Collapsed Gibbs sampling; author lists in the corpus are ignored.
+Result<LdaModel> FitLda(const Corpus& corpus, const LdaOptions& options,
+                        Rng* rng);
+
+}  // namespace wgrap::topic
+
+#endif  // WGRAP_TOPIC_LDA_H_

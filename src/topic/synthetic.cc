@@ -1,0 +1,89 @@
+#include "topic/synthetic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wgrap::topic {
+
+Result<SyntheticCorpus> GenerateSyntheticCorpus(
+    const SyntheticCorpusConfig& config, Rng* rng) {
+  if (config.num_topics <= 0 || config.vocab_size <= 0 ||
+      config.num_authors <= 0 || config.num_documents <= 0) {
+    return Status::InvalidArgument("all sizes must be positive");
+  }
+  if (config.min_document_length <= 0 ||
+      config.mean_document_length < config.min_document_length) {
+    return Status::InvalidArgument("bad document length configuration");
+  }
+  if (config.max_authors_per_document <= 0) {
+    return Status::InvalidArgument("max_authors_per_document must be > 0");
+  }
+
+  SyntheticCorpus out;
+  out.true_theta = Matrix(config.num_authors, config.num_topics);
+  out.true_phi = Matrix(config.num_topics, config.vocab_size);
+  out.true_doc_topics = Matrix(config.num_documents, config.num_topics);
+
+  for (int t = 0; t < config.num_topics; ++t) {
+    const auto phi = rng->NextDirichlet(config.vocab_size,
+                                        config.topic_dirichlet);
+    for (int w = 0; w < config.vocab_size; ++w) out.true_phi(t, w) = phi[w];
+  }
+  for (int a = 0; a < config.num_authors; ++a) {
+    const auto theta = rng->NextDirichlet(config.num_topics,
+                                          config.author_dirichlet);
+    for (int t = 0; t < config.num_topics; ++t) out.true_theta(a, t) = theta[t];
+  }
+
+  out.corpus.vocab_size = config.vocab_size;
+  out.corpus.num_authors = config.num_authors;
+  out.corpus.documents.reserve(config.num_documents);
+
+  std::vector<double> author_weights(config.num_authors, 1.0);
+  for (int d = 0; d < config.num_documents; ++d) {
+    Document doc;
+    const int num_doc_authors =
+        rng->NextInt(1, config.max_authors_per_document);
+    doc.authors = rng->SampleWithoutReplacement(config.num_authors,
+                                                num_doc_authors);
+    // Document length: rounded Gaussian clipped at the minimum.
+    const double len_draw =
+        config.mean_document_length +
+        rng->NextGaussian() * (config.mean_document_length * 0.25);
+    const int length = std::max(config.min_document_length,
+                                static_cast<int>(len_draw));
+    doc.words.reserve(length);
+    std::vector<double> topic_usage(config.num_topics, 0.0);
+    std::vector<double> word_probs(config.vocab_size);
+    std::vector<double> topic_probs(config.num_topics);
+    for (int i = 0; i < length; ++i) {
+      // ATM generative story: pick an author uniformly, then a topic from
+      // the author's mixture, then a word from the topic.
+      const int author =
+          doc.authors[rng->NextBounded(doc.authors.size())];
+      for (int t = 0; t < config.num_topics; ++t) {
+        topic_probs[t] = out.true_theta(author, t);
+      }
+      const int t = rng->SampleDiscrete(topic_probs);
+      WGRAP_CHECK(t >= 0);
+      topic_usage[t] += 1.0;
+      for (int w = 0; w < config.vocab_size; ++w) {
+        word_probs[w] = out.true_phi(t, w);
+      }
+      const int w = rng->SampleDiscrete(word_probs);
+      WGRAP_CHECK(w >= 0);
+      doc.words.push_back(w);
+    }
+    double usage_total = 0.0;
+    for (double u : topic_usage) usage_total += u;
+    for (int t = 0; t < config.num_topics; ++t) {
+      out.true_doc_topics(d, t) = topic_usage[t] / usage_total;
+    }
+    out.corpus.documents.push_back(std::move(doc));
+  }
+  WGRAP_RETURN_IF_ERROR(out.corpus.Validate());
+  return out;
+}
+
+}  // namespace wgrap::topic

@@ -1,0 +1,109 @@
+#include "topic/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace wgrap::topic {
+
+std::vector<std::string> Tokenize(const std::string& text, int min_length) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      if (static_cast<int>(current.size()) >= min_length) {
+        tokens.push_back(std::move(current));
+      }
+      current.clear();
+    }
+  }
+  if (static_cast<int>(current.size()) >= min_length) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+bool IsStopWord(const std::string& token) {
+  static const std::unordered_set<std::string> kStopWords = {
+      "a",    "an",    "and",   "are",   "as",    "at",    "be",    "by",
+      "for",  "from",  "has",   "have",  "in",    "is",    "it",    "its",
+      "of",   "on",    "or",    "that",  "the",   "their", "them",  "then",
+      "this", "these", "those", "to",    "was",   "we",    "were",  "which",
+      "with", "our",   "can",   "such",  "both",  "also",  "into",  "over",
+      "than", "been",  "based", "using", "show",  "paper", "propose",
+      "proposed", "approach", "results", "problem", "present", "more",
+      "most", "each",  "new",   "two",   "one",   "however", "between"};
+  return kStopWords.count(token) > 0;
+}
+
+int Vocabulary::GetOrAdd(const std::string& word) {
+  auto [it, inserted] = index_.emplace(word, static_cast<int>(words_.size()));
+  if (inserted) words_.push_back(word);
+  return it->second;
+}
+
+int Vocabulary::Find(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<BuiltCorpus> BuildCorpus(const std::vector<RawDocument>& documents,
+                                int num_authors,
+                                const CorpusBuilderOptions& options) {
+  if (documents.empty()) return Status::InvalidArgument("no documents");
+  if (num_authors <= 0) return Status::InvalidArgument("num_authors <= 0");
+
+  // Pass 1: tokenize and compute document frequencies.
+  std::vector<std::vector<std::string>> tokenized(documents.size());
+  std::unordered_map<std::string, int> document_frequency;
+  for (size_t d = 0; d < documents.size(); ++d) {
+    tokenized[d] = Tokenize(documents[d].text, options.min_token_length);
+    if (options.remove_stop_words) {
+      auto& tokens = tokenized[d];
+      tokens.erase(std::remove_if(tokens.begin(), tokens.end(), IsStopWord),
+                   tokens.end());
+    }
+    std::unordered_set<std::string> seen;
+    for (const auto& token : tokenized[d]) {
+      if (seen.insert(token).second) ++document_frequency[token];
+    }
+  }
+
+  // Pass 2: index the surviving words and emit documents.
+  BuiltCorpus out;
+  out.corpus.num_authors = num_authors;
+  for (size_t d = 0; d < documents.size(); ++d) {
+    Document doc;
+    doc.authors = documents[d].authors;
+    for (int a : doc.authors) {
+      if (a < 0 || a >= num_authors) {
+        return Status::OutOfRange(
+            StrFormat("document %zu: author id %d out of range", d, a));
+      }
+    }
+    for (const auto& token : tokenized[d]) {
+      if (document_frequency[token] < options.min_document_frequency) {
+        continue;
+      }
+      doc.words.push_back(out.vocabulary.GetOrAdd(token));
+    }
+    if (doc.words.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("document %zu is empty after filtering", d));
+    }
+    if (doc.authors.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("document %zu has no authors", d));
+    }
+    out.corpus.documents.push_back(std::move(doc));
+  }
+  out.corpus.vocab_size = out.vocabulary.size();
+  WGRAP_RETURN_IF_ERROR(out.corpus.Validate());
+  return out;
+}
+
+}  // namespace wgrap::topic

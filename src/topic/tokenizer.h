@@ -1,0 +1,69 @@
+// Minimal text front-end for the topic models: lowercasing tokenizer,
+// stop-word filtering and vocabulary construction with frequency cut-offs,
+// so raw abstracts can be turned into the integer bag-of-words Corpus the
+// samplers consume (the role the paper's preprocessing of DBLP abstracts
+// plays in Sec. 2.4).
+#ifndef WGRAP_TOPIC_TOKENIZER_H_
+#define WGRAP_TOPIC_TOKENIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "topic/corpus.h"
+
+namespace wgrap::topic {
+
+/// Splits text into lowercase alphabetic tokens (digits and punctuation are
+/// separators); tokens shorter than `min_length` are dropped.
+std::vector<std::string> Tokenize(const std::string& text,
+                                  int min_length = 2);
+
+/// True for a small built-in English stop-word list (articles, pronouns,
+/// common verbs — the usual IR set).
+bool IsStopWord(const std::string& token);
+
+/// Incrementally built word <-> id mapping with document frequencies.
+class Vocabulary {
+ public:
+  /// Returns the id of `word`, adding it if unseen.
+  int GetOrAdd(const std::string& word);
+
+  /// Returns the id or -1 when absent (does not add).
+  int Find(const std::string& word) const;
+
+  int size() const { return static_cast<int>(words_.size()); }
+  const std::string& word(int id) const { return words_[id]; }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> words_;
+};
+
+struct CorpusBuilderOptions {
+  int min_token_length = 2;
+  bool remove_stop_words = true;
+  /// Drop words appearing in fewer than this many documents.
+  int min_document_frequency = 1;
+};
+
+/// One raw input document: text plus author ids.
+struct RawDocument {
+  std::string text;
+  std::vector<int> authors;
+};
+
+/// Tokenizes, filters and indexes raw documents into a Corpus + Vocabulary.
+/// Documents that end up empty after filtering are rejected.
+struct BuiltCorpus {
+  Corpus corpus;
+  Vocabulary vocabulary;
+};
+Result<BuiltCorpus> BuildCorpus(const std::vector<RawDocument>& documents,
+                                int num_authors,
+                                const CorpusBuilderOptions& options = {});
+
+}  // namespace wgrap::topic
+
+#endif  // WGRAP_TOPIC_TOKENIZER_H_

@@ -1,0 +1,185 @@
+// Assignment container tests: incremental group-vector and score
+// maintenance, add/remove invariants, capacity and COI enforcement, and a
+// randomized consistency property against recomputation from scratch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/assignment.h"
+#include "core/jra.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+data::RapDataset TinyDataset() {
+  data::RapDataset dataset;
+  dataset.num_topics = 3;
+  dataset.reviewers.push_back({"r0", {0.1, 0.5, 0.4}, 1});
+  dataset.reviewers.push_back({"r1", {1.0, 0.0, 0.0}, 1});
+  dataset.reviewers.push_back({"r2", {0.0, 1.0, 0.0}, 1});
+  dataset.papers.push_back({"p0", {0.6, 0.0, 0.4}, "V"});
+  dataset.papers.push_back({"p1", {0.5, 0.5, 0.0}, "V"});
+  dataset.papers.push_back({"p2", {0.5, 0.5, 0.0}, "V"});
+  return dataset;
+}
+
+Instance MakeInstance(int group_size = 2, int workload = 2) {
+  InstanceParams params;
+  params.group_size = group_size;
+  params.reviewer_workload = workload;
+  auto instance = Instance::FromDataset(TinyDataset(), params);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(AssignmentTest, StartsEmpty) {
+  Instance instance = MakeInstance();
+  Assignment assignment(&instance);
+  EXPECT_EQ(assignment.size(), 0);
+  EXPECT_DOUBLE_EQ(assignment.TotalScore(), 0.0);
+  EXPECT_TRUE(assignment.GroupFor(0).empty());
+  EXPECT_EQ(assignment.LoadOf(0), 0);
+}
+
+TEST(AssignmentTest, AddUpdatesGroupVectorAndScore) {
+  Instance instance = MakeInstance();
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.Add(0, 1).ok());  // r1 = (1,0,0) on p0 = (.6,0,.4)
+  EXPECT_EQ(assignment.size(), 1);
+  EXPECT_NEAR(assignment.PaperScore(0), 0.6, 1e-12);
+  EXPECT_NEAR(assignment.GroupVector(0)[0], 1.0, 1e-12);
+  ASSERT_TRUE(assignment.Add(0, 0).ok());  // r0 adds the t3 coverage
+  EXPECT_NEAR(assignment.PaperScore(0), 1.0, 1e-12);
+  EXPECT_NEAR(assignment.TotalScore(), 1.0, 1e-12);
+}
+
+TEST(AssignmentTest, DuplicateAddRejected) {
+  Instance instance = MakeInstance();
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.Add(0, 1).ok());
+  EXPECT_EQ(assignment.Add(0, 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AssignmentTest, GroupSizeEnforced) {
+  Instance instance = MakeInstance(/*group_size=*/1);
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.Add(0, 1).ok());
+  EXPECT_EQ(assignment.Add(0, 2).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AssignmentTest, WorkloadEnforced) {
+  Instance instance = MakeInstance(/*group_size=*/2, /*workload=*/2);
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.Add(0, 1).ok());
+  ASSERT_TRUE(assignment.Add(1, 1).ok());
+  EXPECT_EQ(assignment.Add(2, 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(assignment.LoadOf(1), 2);
+}
+
+TEST(AssignmentTest, AddUncheckedIgnoresCapacity) {
+  Instance instance = MakeInstance(/*group_size=*/1, /*workload=*/1);
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.AddUnchecked(0, 1).ok());
+  ASSERT_TRUE(assignment.AddUnchecked(1, 1).ok());  // over workload: allowed
+  ASSERT_TRUE(assignment.AddUnchecked(2, 1).ok());
+  EXPECT_EQ(assignment.LoadOf(1), 3);
+}
+
+TEST(AssignmentTest, ConflictRejectedEvenUnchecked) {
+  Instance instance = MakeInstance();
+  instance.AddConflict(1, 0);
+  Assignment assignment(&instance);
+  EXPECT_EQ(assignment.Add(0, 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(assignment.AddUnchecked(0, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AssignmentTest, RemoveRestoresState) {
+  Instance instance = MakeInstance();
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.Add(0, 1).ok());
+  ASSERT_TRUE(assignment.Add(0, 0).ok());
+  const double with_both = assignment.PaperScore(0);
+  ASSERT_TRUE(assignment.Remove(0, 0).ok());
+  EXPECT_EQ(assignment.size(), 1);
+  EXPECT_NEAR(assignment.PaperScore(0), 0.6, 1e-12);
+  EXPECT_LT(assignment.PaperScore(0), with_both);
+  EXPECT_EQ(assignment.LoadOf(0), 0);
+  // Group vector recomputed: topic 1 contribution of r0 gone.
+  EXPECT_NEAR(assignment.GroupVector(0)[1], 0.0, 1e-12);
+}
+
+TEST(AssignmentTest, RemoveMissingPairFails) {
+  Instance instance = MakeInstance();
+  Assignment assignment(&instance);
+  EXPECT_EQ(assignment.Remove(0, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(AssignmentTest, OutOfRangeIdsRejected) {
+  Instance instance = MakeInstance();
+  Assignment assignment(&instance);
+  EXPECT_EQ(assignment.Add(-1, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(assignment.Add(0, 9).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(assignment.Remove(5, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(AssignmentTest, MarginalGainMatchesAddDelta) {
+  Instance instance = MakeInstance();
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.Add(1, 1).ok());
+  const double gain = assignment.MarginalGain(1, 2);
+  const double before = assignment.TotalScore();
+  ASSERT_TRUE(assignment.Add(1, 2).ok());
+  EXPECT_NEAR(assignment.TotalScore() - before, gain, 1e-12);
+}
+
+TEST(AssignmentTest, ValidateCompleteDetectsUnderfilledGroup) {
+  Instance instance = MakeInstance();
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.Add(0, 1).ok());
+  EXPECT_EQ(assignment.ValidateComplete().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AssignmentTest, RandomizedConsistencyAgainstRecomputation) {
+  // Random add/remove churn; cached scores must always equal ScoreGroup.
+  data::SyntheticDblpConfig config;
+  config.num_topics = 8;
+  auto dataset = data::GenerateReviewerPool(12, 6, config);
+  ASSERT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = 4;
+  params.reviewer_workload = 12;
+  auto instance = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(instance.ok());
+
+  Assignment assignment(&*instance);
+  Rng rng(77);
+  for (int step = 0; step < 500; ++step) {
+    const int p = static_cast<int>(rng.NextBounded(6));
+    const int r = static_cast<int>(rng.NextBounded(12));
+    if (rng.NextDouble() < 0.6) {
+      (void)assignment.Add(p, r);  // may legitimately fail
+    } else {
+      (void)assignment.Remove(p, r);
+    }
+    if (step % 50 == 0) {
+      double total = 0.0;
+      for (int q = 0; q < 6; ++q) {
+        const double expected =
+            assignment.GroupFor(q).empty()
+                ? 0.0
+                : ScoreGroup(*instance, q, assignment.GroupFor(q));
+        ASSERT_NEAR(assignment.PaperScore(q), expected, 1e-9);
+        total += expected;
+      }
+      ASSERT_NEAR(assignment.TotalScore(), total, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wgrap::core

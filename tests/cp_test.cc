@@ -1,0 +1,123 @@
+// CP select-k engine tests: additive objectives vs exhaustive enumeration,
+// forbidden pairs, infeasibility, and limit handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "cp/select_k.h"
+
+namespace wgrap::cp {
+namespace {
+
+// Additive objective: sum of item weights; bound via suffix max.
+class AdditiveObjective final : public SelectionObjective {
+ public:
+  explicit AdditiveObjective(std::vector<double> weights)
+      : weights_(std::move(weights)) {
+    suffix_max_.assign(weights_.size() + 1, 0.0);
+    for (int i = static_cast<int>(weights_.size()) - 1; i >= 0; --i) {
+      suffix_max_[i] = std::max(suffix_max_[i + 1], weights_[i]);
+    }
+  }
+  double Evaluate(const std::vector<int>& chosen) const override {
+    double total = 0.0;
+    for (int i : chosen) total += weights_[i];
+    return total;
+  }
+  double Bound(const std::vector<int>& chosen, int next,
+               int remaining) const override {
+    return Evaluate(chosen) + remaining * suffix_max_[next];
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> suffix_max_;
+};
+
+TEST(SelectKTest, PicksTopWeights) {
+  AdditiveObjective obj({0.2, 0.9, 0.4, 0.8});
+  auto result = SolveSelectK(4, 2, obj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 1.7, 1e-9);
+  std::vector<int> chosen = result->chosen;
+  std::sort(chosen.begin(), chosen.end());
+  EXPECT_EQ(chosen, (std::vector<int>{1, 3}));
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(SelectKTest, ForbiddenPairRespected) {
+  AdditiveObjective obj({0.9, 0.8, 0.1});
+  auto result = SolveSelectK(3, 2, obj, {{0, 1}});
+  ASSERT_TRUE(result.ok());
+  std::vector<int> chosen = result->chosen;
+  std::sort(chosen.begin(), chosen.end());
+  EXPECT_EQ(chosen, (std::vector<int>{0, 2}));
+}
+
+TEST(SelectKTest, AllPairsForbiddenInfeasible) {
+  AdditiveObjective obj({1.0, 1.0, 1.0});
+  auto result = SolveSelectK(3, 2, obj, {{0, 1}, {0, 2}, {1, 2}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SelectKTest, KExceedsNInfeasible) {
+  AdditiveObjective obj({1.0});
+  auto result = SolveSelectK(1, 2, obj);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SelectKTest, KZeroReturnsEmpty) {
+  AdditiveObjective obj({1.0, 2.0});
+  auto result = SolveSelectK(2, 0, obj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->chosen.empty());
+}
+
+TEST(SelectKTest, NodeLimitReportsNotProven) {
+  std::vector<double> weights(20);
+  Rng rng(6);
+  for (auto& w : weights) w = rng.NextDouble();
+  AdditiveObjective obj(weights);
+  SelectKOptions options;
+  options.max_nodes = 5;
+  auto result = SolveSelectK(20, 10, obj, {}, options);
+  if (result.ok()) {
+    EXPECT_FALSE(result->proven_optimal);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+class SelectKRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectKRandomTest, MatchesEnumeration) {
+  Rng rng(5000 + GetParam());
+  const int n = 4 + GetParam() % 6;
+  const int k = 1 + GetParam() % 3;
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.NextDouble();
+  AdditiveObjective obj(weights);
+  auto result = SolveSelectK(n, k, obj);
+  ASSERT_TRUE(result.ok());
+
+  double best = -1.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (__builtin_popcount(mask) != k) continue;
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) total += weights[i];
+    }
+    best = std::max(best, total);
+  }
+  EXPECT_NEAR(result->objective, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, SelectKRandomTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace wgrap::cp

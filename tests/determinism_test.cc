@@ -1,0 +1,108 @@
+// Reproducibility and COI-agreement checks that cut across solvers:
+// seeded SRA determinism, seed sensitivity, ILP/CP honouring conflicts,
+// and JRA solver agreement in the presence of conflicts.
+#include <gtest/gtest.h>
+
+#include "core/cra.h"
+#include "core/jra.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+Instance PoolInstance(int reviewers, int papers, int group_size,
+                      uint64_t seed) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 8;
+  config.seed = seed;
+  auto dataset = data::GenerateReviewerPool(reviewers, papers, config);
+  EXPECT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = group_size;
+  params.reviewer_workload = papers >= 1 ? 0 : 1;
+  auto instance = Instance::FromDataset(*dataset, params);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(DeterminismTest, SraSameSeedSameResult) {
+  Instance instance = PoolInstance(10, 8, 3, 301);
+  auto sdga = SolveCraSdga(instance);
+  ASSERT_TRUE(sdga.ok());
+  SraOptions options;
+  options.max_iterations = 15;
+  options.seed = 99;
+  auto a = RefineSra(instance, *sdga, options);
+  auto b = RefineSra(instance, *sdga, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->TotalScore(), b->TotalScore());
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    EXPECT_EQ(a->GroupFor(p), b->GroupFor(p)) << "paper " << p;
+  }
+}
+
+TEST(DeterminismTest, LocalSearchSameSeedSameResult) {
+  Instance instance = PoolInstance(10, 8, 3, 302);
+  auto sdga = SolveCraSdga(instance);
+  ASSERT_TRUE(sdga.ok());
+  LocalSearchOptions options;
+  options.max_stall_proposals = 500;
+  options.seed = 7;
+  auto a = RefineLocalSearch(instance, *sdga, options);
+  auto b = RefineLocalSearch(instance, *sdga, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->TotalScore(), b->TotalScore());
+}
+
+TEST(DeterminismTest, DatasetGenerationIsPure) {
+  // Generating a second dataset must not perturb the first (no hidden
+  // global RNG state).
+  data::SyntheticDblpConfig config;
+  config.seed = 5;
+  auto first = data::GenerateReviewerPool(8, 4, config);
+  auto unrelated = data::GenerateReviewerPool(20, 9, config);
+  auto second = data::GenerateReviewerPool(8, 4, config);
+  ASSERT_TRUE(first.ok() && unrelated.ok() && second.ok());
+  for (int r = 0; r < 8; ++r) {
+    for (int t = 0; t < first->num_topics; ++t) {
+      ASSERT_DOUBLE_EQ(first->reviewers[r].topics[t],
+                       second->reviewers[r].topics[t]);
+    }
+  }
+}
+
+TEST(JraConflictAgreementTest, IlpAndCpHonourConflicts) {
+  Instance instance = PoolInstance(9, 2, 3, 303);
+  instance.AddConflict(0, 0);
+  instance.AddConflict(3, 0);
+  instance.AddConflict(7, 0);
+  auto bfs = SolveJraBruteForce(instance, 0);
+  auto ilp = SolveJraIlp(instance, 0);
+  auto cp = SolveJraCp(instance, 0);
+  ASSERT_TRUE(bfs.ok() && ilp.ok() && cp.ok());
+  EXPECT_NEAR(ilp->score, bfs->score, 1e-6);
+  EXPECT_NEAR(cp->score, bfs->score, 1e-9);
+  for (const auto* result : {&*ilp, &*cp}) {
+    for (int r : result->group) {
+      EXPECT_NE(r, 0);
+      EXPECT_NE(r, 3);
+      EXPECT_NE(r, 7);
+    }
+  }
+}
+
+TEST(JraConflictAgreementTest, ConflictOnlyAffectsItsPaper) {
+  Instance instance = PoolInstance(9, 2, 2, 304);
+  auto before = SolveJraBba(instance, 1);
+  ASSERT_TRUE(before.ok());
+  // Conflict the optimum of paper 0; paper 1's optimum is untouched.
+  auto p0 = SolveJraBba(instance, 0);
+  ASSERT_TRUE(p0.ok());
+  instance.AddConflict(p0->group[0], 0);
+  auto after = SolveJraBba(instance, 1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(before->score, after->score);
+}
+
+}  // namespace
+}  // namespace wgrap::core

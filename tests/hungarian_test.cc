@@ -1,0 +1,151 @@
+// Hungarian algorithm tests: hand-checked instances, property checks
+// against brute-force enumeration on random matrices, rectangular cases,
+// forbidden pairs and infeasibility.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/hungarian.h"
+
+namespace wgrap::la {
+namespace {
+
+// Exact min-cost assignment by permutation enumeration (rows <= cols).
+double BruteForceMinCost(const Matrix& cost) {
+  const int n = cost.rows();
+  const int m = cost.cols();
+  std::vector<int> cols(m);
+  std::iota(cols.begin(), cols.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate all m!/(m-n)! injections via permutations of columns.
+  std::sort(cols.begin(), cols.end());
+  do {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += cost.At(i, cols[i]);
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(HungarianTest, TrivialSingleCell) {
+  Matrix cost(1, 1, 3.5);
+  auto result = SolveMinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_to_col[0], 0);
+  EXPECT_DOUBLE_EQ(result->objective, 3.5);
+}
+
+TEST(HungarianTest, ClassicThreeByThree) {
+  Matrix cost(3, 3);
+  const double values[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) cost.At(i, j) = values[i][j];
+  }
+  auto result = SolveMinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->objective, 5.0);  // 1 + 2 + 2
+}
+
+TEST(HungarianTest, RectangularUsesBestColumns) {
+  Matrix cost(2, 4, 10.0);
+  cost.At(0, 3) = 1.0;
+  cost.At(1, 2) = 2.0;
+  auto result = SolveMinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->objective, 3.0);
+  EXPECT_EQ(result->row_to_col[0], 3);
+  EXPECT_EQ(result->row_to_col[1], 2);
+}
+
+TEST(HungarianTest, RowsExceedColsRejected) {
+  Matrix cost(3, 2, 1.0);
+  auto result = SolveMinCostAssignment(cost);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HungarianTest, ForbiddenPairAvoided) {
+  Matrix cost(2, 2, 1.0);
+  cost.At(0, 0) = kForbidden;
+  auto result = SolveMinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_to_col[0], 1);
+  EXPECT_EQ(result->row_to_col[1], 0);
+}
+
+TEST(HungarianTest, AllForbiddenRowInfeasible) {
+  Matrix cost(2, 2, kForbidden);
+  cost.At(1, 0) = 1.0;
+  cost.At(1, 1) = 1.0;
+  auto result = SolveMinCostAssignment(cost);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(HungarianTest, MaxProfitNegatesCorrectly) {
+  Matrix profit(2, 2);
+  profit.At(0, 0) = 5.0;
+  profit.At(0, 1) = 1.0;
+  profit.At(1, 0) = 2.0;
+  profit.At(1, 1) = 3.0;
+  auto result = SolveMaxProfitAssignment(profit);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->objective, 8.0);  // 5 + 3
+}
+
+TEST(HungarianTest, NegativeCostsSupported) {
+  Matrix cost(2, 2);
+  cost.At(0, 0) = -4.0;
+  cost.At(0, 1) = 0.0;
+  cost.At(1, 0) = 0.0;
+  cost.At(1, 1) = -6.0;
+  auto result = SolveMinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->objective, -10.0);
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForceSquare) {
+  Rng rng(1000 + GetParam());
+  const int n = 2 + GetParam() % 5;  // 2..6
+  Matrix cost(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) cost.At(i, j) = rng.NextDouble() * 10.0;
+  }
+  auto result = SolveMinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, BruteForceMinCost(cost), 1e-9);
+  // Assignment must be a valid injection.
+  std::vector<char> used(n, 0);
+  for (int i = 0; i < n; ++i) {
+    const int j = result->row_to_col[i];
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, n);
+    EXPECT_FALSE(used[j]);
+    used[j] = 1;
+  }
+}
+
+TEST_P(HungarianRandomTest, MatchesBruteForceRectangular) {
+  Rng rng(2000 + GetParam());
+  const int n = 2 + GetParam() % 3;      // 2..4 rows
+  const int m = n + 1 + GetParam() % 3;  // up to n+3 cols
+  Matrix cost(n, m);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) cost.At(i, j) = rng.NextDouble() * 10.0;
+  }
+  auto result = SolveMinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, BruteForceMinCost(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, HungarianRandomTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace wgrap::la

@@ -1,0 +1,150 @@
+// Branch & bound MIP tests: knapsacks with known optima, LP-vs-IP gaps,
+// infeasible integer problems, node/time limits and random instances
+// verified against exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/ilp.h"
+
+namespace wgrap::lp {
+namespace {
+
+TEST(IlpTest, BinaryKnapsack) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary -> {b, c} = 20.
+  Model model;
+  const int a = model.AddVariable(10.0, true);
+  const int b = model.AddVariable(13.0, true);
+  const int c = model.AddVariable(7.0, true);
+  for (int v : {a, b, c}) model.AddUpperBound(v, 1.0);
+  model.AddConstraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, Sense::kLessEqual, 6.0);
+  auto result = SolveIlp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->solution.objective, 20.0, 1e-6);
+  EXPECT_NEAR(result->solution.x[a], 0.0, 1e-6);
+  EXPECT_NEAR(result->solution.x[b], 1.0, 1e-6);
+  EXPECT_NEAR(result->solution.x[c], 1.0, 1e-6);
+  EXPECT_TRUE(result->proven_optimal);
+}
+
+TEST(IlpTest, IntegralityChangesOptimum) {
+  // LP relaxation: x = 1.5 with objective 1.5; IP: x <= 1.
+  Model model;
+  const int x = model.AddVariable(1.0, true);
+  model.AddConstraint({{x, 2.0}}, Sense::kLessEqual, 3.0);
+  auto lp = SolveLp(model);
+  ASSERT_TRUE(lp.ok());
+  EXPECT_NEAR(lp->objective, 1.5, 1e-7);
+  auto ip = SolveIlp(model);
+  ASSERT_TRUE(ip.ok());
+  EXPECT_NEAR(ip->solution.objective, 1.0, 1e-6);
+}
+
+TEST(IlpTest, MixedIntegerKeepsContinuousFree) {
+  // y continuous rides to its bound, x integral.
+  Model model;
+  const int x = model.AddVariable(1.0, true);
+  const int y = model.AddVariable(1.0, false);
+  model.AddConstraint({{x, 2.0}}, Sense::kLessEqual, 3.0);
+  model.AddConstraint({{y, 1.0}}, Sense::kLessEqual, 0.5);
+  auto result = SolveIlp(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution.objective, 1.5, 1e-6);
+  EXPECT_NEAR(result->solution.x[y], 0.5, 1e-6);
+}
+
+TEST(IlpTest, EqualityCardinality) {
+  // Pick exactly 2 of 4 items maximizing weights.
+  Model model;
+  const double weights[] = {0.4, 0.9, 0.1, 0.7};
+  std::vector<int> x;
+  for (double w : weights) {
+    x.push_back(model.AddVariable(w, true));
+    model.AddUpperBound(x.back(), 1.0);
+  }
+  std::vector<std::pair<int, double>> sum;
+  for (int v : x) sum.emplace_back(v, 1.0);
+  model.AddConstraint(std::move(sum), Sense::kEqual, 2.0);
+  auto result = SolveIlp(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution.objective, 1.6, 1e-6);  // items 1 and 3
+}
+
+TEST(IlpTest, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  Model model;
+  const int x = model.AddVariable(1.0, true);
+  model.AddConstraint({{x, 1.0}}, Sense::kGreaterEqual, 0.4);
+  model.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 0.6);
+  auto result = SolveIlp(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(IlpTest, NodeLimitReturnsExhausted) {
+  Model model;
+  std::vector<int> x;
+  Rng rng(5);
+  std::vector<std::pair<int, double>> sum;
+  for (int i = 0; i < 12; ++i) {
+    x.push_back(model.AddVariable(rng.NextDouble(), true));
+    model.AddUpperBound(x.back(), 1.0);
+    sum.emplace_back(x.back(), 1.0 + rng.NextDouble());
+  }
+  model.AddConstraint(std::move(sum), Sense::kLessEqual, 6.0);
+  IlpOptions options;
+  options.max_nodes = 1;
+  auto result = SolveIlp(model, options);
+  // With one node we either got lucky (integral LP) or hit the limit.
+  if (result.ok()) {
+    EXPECT_FALSE(result->proven_optimal && result->nodes_explored > 1);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+// Exhaustive check on random binary knapsack instances.
+class IlpRandomKnapsackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpRandomKnapsackTest, MatchesEnumeration) {
+  Rng rng(4000 + GetParam());
+  const int n = 3 + GetParam() % 6;  // 3..8 items
+  std::vector<double> value(n), weight(n);
+  for (int i = 0; i < n; ++i) {
+    value[i] = 0.1 + rng.NextDouble();
+    weight[i] = 0.1 + rng.NextDouble();
+  }
+  const double budget = 0.4 * n * 0.6;
+
+  Model model;
+  std::vector<int> x;
+  std::vector<std::pair<int, double>> sum;
+  for (int i = 0; i < n; ++i) {
+    x.push_back(model.AddVariable(value[i], true));
+    model.AddUpperBound(x.back(), 1.0);
+    sum.emplace_back(x.back(), weight[i]);
+  }
+  model.AddConstraint(std::move(sum), Sense::kLessEqual, budget);
+  auto result = SolveIlp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0.0, w = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += value[i];
+        w += weight[i];
+      }
+    }
+    if (w <= budget + 1e-9) best = std::max(best, v);
+  }
+  EXPECT_NEAR(result->solution.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, IlpRandomKnapsackTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace wgrap::lp

@@ -1,0 +1,138 @@
+// Instance construction tests: validation, default workload (⌈P·δp/R⌉),
+// capacity feasibility, COI registration, pair scores.
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+data::RapDataset TinyDataset() {
+  data::RapDataset dataset;
+  dataset.num_topics = 3;
+  dataset.reviewers.push_back({"r0", {0.1, 0.5, 0.4}, 10});
+  dataset.reviewers.push_back({"r1", {1.0, 0.0, 0.0}, 20});
+  dataset.reviewers.push_back({"r2", {0.0, 1.0, 0.0}, 30});
+  dataset.papers.push_back({"p0", {0.6, 0.0, 0.4}, "V"});
+  dataset.papers.push_back({"p1", {0.5, 0.5, 0.0}, "V"});
+  dataset.papers.push_back({"p2", {0.5, 0.5, 0.0}, "V"});
+  return dataset;
+}
+
+TEST(InstanceTest, MinimalWorkloadFormula) {
+  EXPECT_EQ(Instance::MinimalWorkload(617, 105, 3), 18);  // ceil(1851/105)
+  EXPECT_EQ(Instance::MinimalWorkload(545, 203, 3), 9);   // ceil(1635/203)
+  EXPECT_EQ(Instance::MinimalWorkload(10, 10, 1), 1);
+  EXPECT_EQ(Instance::MinimalWorkload(0, 5, 3), 0);
+}
+
+TEST(InstanceTest, DefaultWorkloadIsMinimal) {
+  InstanceParams params;
+  params.group_size = 2;
+  auto instance = Instance::FromDataset(TinyDataset(), params);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->reviewer_workload(), 2);  // ceil(3*2/3)
+  EXPECT_EQ(instance->num_papers(), 3);
+  EXPECT_EQ(instance->num_reviewers(), 3);
+  EXPECT_EQ(instance->num_topics(), 3);
+}
+
+TEST(InstanceTest, ExplicitWorkloadRespected) {
+  InstanceParams params;
+  params.group_size = 2;
+  params.reviewer_workload = 3;
+  auto instance = Instance::FromDataset(TinyDataset(), params);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->reviewer_workload(), 3);
+}
+
+TEST(InstanceTest, InsufficientCapacityRejected) {
+  InstanceParams params;
+  params.group_size = 2;
+  params.reviewer_workload = 1;  // 3 < 6 required
+  auto instance = Instance::FromDataset(TinyDataset(), params);
+  ASSERT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InstanceTest, GroupSizeLargerThanPoolRejected) {
+  InstanceParams params;
+  params.group_size = 4;
+  auto instance = Instance::FromDataset(TinyDataset(), params);
+  EXPECT_FALSE(instance.ok());
+}
+
+TEST(InstanceTest, BadGroupSizeRejected) {
+  InstanceParams params;
+  params.group_size = 0;
+  EXPECT_FALSE(Instance::FromDataset(TinyDataset(), params).ok());
+}
+
+TEST(InstanceTest, InvalidDatasetRejected) {
+  auto dataset = TinyDataset();
+  dataset.papers[0].topics = {0.0, 0.0, 0.0};  // zero mass
+  InstanceParams params;
+  params.group_size = 1;
+  EXPECT_FALSE(Instance::FromDataset(dataset, params).ok());
+}
+
+TEST(InstanceTest, PairScoreMatchesDefinitionOne) {
+  InstanceParams params;
+  params.group_size = 2;
+  auto instance = Instance::FromDataset(TinyDataset(), params);
+  ASSERT_TRUE(instance.ok());
+  // c(r0, p0) = min(.1,.6)+min(.5,0)+min(.4,.4) = 0.5, mass 1.0.
+  EXPECT_NEAR(instance->PairScore(0, 0), 0.5, 1e-12);
+  // c(r1, p1) = min(1,.5)+0+0 = 0.5.
+  EXPECT_NEAR(instance->PairScore(1, 1), 0.5, 1e-12);
+}
+
+TEST(InstanceTest, PaperMassStored) {
+  auto dataset = TinyDataset();
+  dataset.papers[0].topics = {0.3, 0.0, 0.3};  // mass 0.6
+  InstanceParams params;
+  params.group_size = 2;
+  auto instance = Instance::FromDataset(dataset, params);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_NEAR(instance->PaperMass(0), 0.6, 1e-12);
+  // Score renormalized by 0.6: min(.1,.3)+min(.4,.3) = 0.4 / 0.6.
+  EXPECT_NEAR(instance->PairScore(0, 0), 0.4 / 0.6, 1e-12);
+}
+
+TEST(InstanceTest, ConflictRegistrationAndLookup) {
+  InstanceParams params;
+  params.group_size = 2;
+  auto instance = Instance::FromDataset(TinyDataset(), params);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_FALSE(instance->IsConflict(1, 2));
+  instance->AddConflict(1, 2);
+  EXPECT_TRUE(instance->IsConflict(1, 2));
+  EXPECT_FALSE(instance->IsConflict(2, 1));
+}
+
+TEST(InstanceTest, ScoringFunctionPropagates) {
+  InstanceParams params;
+  params.group_size = 2;
+  params.scoring = ScoringFunction::kDotProduct;
+  auto instance = Instance::FromDataset(TinyDataset(), params);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->scoring(), ScoringFunction::kDotProduct);
+  // cD(r1, p0) = 1.0 * 0.6 = 0.6.
+  EXPECT_NEAR(instance->PairScore(1, 0), 0.6, 1e-12);
+}
+
+TEST(InstanceTest, FromGeneratedDatasetAtScale) {
+  data::SyntheticDblpConfig config;
+  auto dataset = data::GenerateConferenceDataset(data::Area::kDatabases, 2008,
+                                                 config);
+  ASSERT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = 3;
+  auto instance = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->reviewer_workload(), 18);  // Sec. 5.2 minimal workload
+}
+
+}  // namespace
+}  // namespace wgrap::core

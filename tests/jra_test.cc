@@ -1,0 +1,245 @@
+// JRA solver tests: all four solvers agree with brute force on random
+// instances (the core exactness property of the paper's BBA), the Fig. 5
+// worked example, top-k correctness against full enumeration, COI handling,
+// and the ablation switches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/jra.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+Instance PoolInstance(int num_reviewers, int group_size, uint64_t seed,
+                      ScoringFunction scoring =
+                          ScoringFunction::kWeightedCoverage,
+                      int num_topics = 8) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = num_topics;
+  config.seed = seed;
+  auto dataset = data::GenerateReviewerPool(num_reviewers, 3, config);
+  EXPECT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = group_size;
+  params.reviewer_workload = num_reviewers;  // irrelevant for JRA
+  params.scoring = scoring;
+  auto instance = Instance::FromDataset(*dataset, params);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+// Fig. 5 of the paper: the optimal 2-group scores 0.9.
+data::RapDataset Figure5Dataset() {
+  data::RapDataset dataset;
+  dataset.num_topics = 3;
+  dataset.reviewers.push_back({"r1", {0.15, 0.75, 0.1}, 1});
+  dataset.reviewers.push_back({"r2", {0.75, 0.15, 0.1}, 1});
+  dataset.reviewers.push_back({"r3", {0.1, 0.35, 0.55}, 1});
+  dataset.papers.push_back({"p", {0.35, 0.45, 0.2}, "V"});
+  return dataset;
+}
+
+TEST(JraBbaTest, Figure5OptimalGroupScore) {
+  InstanceParams params;
+  params.group_size = 2;
+  params.reviewer_workload = 3;
+  auto instance = Instance::FromDataset(Figure5Dataset(), params);
+  ASSERT_TRUE(instance.ok());
+  auto result = SolveJraBba(*instance, 0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->score, 0.9, 1e-12);
+  EXPECT_TRUE(result->proven_optimal);
+  // Both {r1,r2} and {r2,r3} score 0.9; either is acceptable.
+  std::set<std::vector<int>> optima = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(optima.count(result->group)) << "unexpected group";
+}
+
+TEST(JraBfsTest, Figure5MatchesBba) {
+  InstanceParams params;
+  params.group_size = 2;
+  params.reviewer_workload = 3;
+  auto instance = Instance::FromDataset(Figure5Dataset(), params);
+  ASSERT_TRUE(instance.ok());
+  auto bfs = SolveJraBruteForce(*instance, 0);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_NEAR(bfs->score, 0.9, 1e-12);
+}
+
+struct JraCase {
+  int num_reviewers;
+  int group_size;
+  uint64_t seed;
+  ScoringFunction scoring;
+};
+
+class JraAgreementTest : public ::testing::TestWithParam<JraCase> {};
+
+TEST_P(JraAgreementTest, AllSolversMatchBruteForce) {
+  const JraCase& c = GetParam();
+  Instance instance =
+      PoolInstance(c.num_reviewers, c.group_size, c.seed, c.scoring);
+  auto bfs = SolveJraBruteForce(instance, 0);
+  ASSERT_TRUE(bfs.ok());
+
+  auto bba = SolveJraBba(instance, 0);
+  ASSERT_TRUE(bba.ok());
+  EXPECT_NEAR(bba->score, bfs->score, 1e-9) << "BBA";
+  EXPECT_TRUE(bba->proven_optimal);
+
+  auto cp = SolveJraCp(instance, 0);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_NEAR(cp->score, bfs->score, 1e-9) << "CP";
+
+  auto ilp = SolveJraIlp(instance, 0);
+  ASSERT_TRUE(ilp.ok()) << ilp.status().ToString();
+  EXPECT_NEAR(ilp->score, bfs->score, 1e-6) << "ILP";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JraAgreementTest,
+    ::testing::Values(
+        JraCase{6, 2, 11, ScoringFunction::kWeightedCoverage},
+        JraCase{8, 3, 12, ScoringFunction::kWeightedCoverage},
+        JraCase{10, 2, 13, ScoringFunction::kWeightedCoverage},
+        JraCase{10, 3, 14, ScoringFunction::kWeightedCoverage},
+        JraCase{12, 3, 15, ScoringFunction::kWeightedCoverage},
+        JraCase{8, 4, 16, ScoringFunction::kWeightedCoverage},
+        JraCase{8, 3, 17, ScoringFunction::kReviewerCoverage},
+        JraCase{8, 3, 18, ScoringFunction::kPaperCoverage},
+        JraCase{8, 3, 19, ScoringFunction::kDotProduct},
+        JraCase{14, 2, 20, ScoringFunction::kWeightedCoverage}));
+
+class BbaLargerSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BbaLargerSweepTest, BbaMatchesBruteForce) {
+  Instance instance = PoolInstance(16, 3, 100 + GetParam());
+  auto bfs = SolveJraBruteForce(instance, 0);
+  auto bba = SolveJraBba(instance, 0);
+  ASSERT_TRUE(bfs.ok() && bba.ok());
+  EXPECT_NEAR(bba->score, bfs->score, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BbaLargerSweepTest, ::testing::Range(0, 10));
+
+TEST(JraBbaTest, AblationSwitchesStayExact) {
+  Instance instance = PoolInstance(12, 3, 21);
+  auto reference = SolveJraBruteForce(instance, 0);
+  ASSERT_TRUE(reference.ok());
+  for (bool bounding : {true, false}) {
+    for (bool gain_branching : {true, false}) {
+      BbaOptions options;
+      options.use_bounding = bounding;
+      options.use_gain_branching = gain_branching;
+      auto result = SolveJraBba(instance, 0, options);
+      ASSERT_TRUE(result.ok());
+      EXPECT_NEAR(result->score, reference->score, 1e-9)
+          << "bounding=" << bounding << " gain=" << gain_branching;
+    }
+  }
+}
+
+TEST(JraBbaTest, BoundingReducesExploredNodes) {
+  Instance instance = PoolInstance(40, 3, 22);
+  BbaOptions with_bound;
+  BbaOptions without_bound;
+  without_bound.use_bounding = false;
+  auto bounded = SolveJraBba(instance, 0, with_bound);
+  auto unbounded = SolveJraBba(instance, 0, without_bound);
+  ASSERT_TRUE(bounded.ok() && unbounded.ok());
+  EXPECT_NEAR(bounded->score, unbounded->score, 1e-9);
+  EXPECT_LT(bounded->nodes_explored, unbounded->nodes_explored);
+}
+
+TEST(JraTopKTest, MatchesEnumerationOrder) {
+  Instance instance = PoolInstance(9, 3, 23);
+  const int k = 10;
+  auto topk = SolveJraBbaTopK(instance, 0, k);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_EQ(topk->size(), static_cast<size_t>(k));
+
+  // Enumerate all 3-groups, sort scores descending.
+  std::vector<double> all_scores;
+  for (int a = 0; a < 9; ++a) {
+    for (int b = a + 1; b < 9; ++b) {
+      for (int c = b + 1; c < 9; ++c) {
+        all_scores.push_back(ScoreGroup(instance, 0, {a, b, c}));
+      }
+    }
+  }
+  std::sort(all_scores.rbegin(), all_scores.rend());
+  for (int i = 0; i < k; ++i) {
+    EXPECT_NEAR((*topk)[i].score, all_scores[i], 1e-9) << "rank " << i;
+  }
+  // Results are distinct groups.
+  std::set<std::vector<int>> unique;
+  for (const auto& r : *topk) unique.insert(r.group);
+  EXPECT_EQ(unique.size(), static_cast<size_t>(k));
+}
+
+TEST(JraTopKTest, KLargerThanSpaceReturnsAll) {
+  Instance instance = PoolInstance(5, 2, 24);
+  auto topk = SolveJraBbaTopK(instance, 0, 100);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->size(), 10u);  // C(5,2)
+}
+
+TEST(JraTest, ConflictsExcluded) {
+  Instance instance = PoolInstance(8, 2, 25);
+  // Forbid the best reviewer found by an unconstrained run.
+  auto unconstrained = SolveJraBba(instance, 0);
+  ASSERT_TRUE(unconstrained.ok());
+  const int banned = unconstrained->group[0];
+  instance.AddConflict(banned, 0);
+  for (auto solve : {SolveJraBruteForce, +[](const Instance& i, int p,
+                                             const JraOptions& o) {
+                       return SolveJraBba(i, p, BbaOptions{o});
+                     }}) {
+    auto result = solve(instance, 0, {});
+    ASSERT_TRUE(result.ok());
+    for (int r : result->group) EXPECT_NE(r, banned);
+  }
+}
+
+TEST(JraTest, InfeasibleWhenConflictsExhaustPool) {
+  Instance instance = PoolInstance(4, 3, 26);
+  instance.AddConflict(0, 0);
+  instance.AddConflict(1, 0);
+  auto result = SolveJraBba(instance, 0);
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+  auto bfs = SolveJraBruteForce(instance, 0);
+  EXPECT_EQ(bfs.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(JraTest, GroupSizeEqualsPoolSize) {
+  Instance instance = PoolInstance(4, 4, 27);
+  auto result = SolveJraBba(instance, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->group, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(JraTest, PaperIdOutOfRangeRejected) {
+  Instance instance = PoolInstance(5, 2, 28);
+  EXPECT_FALSE(SolveJraBba(instance, 99).ok());
+  EXPECT_FALSE(SolveJraBruteForce(instance, -1).ok());
+  EXPECT_FALSE(SolveJraIlp(instance, 99).ok());
+  EXPECT_FALSE(SolveJraCp(instance, 99).ok());
+}
+
+TEST(JraTest, BbaTimeLimitReportsAbort) {
+  Instance instance = PoolInstance(60, 4, 29);
+  BbaOptions options;
+  options.max_nodes = 3;  // absurdly small
+  auto result = SolveJraBba(instance, 0, options);
+  if (result.ok()) {
+    EXPECT_FALSE(result->proven_optimal);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+}  // namespace
+}  // namespace wgrap::core

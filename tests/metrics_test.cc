@@ -1,0 +1,146 @@
+// Metrics tests: ideal assignment dominance, optimality/superiority ratios,
+// lowest coverage, Fig. 7 closed forms, and the case-study report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/case_study.h"
+#include "core/cra.h"
+#include "core/metrics.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+struct Fixture {
+  data::RapDataset dataset;
+  Instance instance;
+};
+
+Fixture MakeFixture(int reviewers, int papers, int group_size, uint64_t seed) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 8;
+  config.seed = seed;
+  auto dataset = data::GenerateReviewerPool(reviewers, papers, config);
+  EXPECT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = group_size;
+  auto instance = Instance::FromDataset(*dataset, params);
+  EXPECT_TRUE(instance.ok());
+  return Fixture{std::move(dataset).value(), std::move(instance).value()};
+}
+
+TEST(IdealAssignmentTest, DominatesEveryFeasibleSolver) {
+  Fixture f = MakeFixture(10, 8, 3, 91);
+  auto ideal = BuildIdealAssignment(f.instance);
+  ASSERT_TRUE(ideal.ok());
+  auto greedy = SolveCraGreedy(f.instance);
+  auto sdga = SolveCraSdga(f.instance);
+  ASSERT_TRUE(greedy.ok() && sdga.ok());
+  EXPECT_GE(ideal->TotalScore(), greedy->TotalScore() - 1e-9);
+  EXPECT_GE(ideal->TotalScore(), sdga->TotalScore() - 1e-9);
+  // Per-paper: the ideal group is at least as good as any feasible group.
+  for (int p = 0; p < f.instance.num_papers(); ++p) {
+    EXPECT_GE(ideal->PaperScore(p), sdga->PaperScore(p) - 1e-9);
+  }
+}
+
+TEST(IdealAssignmentTest, IgnoresWorkloads) {
+  // One super-expert: the ideal assignment reuses them for every paper.
+  data::RapDataset dataset;
+  dataset.num_topics = 2;
+  dataset.reviewers.push_back({"star", {0.5, 0.5}, 1});
+  dataset.reviewers.push_back({"weak", {0.98, 0.02}, 1});
+  for (int i = 0; i < 4; ++i) {
+    dataset.papers.push_back({"p", {0.5, 0.5}, "V"});
+  }
+  InstanceParams params;
+  params.group_size = 1;
+  params.reviewer_workload = 2;
+  auto instance = Instance::FromDataset(dataset, params);
+  ASSERT_TRUE(instance.ok());
+  auto ideal = BuildIdealAssignment(*instance);
+  ASSERT_TRUE(ideal.ok());
+  EXPECT_EQ(ideal->LoadOf(0), 4);  // far above δr = 2
+  EXPECT_NEAR(ideal->TotalScore(), 4.0, 1e-9);
+}
+
+TEST(MetricsTest, OptimalityRatioInUnitRange) {
+  Fixture f = MakeFixture(10, 8, 3, 92);
+  auto ideal = BuildIdealAssignment(f.instance);
+  auto sdga = SolveCraSdga(f.instance);
+  ASSERT_TRUE(ideal.ok() && sdga.ok());
+  const double ratio = OptimalityRatio(*sdga, *ideal);
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0 + 1e-12);
+  EXPECT_DOUBLE_EQ(OptimalityRatio(*ideal, *ideal), 1.0);
+}
+
+TEST(MetricsTest, SuperiorityRatioReflexive) {
+  Fixture f = MakeFixture(8, 6, 2, 93);
+  auto sdga = SolveCraSdga(f.instance);
+  ASSERT_TRUE(sdga.ok());
+  const Superiority s = SuperiorityRatio(*sdga, *sdga);
+  EXPECT_DOUBLE_EQ(s.better_or_equal, 1.0);
+  EXPECT_DOUBLE_EQ(s.tie, 1.0);
+}
+
+TEST(MetricsTest, SuperiorityOfIdealIsTotal) {
+  Fixture f = MakeFixture(8, 6, 2, 94);
+  auto ideal = BuildIdealAssignment(f.instance);
+  auto greedy = SolveCraGreedy(f.instance);
+  ASSERT_TRUE(ideal.ok() && greedy.ok());
+  EXPECT_DOUBLE_EQ(SuperiorityRatio(*ideal, *greedy).better_or_equal, 1.0);
+}
+
+TEST(MetricsTest, LowestCoverageIsMinimum) {
+  Fixture f = MakeFixture(8, 6, 2, 95);
+  auto sdga = SolveCraSdga(f.instance);
+  ASSERT_TRUE(sdga.ok());
+  const double lowest = LowestCoverage(*sdga);
+  for (int p = 0; p < f.instance.num_papers(); ++p) {
+    EXPECT_LE(lowest, sdga->PaperScore(p) + 1e-12);
+  }
+  EXPECT_GE(lowest, 0.0);
+}
+
+TEST(Fig7ClosedFormsTest, MatchPaperValues) {
+  // Integral case: 1 - (1 - 1/δp)^δp; general: exponent δp - 1.
+  EXPECT_NEAR(SdgaRatioIntegral(2), 0.75, 1e-12);
+  EXPECT_NEAR(SdgaRatioGeneral(2), 0.5, 1e-12);       // Theorem 2 floor
+  EXPECT_NEAR(SdgaRatioGeneral(3), 5.0 / 9.0, 1e-12); // quoted in Sec. 4.3
+  EXPECT_NEAR(SdgaRatioGeneral(5), 0.5904, 1e-4);     // quoted in Sec. 4.3
+  // Monotone increasing in δp, approaching 1 - 1/e.
+  for (int dp = 2; dp < 10; ++dp) {
+    EXPECT_LT(SdgaRatioGeneral(dp), SdgaRatioGeneral(dp + 1));
+    EXPECT_GE(SdgaRatioGeneral(dp), 0.5 - 1e-12);
+  }
+  EXPECT_NEAR(SdgaRatioIntegral(1000), 1.0 - 1.0 / M_E, 1e-3);
+}
+
+TEST(CaseStudyTest, TopTopicsSortedByPaperWeight) {
+  Fixture f = MakeFixture(6, 4, 2, 96);
+  const auto top = TopTopics(f.instance, 0, 5);
+  ASSERT_EQ(top.size(), 5u);
+  const double* pv = f.instance.PaperVector(0);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(pv[top[i - 1]], pv[top[i]]);
+  }
+}
+
+TEST(CaseStudyTest, ReportContainsPaperAndGroupRows) {
+  Fixture f = MakeFixture(6, 4, 2, 97);
+  auto sdga = SolveCraSdga(f.instance);
+  ASSERT_TRUE(sdga.ok());
+  const auto report = BuildCaseStudy(f.instance, *sdga, f.dataset, 0, 5);
+  ASSERT_EQ(report.rows.size(), 1u + 2u);  // paper + δp reviewers
+  EXPECT_EQ(report.rows[0].label, "Paper");
+  EXPECT_EQ(report.rows[0].weights.size(), 5u);
+  EXPECT_NEAR(report.group_score, sdga->PaperScore(0), 1e-12);
+  const std::string text = FormatCaseStudy(report, "SDGA");
+  EXPECT_NE(text.find("SDGA (Score ="), std::string::npos);
+  EXPECT_NE(text.find("Paper"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wgrap::core

@@ -1,0 +1,107 @@
+// Min-cost max-flow tests: hand-built networks, negative edge costs
+// (Bellman–Ford priming), flow caps and per-edge flow queries.
+#include <gtest/gtest.h>
+
+#include "la/min_cost_flow.h"
+
+namespace wgrap::la {
+namespace {
+
+TEST(MinCostFlowTest, SingleEdge) {
+  MinCostFlow flow(2);
+  const int e = flow.AddEdge(0, 1, 5, 3);
+  auto result = flow.Solve(0, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 5);
+  EXPECT_EQ(result->cost, 15);
+  EXPECT_EQ(flow.FlowOnEdge(e), 5);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  // 0 -> 1 -> 3 (cost 2) vs 0 -> 2 -> 3 (cost 10), capacity 1 each.
+  MinCostFlow flow(4);
+  flow.AddEdge(0, 1, 1, 1);
+  flow.AddEdge(1, 3, 1, 1);
+  flow.AddEdge(0, 2, 1, 5);
+  flow.AddEdge(2, 3, 1, 5);
+  auto result = flow.Solve(0, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 2);
+  EXPECT_EQ(result->cost, 12);
+}
+
+TEST(MinCostFlowTest, MaxFlowCapRespected) {
+  MinCostFlow flow(2);
+  flow.AddEdge(0, 1, 10, 1);
+  auto result = flow.Solve(0, 1, /*max_flow=*/4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 4);
+  EXPECT_EQ(result->cost, 4);
+}
+
+TEST(MinCostFlowTest, NegativeCostsHandled) {
+  // The negative edge must be used despite a "free" alternative.
+  MinCostFlow flow(3);
+  flow.AddEdge(0, 1, 1, -5);
+  flow.AddEdge(1, 2, 1, 1);
+  flow.AddEdge(0, 2, 1, 0);
+  auto result = flow.Solve(0, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 2);
+  EXPECT_EQ(result->cost, -4);
+}
+
+TEST(MinCostFlowTest, DisconnectedGivesZeroFlow) {
+  MinCostFlow flow(3);
+  flow.AddEdge(0, 1, 1, 1);
+  auto result = flow.Solve(0, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 0);
+  EXPECT_EQ(result->cost, 0);
+}
+
+TEST(MinCostFlowTest, SourceEqualsSinkRejected) {
+  MinCostFlow flow(2);
+  auto result = flow.Solve(1, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MinCostFlowTest, ResidualReroutingFindsOptimum) {
+  // Classic case where a later augmentation must push flow back over the
+  // reverse edge of an earlier path.
+  MinCostFlow flow(4);
+  flow.AddEdge(0, 1, 1, 1);
+  flow.AddEdge(0, 2, 1, 4);
+  flow.AddEdge(1, 2, 1, 1);
+  flow.AddEdge(1, 3, 1, 5);
+  flow.AddEdge(2, 3, 2, 1);
+  auto result = flow.Solve(0, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 2);
+  // Optimal: 0-1-2-3 (cost 3) + 0-2-3 (cost 5) = 8.
+  EXPECT_EQ(result->cost, 8);
+}
+
+TEST(MinCostFlowTest, BipartiteAssignmentOptimal) {
+  // 2 tasks x 2 agents as a flow problem; optimal matching cost = 3.
+  // profits encoded as costs: t0-a0=1, t0-a1=4, t1-a0=5, t1-a1=2.
+  MinCostFlow flow(6);  // 0=s, 1-2 tasks, 3-4 agents, 5=t
+  flow.AddEdge(0, 1, 1, 0);
+  flow.AddEdge(0, 2, 1, 0);
+  const int e00 = flow.AddEdge(1, 3, 1, 1);
+  flow.AddEdge(1, 4, 1, 4);
+  flow.AddEdge(2, 3, 1, 5);
+  const int e11 = flow.AddEdge(2, 4, 1, 2);
+  flow.AddEdge(3, 5, 1, 0);
+  flow.AddEdge(4, 5, 1, 0);
+  auto result = flow.Solve(0, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->flow, 2);
+  EXPECT_EQ(result->cost, 3);
+  EXPECT_EQ(flow.FlowOnEdge(e00), 1);
+  EXPECT_EQ(flow.FlowOnEdge(e11), 1);
+}
+
+}  // namespace
+}  // namespace wgrap::la

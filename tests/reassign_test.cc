@@ -1,0 +1,117 @@
+// Post-hoc maintenance tests: single-paper reassignment and late-COI
+// repair keep the assignment feasible and never leave a conflicted pair.
+#include <gtest/gtest.h>
+
+#include "core/cra.h"
+#include "core/reassign.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+Instance PoolInstance(int reviewers, int papers, int group_size,
+                      uint64_t seed) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 8;
+  config.seed = seed;
+  auto dataset = data::GenerateReviewerPool(reviewers, papers, config);
+  EXPECT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = group_size;
+  auto instance = Instance::FromDataset(*dataset, params);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(ReassignTest, PaperStaysCompleteAndOthersIntact) {
+  Instance instance = PoolInstance(10, 8, 3, 401);
+  auto solved = SolveCraSdga(instance);
+  ASSERT_TRUE(solved.ok());
+  Assignment assignment = *solved;
+  std::vector<std::vector<int>> others_before;
+  for (int p = 1; p < instance.num_papers(); ++p) {
+    others_before.push_back(assignment.GroupFor(p));
+  }
+  ASSERT_TRUE(ReassignPaper(instance, 0, &assignment).ok());
+  EXPECT_TRUE(assignment.ValidateComplete().ok());
+  // With spare capacity available the refill should not need swaps, so
+  // other papers are untouched.
+  int changed = 0;
+  for (int p = 1; p < instance.num_papers(); ++p) {
+    changed += assignment.GroupFor(p) != others_before[p - 1];
+  }
+  EXPECT_LE(changed, 1);  // at most one donor paper when a swap was needed
+}
+
+TEST(ReassignTest, RefillIsGreedyBest) {
+  // Start from a deliberately bad group for paper 0; reassignment should
+  // not make it worse than before.
+  Instance instance = PoolInstance(10, 6, 2, 402);
+  auto solved = SolveCraGreedy(instance);
+  ASSERT_TRUE(solved.ok());
+  Assignment assignment = *solved;
+  const double before = assignment.PaperScore(0);
+  ASSERT_TRUE(ReassignPaper(instance, 0, &assignment).ok());
+  EXPECT_GE(assignment.PaperScore(0), before - 1e-9);
+  EXPECT_TRUE(assignment.ValidateComplete().ok());
+}
+
+TEST(ReassignTest, OutOfRangeRejected) {
+  Instance instance = PoolInstance(6, 4, 2, 403);
+  auto solved = SolveCraSdga(instance);
+  ASSERT_TRUE(solved.ok());
+  Assignment assignment = *solved;
+  EXPECT_EQ(ReassignPaper(instance, 99, &assignment).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(LateConflictTest, AssignedPairIsReplaced) {
+  Instance instance = PoolInstance(10, 8, 3, 404);
+  auto solved = SolveCraSdga(instance);
+  ASSERT_TRUE(solved.ok());
+  Assignment assignment = *solved;
+  const int victim = assignment.GroupFor(0)[0];
+  ASSERT_TRUE(
+      DeclareConflictAndRepair(&instance, victim, 0, &assignment).ok());
+  EXPECT_TRUE(instance.IsConflict(victim, 0));
+  EXPECT_FALSE(assignment.Contains(0, victim));
+  EXPECT_TRUE(assignment.ValidateComplete().ok());
+}
+
+TEST(LateConflictTest, UnassignedPairOnlyRegisters) {
+  Instance instance = PoolInstance(10, 8, 3, 405);
+  auto solved = SolveCraSdga(instance);
+  ASSERT_TRUE(solved.ok());
+  Assignment assignment = *solved;
+  int unassigned = -1;
+  for (int r = 0; r < instance.num_reviewers(); ++r) {
+    if (!assignment.Contains(0, r)) {
+      unassigned = r;
+      break;
+    }
+  }
+  ASSERT_GE(unassigned, 0);
+  const double score = assignment.TotalScore();
+  ASSERT_TRUE(
+      DeclareConflictAndRepair(&instance, unassigned, 0, &assignment).ok());
+  EXPECT_DOUBLE_EQ(assignment.TotalScore(), score);  // untouched
+  EXPECT_TRUE(instance.IsConflict(unassigned, 0));
+}
+
+TEST(LateConflictTest, CascadeOfConflictsStaysFeasible) {
+  Instance instance = PoolInstance(12, 10, 3, 406);
+  auto solved = SolveCraSdga(instance);
+  ASSERT_TRUE(solved.ok());
+  Assignment assignment = *solved;
+  // Conflict every member of paper 0's group, one after another.
+  for (int step = 0; step < 3; ++step) {
+    const int victim = assignment.GroupFor(0)[0];
+    ASSERT_TRUE(
+        DeclareConflictAndRepair(&instance, victim, 0, &assignment).ok())
+        << "step " << step;
+    EXPECT_TRUE(assignment.ValidateComplete().ok());
+  }
+}
+
+}  // namespace
+}  // namespace wgrap::core

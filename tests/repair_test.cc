@@ -1,0 +1,137 @@
+// Swap-repair completion tests: direct fills, one-step swaps under
+// exactly-tight capacity, COI interaction, and genuine infeasibility.
+#include <gtest/gtest.h>
+
+#include "core/cra.h"
+#include "core/repair.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+Instance TightInstance(int reviewers, int papers, int group_size,
+                       uint64_t seed) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 6;
+  config.seed = seed;
+  auto dataset = data::GenerateReviewerPool(reviewers, papers, config);
+  EXPECT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = group_size;  // δr defaults to the minimal workload
+  auto instance = Instance::FromDataset(*dataset, params);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(RepairTest, FillsEmptyAssignmentDirectly) {
+  Instance instance = TightInstance(6, 4, 2, 1);
+  Assignment assignment(&instance);
+  ASSERT_TRUE(CompleteWithSwapRepair(instance, &assignment).ok());
+  EXPECT_TRUE(assignment.ValidateComplete().ok());
+}
+
+TEST(RepairTest, CompletesPartialAssignment) {
+  Instance instance = TightInstance(8, 6, 3, 2);
+  Assignment assignment(&instance);
+  // Pre-fill half the slots arbitrarily but feasibly.
+  for (int p = 0; p < 3; ++p) {
+    for (int r = 0; r < 3; ++r) ASSERT_TRUE(assignment.Add(p, r).ok());
+  }
+  ASSERT_TRUE(CompleteWithSwapRepair(instance, &assignment).ok());
+  EXPECT_TRUE(assignment.ValidateComplete().ok());
+}
+
+TEST(RepairTest, SwapResolvesStrandedPaper) {
+  // 3 reviewers, 3 papers, δp = 2, δr = 2 (exactly tight). Strand paper 2
+  // by pre-assigning so its only spare reviewers are already in its group.
+  data::RapDataset dataset;
+  dataset.num_topics = 2;
+  for (int r = 0; r < 3; ++r) {
+    dataset.reviewers.push_back({"r", {0.5, 0.5}, 1});
+  }
+  for (int p = 0; p < 3; ++p) {
+    dataset.papers.push_back({"p", {0.5, 0.5}, "V"});
+  }
+  InstanceParams params;
+  params.group_size = 2;
+  params.reviewer_workload = 2;
+  auto instance = Instance::FromDataset(dataset, params);
+  ASSERT_TRUE(instance.ok());
+  Assignment assignment(&*instance);
+  // p0 = {r0, r1}, p1 = {r0, r1}: r0, r1 exhausted; p2 can only draw r2
+  // directly and needs a swap for its second slot.
+  ASSERT_TRUE(assignment.Add(0, 0).ok());
+  ASSERT_TRUE(assignment.Add(0, 1).ok());
+  ASSERT_TRUE(assignment.Add(1, 0).ok());
+  ASSERT_TRUE(assignment.Add(1, 1).ok());
+  ASSERT_TRUE(CompleteWithSwapRepair(*instance, &assignment).ok());
+  EXPECT_TRUE(assignment.ValidateComplete().ok());
+}
+
+TEST(RepairTest, RespectsConflicts) {
+  Instance instance = TightInstance(6, 4, 2, 3);
+  instance.AddConflict(0, 0);
+  instance.AddConflict(1, 0);
+  Assignment assignment(&instance);
+  ASSERT_TRUE(CompleteWithSwapRepair(instance, &assignment).ok());
+  EXPECT_TRUE(assignment.ValidateComplete().ok());
+  for (int r : assignment.GroupFor(0)) {
+    EXPECT_FALSE(instance.IsConflict(r, 0));
+  }
+}
+
+TEST(RepairTest, InfeasibleWhenConflictsBlockEverything) {
+  // Paper 0 conflicts with everyone: no repair possible.
+  Instance instance = TightInstance(4, 2, 2, 4);
+  for (int r = 0; r < 4; ++r) instance.AddConflict(r, 0);
+  Assignment assignment(&instance);
+  EXPECT_EQ(CompleteWithSwapRepair(instance, &assignment).code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(RepairTest, NoOpOnCompleteAssignment) {
+  Instance instance = TightInstance(8, 5, 2, 5);
+  auto sdga = SolveCraSdga(instance);
+  ASSERT_TRUE(sdga.ok());
+  Assignment assignment = *sdga;
+  const double score = assignment.TotalScore();
+  ASSERT_TRUE(CompleteWithSwapRepair(instance, &assignment).ok());
+  EXPECT_DOUBLE_EQ(assignment.TotalScore(), score);
+}
+
+// Exactly-tight capacity sweeps: all construction heuristics must complete
+// (these configurations historically stranded SM/BRGG/Greedy).
+class TightCapacityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TightCapacityTest, AllConstructorsComplete) {
+  const uint64_t seed = 200 + GetParam();
+  // R·δr == P·δp exactly when P·δp divides R.
+  Instance instance = TightInstance(10, 10, 3, seed);  // δr = 3, tight
+  for (auto solve : {SolveCraStableMatching, SolveCraGreedy, SolveCraBrgg}) {
+    auto assignment = solve(instance, {});
+    ASSERT_TRUE(assignment.ok()) << assignment.status().ToString();
+    EXPECT_TRUE(assignment->ValidateComplete().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TightCapacityTest, ::testing::Range(0, 8));
+
+TEST(SdgaCapRelaxationTest, NonDivisibleWorkloadStillFeasible) {
+  // The DM08 δp=5 regression: δr = 14, ⌈δr/δp⌉ = 3 strands capacity in the
+  // last stage; SDGA must relax the cap rather than fail.
+  data::SyntheticDblpConfig config;
+  auto dataset =
+      data::GenerateConferenceDataset(data::Area::kDataMining, 2008, config);
+  ASSERT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = 5;
+  auto instance = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->reviewer_workload(), 14);
+  auto sdga = SolveCraSdga(*instance);
+  ASSERT_TRUE(sdga.ok()) << sdga.status().ToString();
+  EXPECT_TRUE(sdga->ValidateComplete().ok());
+}
+
+}  // namespace
+}  // namespace wgrap::core

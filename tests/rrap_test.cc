@@ -1,0 +1,96 @@
+// Retrieval-based RAP baseline tests: per-reviewer top-δr retrieval,
+// the imbalance the paper's Fig. 1(a) illustrates, and COI handling.
+#include <gtest/gtest.h>
+
+#include "core/cra.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+TEST(RrapTest, EveryReviewerTakesTopWorkloadPapers) {
+  data::RapDataset dataset;
+  dataset.num_topics = 2;
+  dataset.reviewers.push_back({"r0", {1.0, 0.0}, 1});
+  dataset.reviewers.push_back({"r1", {0.0, 1.0}, 1});
+  dataset.papers.push_back({"pa", {1.0, 0.0}, "V"});   // loved by r0
+  dataset.papers.push_back({"pb", {0.9, 0.1}, "V"});   // also r0-ish
+  dataset.papers.push_back({"pc", {0.0, 1.0}, "V"});   // loved by r1
+  InstanceParams params;
+  params.group_size = 1;
+  params.reviewer_workload = 2;
+  auto instance = Instance::FromDataset(dataset, params);
+  ASSERT_TRUE(instance.ok());
+  const RrapResult result = SolveCraRrap(*instance);
+  // r0 retrieves pa and pb; r1 retrieves pc and (tied low) one more.
+  ASSERT_EQ(result.reviewers_of_paper.size(), 3u);
+  EXPECT_EQ(result.reviewers_of_paper[0], (std::vector<int>{0}));
+  EXPECT_NE(std::find(result.reviewers_of_paper[2].begin(),
+                      result.reviewers_of_paper[2].end(), 1),
+            result.reviewers_of_paper[2].end());
+}
+
+TEST(RrapTest, ProducesImbalanceThatWgrapAvoids) {
+  // Many similar papers + one broad reviewer: RRAP piles reviewers on the
+  // popular papers and leaves others with fewer than δp reviewers; the
+  // WGRAP solvers never do (Fig. 1(a) motivation).
+  data::SyntheticDblpConfig config;
+  config.num_topics = 8;
+  config.seed = 42;
+  auto dataset = data::GenerateReviewerPool(12, 18, config);
+  ASSERT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = 2;
+  auto instance = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(instance.ok());
+
+  const RrapResult rrap = SolveCraRrap(*instance);
+  auto sdga = SolveCraSdga(*instance);
+  ASSERT_TRUE(sdga.ok());
+  // RRAP is imbalanced on this data; SDGA satisfies the constraint exactly.
+  EXPECT_GT(rrap.under_reviewed_papers, 0);
+  EXPECT_GT(rrap.max_reviewers_per_paper, instance->group_size());
+  for (int p = 0; p < instance->num_papers(); ++p) {
+    EXPECT_EQ(static_cast<int>(sdga->GroupFor(p).size()),
+              instance->group_size());
+  }
+}
+
+TEST(RrapTest, RespectsConflicts) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 6;
+  auto dataset = data::GenerateReviewerPool(6, 8, config);
+  ASSERT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = 2;
+  auto instance = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(instance.ok());
+  for (int p = 0; p < 8; ++p) instance->AddConflict(0, p);
+  const RrapResult result = SolveCraRrap(*instance);
+  for (const auto& reviewers : result.reviewers_of_paper) {
+    for (int r : reviewers) EXPECT_NE(r, 0);
+  }
+}
+
+TEST(RrapTest, PairwiseScoreMatchesManualSum) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 6;
+  config.seed = 9;
+  auto dataset = data::GenerateReviewerPool(5, 6, config);
+  ASSERT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = 1;
+  auto instance = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(instance.ok());
+  const RrapResult result = SolveCraRrap(*instance);
+  double manual = 0.0;
+  for (int p = 0; p < instance->num_papers(); ++p) {
+    for (int r : result.reviewers_of_paper[p]) {
+      manual += instance->PairScore(r, p);
+    }
+  }
+  EXPECT_NEAR(result.pairwise_score, manual, 1e-12);
+}
+
+}  // namespace
+}  // namespace wgrap::core

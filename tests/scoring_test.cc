@@ -1,0 +1,184 @@
+// Scoring-function tests, including the paper's worked examples:
+// Table 6 (all four functions on the same toy pair), Fig. 5(a) marginal
+// gains, and the submodularity property of Lemma 4 checked on random data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/scoring.h"
+
+namespace wgrap::core {
+namespace {
+
+const ScoringFunction kAllScorings[] = {
+    ScoringFunction::kWeightedCoverage, ScoringFunction::kReviewerCoverage,
+    ScoringFunction::kPaperCoverage, ScoringFunction::kDotProduct};
+
+TEST(ScoringTest, NamesMatchPaperNotation) {
+  EXPECT_EQ(ScoringFunctionName(ScoringFunction::kWeightedCoverage), "c");
+  EXPECT_EQ(ScoringFunctionName(ScoringFunction::kReviewerCoverage), "cR");
+  EXPECT_EQ(ScoringFunctionName(ScoringFunction::kPaperCoverage), "cP");
+  EXPECT_EQ(ScoringFunctionName(ScoringFunction::kDotProduct), "cD");
+}
+
+// Table 6 of the paper: p = (0.6, 0.4), r1 = (0.9, 0.1), r2 = (0.5, 0.5).
+class Table6Test : public ::testing::Test {
+ protected:
+  const std::vector<double> p_ = {0.6, 0.4};
+  const std::vector<double> r1_ = {0.9, 0.1};
+  const std::vector<double> r2_ = {0.5, 0.5};
+  const double mass_ = 1.0;
+
+  double Score(ScoringFunction f, const std::vector<double>& r) const {
+    return ScoreVectors(f, r.data(), p_.data(), 2, mass_);
+  }
+};
+
+TEST_F(Table6Test, ReviewerCoverage) {
+  EXPECT_NEAR(Score(ScoringFunction::kReviewerCoverage, r1_), 0.9, 1e-12);
+  EXPECT_NEAR(Score(ScoringFunction::kReviewerCoverage, r2_), 0.5, 1e-12);
+}
+
+TEST_F(Table6Test, PaperCoverage) {
+  EXPECT_NEAR(Score(ScoringFunction::kPaperCoverage, r1_), 0.6, 1e-12);
+  EXPECT_NEAR(Score(ScoringFunction::kPaperCoverage, r2_), 0.4, 1e-12);
+}
+
+TEST_F(Table6Test, DotProduct) {
+  EXPECT_NEAR(Score(ScoringFunction::kDotProduct, r1_), 0.58, 1e-12);
+  EXPECT_NEAR(Score(ScoringFunction::kDotProduct, r2_), 0.5, 1e-12);
+}
+
+TEST_F(Table6Test, WeightedCoveragePrefersR2) {
+  // The paper highlights that only weighted coverage prefers r2 over r1.
+  const double s1 = Score(ScoringFunction::kWeightedCoverage, r1_);
+  const double s2 = Score(ScoringFunction::kWeightedCoverage, r2_);
+  EXPECT_NEAR(s1, 0.7, 1e-12);
+  EXPECT_NEAR(s2, 0.9, 1e-12);
+  EXPECT_GT(s2, s1);
+}
+
+// Fig. 5 example: p = (0.35, 0.45, 0.2) with three reviewers.
+TEST(ScoringTest, Figure5MarginalGains) {
+  const std::vector<double> p = {0.35, 0.45, 0.2};
+  const std::vector<double> r1 = {0.15, 0.75, 0.1};
+  const std::vector<double> r2 = {0.75, 0.15, 0.1};
+  const std::vector<double> r3 = {0.1, 0.35, 0.55};
+  const std::vector<double> empty = {0.0, 0.0, 0.0};
+  const double mass = 1.0;
+  const auto f = ScoringFunction::kWeightedCoverage;
+  EXPECT_NEAR(MarginalGainVectors(f, empty.data(), r1.data(), p.data(), 3,
+                                  mass),
+              0.7, 1e-12);
+  EXPECT_NEAR(MarginalGainVectors(f, empty.data(), r2.data(), p.data(), 3,
+                                  mass),
+              0.6, 1e-12);
+  EXPECT_NEAR(MarginalGainVectors(f, empty.data(), r3.data(), p.data(), 3,
+                                  mass),
+              0.65, 1e-12);
+  // Fig. 5(d): gains on top of g = {r1}.
+  EXPECT_NEAR(MarginalGainVectors(f, r1.data(), r2.data(), p.data(), 3, mass),
+              0.2, 1e-12);
+  EXPECT_NEAR(MarginalGainVectors(f, r1.data(), r3.data(), p.data(), 3, mass),
+              0.1, 1e-12);
+}
+
+TEST(ScoringTest, NormalizationDividesByPaperMass) {
+  const std::vector<double> p = {0.2, 0.2};  // mass 0.4
+  const std::vector<double> r = {1.0, 1.0};
+  EXPECT_NEAR(ScoreVectors(ScoringFunction::kWeightedCoverage, r.data(),
+                           p.data(), 2, 0.4),
+              1.0, 1e-12);
+}
+
+TEST(ScoringTest, WeightedCoverageBoundedByOneForNormalizedVectors) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto p = rng.NextDirichlet(8, 0.2);
+    const auto r = rng.NextDirichlet(8, 0.2);
+    const double s =
+        ScoreVectors(ScoringFunction::kWeightedCoverage, r.data(), p.data(),
+                     8, 1.0);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-12);
+  }
+}
+
+TEST(ScoringTest, MarginalGainEqualsScoreDifference) {
+  // gain(g, r, p) must equal c(max(g,r), p) - c(g, p) for every function.
+  Rng rng(43);
+  const int T = 10;
+  for (ScoringFunction f : kAllScorings) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto p = rng.NextDirichlet(T, 0.3);
+      const auto g = rng.NextDirichlet(T, 0.3);
+      const auto r = rng.NextDirichlet(T, 0.3);
+      std::vector<double> merged(T);
+      for (int t = 0; t < T; ++t) merged[t] = std::max(g[t], r[t]);
+      const double direct = ScoreVectors(f, merged.data(), p.data(), T, 1.0) -
+                            ScoreVectors(f, g.data(), p.data(), T, 1.0);
+      const double gain =
+          MarginalGainVectors(f, g.data(), r.data(), p.data(), T, 1.0);
+      EXPECT_NEAR(gain, direct, 1e-12) << ScoringFunctionName(f);
+    }
+  }
+}
+
+TEST(ScoringTest, MonotoneInExpertise) {
+  // Condition C.2 of Lemma 4: raising any expertise entry never lowers the
+  // score.
+  Rng rng(44);
+  const int T = 6;
+  for (ScoringFunction f : kAllScorings) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto p = rng.NextDirichlet(T, 0.3);
+      auto r = rng.NextDirichlet(T, 0.3);
+      const double before = ScoreVectors(f, r.data(), p.data(), T, 1.0);
+      const int t = static_cast<int>(rng.NextBounded(T));
+      r[t] += rng.NextDouble();
+      const double after = ScoreVectors(f, r.data(), p.data(), T, 1.0);
+      EXPECT_GE(after, before - 1e-12) << ScoringFunctionName(f);
+    }
+  }
+}
+
+// Lemma 4: submodularity of group extension. Adding r to a *larger* group
+// never gains more than adding it to a subgroup.
+class SubmodularityTest
+    : public ::testing::TestWithParam<ScoringFunction> {};
+
+TEST_P(SubmodularityTest, DiminishingReturnsOverGroups) {
+  Rng rng(45);
+  const int T = 8;
+  const ScoringFunction f = GetParam();
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto p = rng.NextDirichlet(T, 0.3);
+    const auto g = rng.NextDirichlet(T, 0.3);       // base group vector
+    const auto r_new = rng.NextDirichlet(T, 0.3);   // reviewer being added
+    const auto r_other = rng.NextDirichlet(T, 0.3); // reviewer added first
+    std::vector<double> g_plus_other(T);
+    for (int t = 0; t < T; ++t) {
+      g_plus_other[t] = std::max(g[t], r_other[t]);
+    }
+    const double gain_small =
+        MarginalGainVectors(f, g.data(), r_new.data(), p.data(), T, 1.0);
+    const double gain_large = MarginalGainVectors(
+        f, g_plus_other.data(), r_new.data(), p.data(), T, 1.0);
+    EXPECT_GE(gain_small, gain_large - 1e-12) << ScoringFunctionName(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScoringFunctions, SubmodularityTest, ::testing::ValuesIn(kAllScorings),
+    [](const ::testing::TestParamInfo<ScoringFunction>& info) {
+      return ScoringFunctionName(info.param) == "c"
+                 ? std::string("weighted")
+             : ScoringFunctionName(info.param) == "cR" ? std::string("reviewer")
+             : ScoringFunctionName(info.param) == "cP" ? std::string("paper")
+                                                       : std::string("dot");
+    });
+
+}  // namespace
+}  // namespace wgrap::core

@@ -1,0 +1,126 @@
+// SGRAP special-case tests (Sec. 2.3): binarization, the identity between
+// weighted coverage on binary vectors and the set-coverage ratio, and the
+// WGRAP solvers running unmodified on SGRAP instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cra.h"
+#include "core/jra.h"
+#include "core/sgrap.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+TEST(SetCoverageTest, MatchesDefinition) {
+  EXPECT_DOUBLE_EQ(SetCoverageRatio({1, 2, 3}, {2, 3, 4}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(SetCoverageRatio({}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(SetCoverageRatio({1, 2}, {1, 2}), 1.0);
+  // Duplicate entries behave as sets.
+  EXPECT_DOUBLE_EQ(SetCoverageRatio({1, 1, 2}, {2, 2, 5}), 0.5);
+}
+
+TEST(BinarizeTest, ThresholdAndCap) {
+  data::RapDataset dataset;
+  dataset.num_topics = 4;
+  dataset.reviewers.push_back({"r", {0.5, 0.3, 0.1, 0.1}, 1});
+  dataset.papers.push_back({"p", {0.05, 0.05, 0.6, 0.3}, "V"});
+  BinarizeOptions options;
+  options.relative_threshold = 0.5;  // keep topics >= half the max
+  auto binary = BinarizeDataset(dataset, options);
+  ASSERT_TRUE(binary.ok());
+  EXPECT_EQ(binary->reviewers[0].topics, (std::vector<double>{1, 1, 0, 0}));
+  EXPECT_EQ(binary->papers[0].topics, (std::vector<double>{0, 0, 1, 1}));
+
+  options.max_topics_per_entity = 1;
+  auto capped = BinarizeDataset(dataset, options);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->reviewers[0].topics, (std::vector<double>{1, 0, 0, 0}));
+}
+
+TEST(BinarizeTest, NeverProducesZeroVector) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 12;
+  auto dataset = data::GenerateReviewerPool(15, 10, config);
+  ASSERT_TRUE(dataset.ok());
+  BinarizeOptions options;
+  options.relative_threshold = 1.0;  // keep only the max topic(s)
+  auto binary = BinarizeDataset(*dataset, options);
+  ASSERT_TRUE(binary.ok());
+  EXPECT_TRUE(binary->Validate().ok());  // zero-mass vectors would fail
+}
+
+TEST(BinarizeTest, RejectsBadOptions) {
+  data::RapDataset dataset;
+  dataset.num_topics = 2;
+  dataset.reviewers.push_back({"r", {0.5, 0.5}, 1});
+  dataset.papers.push_back({"p", {0.5, 0.5}, "V"});
+  BinarizeOptions options;
+  options.relative_threshold = 1.5;
+  EXPECT_FALSE(BinarizeDataset(dataset, options).ok());
+  options.relative_threshold = 0.5;
+  options.max_topics_per_entity = -1;
+  EXPECT_FALSE(BinarizeDataset(dataset, options).ok());
+}
+
+TEST(SgrapTest, WeightedCoverageEqualsSetCoverageOnBinaryVectors) {
+  // The Sec. 2.3 identity: c(T_g, T_p) = |T_g ∩ T_p| / |T_p|.
+  data::SyntheticDblpConfig config;
+  config.num_topics = 10;
+  config.seed = 17;
+  auto dataset = data::GenerateReviewerPool(8, 5, config);
+  ASSERT_TRUE(dataset.ok());
+  auto binary = BinarizeDataset(*dataset, {});
+  ASSERT_TRUE(binary.ok());
+  InstanceParams params;
+  params.group_size = 3;
+  params.reviewer_workload = 8;
+  auto instance = Instance::FromDataset(*binary, params);
+  ASSERT_TRUE(instance.ok());
+
+  for (int p = 0; p < instance->num_papers(); ++p) {
+    std::vector<int> paper_topics;
+    for (int t = 0; t < 10; ++t) {
+      if (binary->papers[p].topics[t] > 0) paper_topics.push_back(t);
+    }
+    const std::vector<int> group = {0, 3, 6};
+    std::vector<int> group_topics;
+    for (int r : group) {
+      for (int t = 0; t < 10; ++t) {
+        if (binary->reviewers[r].topics[t] > 0) group_topics.push_back(t);
+      }
+    }
+    EXPECT_NEAR(ScoreGroup(*instance, p, group),
+                SetCoverageRatio(group_topics, paper_topics), 1e-12)
+        << "paper " << p;
+  }
+}
+
+TEST(SgrapTest, SolversRunOnSgrapInstances) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 10;
+  config.seed = 18;
+  auto dataset = data::GenerateReviewerPool(10, 12, config);
+  ASSERT_TRUE(dataset.ok());
+  auto binary = BinarizeDataset(*dataset, {});
+  ASSERT_TRUE(binary.ok());
+  InstanceParams params;
+  params.group_size = 3;
+  auto instance = Instance::FromDataset(*binary, params);
+  ASSERT_TRUE(instance.ok());
+  // BBA stays exact on the set-coverage special case.
+  auto bba = SolveJraBba(*instance, 0);
+  auto bfs = SolveJraBruteForce(*instance, 0);
+  ASSERT_TRUE(bba.ok() && bfs.ok());
+  EXPECT_NEAR(bba->score, bfs->score, 1e-12);
+  // The CRA pipeline keeps its guarantees (SGRAP ⊂ WGRAP).
+  auto sdga = SolveCraSdga(*instance);
+  auto greedy = SolveCraGreedy(*instance);
+  ASSERT_TRUE(sdga.ok() && greedy.ok());
+  EXPECT_TRUE(sdga->ValidateComplete().ok());
+  EXPECT_TRUE(greedy->ValidateComplete().ok());
+}
+
+}  // namespace
+}  // namespace wgrap::core

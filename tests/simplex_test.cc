@@ -1,0 +1,135 @@
+// Two-phase simplex tests: textbook LPs, equality/>= rows (phase 1),
+// infeasible and unbounded detection, degenerate problems.
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace wgrap::lp {
+namespace {
+
+TEST(SimplexTest, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> opt 36 at (2, 6).
+  Model model;
+  const int x = model.AddVariable(3.0);
+  const int y = model.AddVariable(5.0);
+  model.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  model.AddConstraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  model.AddConstraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, 36.0, 1e-7);
+  EXPECT_NEAR(result->x[x], 2.0, 1e-7);
+  EXPECT_NEAR(result->x[y], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraintViaPhaseOne) {
+  // max x + y s.t. x + y = 5, x <= 3 -> opt 5.
+  Model model;
+  const int x = model.AddVariable(1.0);
+  const int y = model.AddVariable(1.0);
+  model.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 5.0);
+  model.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 3.0);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, 5.0, 1e-7);
+  EXPECT_NEAR(result->x[x] + result->x[y], 5.0, 1e-7);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // max -x s.t. x >= 2  -> opt -2 (minimize x above 2).
+  Model model;
+  const int x = model.AddVariable(-1.0);
+  model.AddConstraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, -2.0, 1e-7);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // max x s.t. -x <= -2 (i.e. x >= 2), x <= 5 -> opt 5.
+  Model model;
+  const int x = model.AddVariable(1.0);
+  model.AddConstraint({{x, -1.0}}, Sense::kLessEqual, -2.0);
+  model.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 5.0);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, 5.0, 1e-7);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  Model model;
+  const int x = model.AddVariable(1.0);
+  model.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  model.AddConstraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  auto result = SolveLp(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  Model model;
+  const int x = model.AddVariable(1.0);
+  model.AddConstraint({{x, -1.0}}, Sense::kLessEqual, 0.0);  // x >= 0 only
+  auto result = SolveLp(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum.
+  Model model;
+  const int x = model.AddVariable(1.0);
+  const int y = model.AddVariable(1.0);
+  model.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 2.0);
+  model.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 2.0);
+  model.AddConstraint({{x, 2.0}, {y, 2.0}}, Sense::kLessEqual, 4.0);
+  model.AddConstraint({{x, 1.0}}, Sense::kLessEqual, 2.0);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  Model model;
+  const int x = model.AddVariable(2.0);
+  model.AddConstraint({{x, 1.0}}, Sense::kEqual, 3.0);
+  model.AddConstraint({{x, 2.0}}, Sense::kEqual, 6.0);  // redundant copy
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, 6.0, 1e-7);
+}
+
+TEST(SimplexTest, EmptyModelRejected) {
+  Model model;
+  auto result = SolveLp(model);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, PivotLimitReported) {
+  Model model;
+  const int x = model.AddVariable(1.0);
+  const int y = model.AddVariable(1.0);
+  model.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 2.0);
+  SimplexOptions options;
+  options.max_pivots = 1;  // too few to finish
+  auto result = SolveLp(model, options);
+  // Either it finished in one pivot or reports exhaustion — both acceptable,
+  // but a crash/hang is not.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ModelTest, ToStringMentionsConstraints) {
+  Model model;
+  const int x = model.AddVariable(1.5);
+  model.AddConstraint({{x, 2.0}}, Sense::kLessEqual, 3.0);
+  const std::string s = model.ToString();
+  EXPECT_NE(s.find("maximize"), std::string::npos);
+  EXPECT_NE(s.find("<= 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wgrap::lp

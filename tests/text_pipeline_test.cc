@@ -1,0 +1,197 @@
+// Tokenizer / vocabulary / LDA tests: text normalization, stop-word and
+// frequency filtering, corpus building from raw text, and LDA recovering
+// structure from a two-topic corpus (plus agreement with EM inference).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "topic/em.h"
+#include "topic/lda.h"
+#include "topic/tokenizer.h"
+
+namespace wgrap::topic {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlpha) {
+  const auto tokens = Tokenize("Query-Processing over B+Trees (v2).");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"query", "processing", "over",
+                                              "trees"}));
+}
+
+TEST(TokenizerTest, MinLengthFilters) {
+  const auto tokens = Tokenize("a an the ab abc", /*min_length=*/3);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "abc"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("12 34 !!").empty());
+}
+
+TEST(StopWordTest, CommonWordsCaught) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("propose"));
+  EXPECT_FALSE(IsStopWord("database"));
+}
+
+TEST(VocabularyTest, StableIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("join"), 0);
+  EXPECT_EQ(vocab.GetOrAdd("index"), 1);
+  EXPECT_EQ(vocab.GetOrAdd("join"), 0);
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_EQ(vocab.word(1), "index");
+  EXPECT_EQ(vocab.Find("index"), 1);
+  EXPECT_EQ(vocab.Find("missing"), -1);
+}
+
+TEST(BuildCorpusTest, EndToEnd) {
+  std::vector<RawDocument> docs = {
+      {"The query optimizer rewrites the query plan.", {0}},
+      {"Index structures accelerate query processing!", {0, 1}},
+  };
+  auto built = BuildCorpus(docs, /*num_authors=*/2);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built->corpus.num_documents(), 2);
+  EXPECT_EQ(built->corpus.num_authors, 2);
+  // "the" is a stop word; "query" appears in both documents.
+  EXPECT_EQ(built->vocabulary.Find("the"), -1);
+  const int query_id = built->vocabulary.Find("query");
+  ASSERT_GE(query_id, 0);
+  int query_count = 0;
+  for (const auto& doc : built->corpus.documents) {
+    for (int w : doc.words) query_count += w == query_id;
+  }
+  EXPECT_EQ(query_count, 3);
+}
+
+TEST(BuildCorpusTest, DocumentFrequencyCutoff) {
+  std::vector<RawDocument> docs = {
+      {"uniqueone shared shared", {0}},
+      {"uniquetwo shared shared", {0}},
+  };
+  CorpusBuilderOptions options;
+  options.min_document_frequency = 2;
+  auto built = BuildCorpus(docs, 1, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->vocabulary.size(), 1);  // only "shared" survives
+  EXPECT_EQ(built->vocabulary.Find("uniqueone"), -1);
+}
+
+TEST(BuildCorpusTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(BuildCorpus({}, 1).ok());
+  EXPECT_FALSE(BuildCorpus({{"the a an", {0}}}, 1).ok());  // empties out
+  EXPECT_FALSE(BuildCorpus({{"words here", {5}}}, 1).ok());  // bad author
+  EXPECT_FALSE(BuildCorpus({{"words here", {}}}, 1).ok());   // no author
+}
+
+TEST(LdaTest, RejectsBadOptions) {
+  Corpus corpus;
+  corpus.vocab_size = 4;
+  corpus.num_authors = 1;
+  corpus.documents.push_back({{0, 1}, {0}});
+  Rng rng(1);
+  LdaOptions options;
+  options.num_topics = 0;
+  EXPECT_FALSE(FitLda(corpus, options, &rng).ok());
+}
+
+TEST(LdaTest, RecoverTwoDisjointTopics) {
+  // Documents use either words {0..4} or {5..9}; with T=2 LDA should
+  // separate them almost perfectly.
+  Corpus corpus;
+  corpus.vocab_size = 10;
+  corpus.num_authors = 1;
+  Rng data_rng(7);
+  for (int d = 0; d < 40; ++d) {
+    Document doc;
+    doc.authors = {0};
+    const int base = d % 2 == 0 ? 0 : 5;
+    for (int i = 0; i < 60; ++i) {
+      doc.words.push_back(base + static_cast<int>(data_rng.NextBounded(5)));
+    }
+    corpus.documents.push_back(std::move(doc));
+  }
+  Rng rng(8);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 120;
+  options.burn_in = 60;
+  auto model = FitLda(corpus, options, &rng);
+  ASSERT_TRUE(model.ok());
+  // Each document loads >90% on a single topic, and even/odd documents load
+  // on different topics.
+  const int topic_of_doc0 =
+      model->doc_topics(0, 0) > model->doc_topics(0, 1) ? 0 : 1;
+  int agree = 0;
+  for (int d = 0; d < 40; ++d) {
+    const int dominant =
+        model->doc_topics(d, 0) > model->doc_topics(d, 1) ? 0 : 1;
+    const int expected = d % 2 == 0 ? topic_of_doc0 : 1 - topic_of_doc0;
+    agree += dominant == expected;
+    EXPECT_GT(model->doc_topics(d, dominant), 0.8) << "doc " << d;
+  }
+  EXPECT_GE(agree, 38);
+}
+
+TEST(LdaTest, PhiRowsAreDistributions) {
+  Corpus corpus;
+  corpus.vocab_size = 20;
+  corpus.num_authors = 1;
+  Rng data_rng(9);
+  for (int d = 0; d < 10; ++d) {
+    Document doc;
+    doc.authors = {0};
+    for (int i = 0; i < 30; ++i) {
+      doc.words.push_back(static_cast<int>(data_rng.NextBounded(20)));
+    }
+    corpus.documents.push_back(std::move(doc));
+  }
+  Rng rng(10);
+  LdaOptions options;
+  options.num_topics = 3;
+  options.iterations = 40;
+  options.burn_in = 20;
+  auto model = FitLda(corpus, options, &rng);
+  ASSERT_TRUE(model.ok());
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NEAR(model->phi.RowSum(t), 1.0, 1e-9);
+  }
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_NEAR(model->doc_topics.RowSum(d), 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, EmInferenceAgreesWithFittedDocTopics) {
+  // EM against the fitted phi should land close to LDA's own doc mixture
+  // on a cleanly separable corpus.
+  Corpus corpus;
+  corpus.vocab_size = 10;
+  corpus.num_authors = 1;
+  Rng data_rng(11);
+  for (int d = 0; d < 30; ++d) {
+    Document doc;
+    doc.authors = {0};
+    const int base = d % 2 == 0 ? 0 : 5;
+    for (int i = 0; i < 50; ++i) {
+      doc.words.push_back(base + static_cast<int>(data_rng.NextBounded(5)));
+    }
+    corpus.documents.push_back(std::move(doc));
+  }
+  Rng rng(12);
+  LdaOptions options;
+  options.num_topics = 2;
+  options.iterations = 100;
+  options.burn_in = 50;
+  auto model = FitLda(corpus, options, &rng);
+  ASSERT_TRUE(model.ok());
+  auto inferred = InferTopicMixture(corpus.documents[0].words, model->phi);
+  ASSERT_TRUE(inferred.ok());
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_NEAR((*inferred)[t], model->doc_topics(0, t), 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace wgrap::topic

@@ -1,0 +1,231 @@
+// Topic-model substrate tests: corpus validation, synthetic generation,
+// ATM fitting (topic recovery on synthetic ground truth, perplexity), and
+// EM paper-vector inference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "topic/atm.h"
+#include "topic/corpus.h"
+#include "topic/em.h"
+#include "topic/synthetic.h"
+
+namespace wgrap::topic {
+namespace {
+
+TEST(CorpusTest, ValidCorpusPasses) {
+  Corpus corpus;
+  corpus.vocab_size = 10;
+  corpus.num_authors = 2;
+  corpus.documents.push_back({{0, 1, 2}, {0}});
+  corpus.documents.push_back({{3, 4}, {0, 1}});
+  EXPECT_TRUE(corpus.Validate().ok());
+  EXPECT_EQ(corpus.TotalTokens(), 5);
+  EXPECT_EQ(corpus.num_documents(), 2);
+}
+
+TEST(CorpusTest, RejectsBadIds) {
+  Corpus corpus;
+  corpus.vocab_size = 5;
+  corpus.num_authors = 1;
+  corpus.documents.push_back({{7}, {0}});  // word out of range
+  EXPECT_EQ(corpus.Validate().code(), StatusCode::kOutOfRange);
+  corpus.documents[0] = {{1}, {3}};  // author out of range
+  EXPECT_EQ(corpus.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CorpusTest, RejectsEmptyDocument) {
+  Corpus corpus;
+  corpus.vocab_size = 5;
+  corpus.num_authors = 1;
+  corpus.documents.push_back({{}, {0}});
+  EXPECT_EQ(corpus.Validate().code(), StatusCode::kInvalidArgument);
+  corpus.documents[0] = {{1}, {}};
+  EXPECT_EQ(corpus.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SyntheticCorpusTest, GeneratesValidCorpus) {
+  SyntheticCorpusConfig config;
+  config.num_topics = 5;
+  config.vocab_size = 200;
+  config.num_authors = 12;
+  config.num_documents = 40;
+  Rng rng(1);
+  auto generated = GenerateSyntheticCorpus(config, &rng);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_TRUE(generated->corpus.Validate().ok());
+  EXPECT_EQ(generated->corpus.num_documents(), 40);
+  EXPECT_EQ(generated->true_theta.rows(), 12);
+  EXPECT_EQ(generated->true_phi.rows(), 5);
+  // Ground-truth rows are distributions.
+  for (int a = 0; a < 12; ++a) {
+    EXPECT_NEAR(generated->true_theta.RowSum(a), 1.0, 1e-9);
+  }
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_NEAR(generated->true_phi.RowSum(t), 1.0, 1e-9);
+  }
+}
+
+TEST(SyntheticCorpusTest, RejectsBadConfig) {
+  SyntheticCorpusConfig config;
+  config.num_topics = 0;
+  Rng rng(1);
+  EXPECT_FALSE(GenerateSyntheticCorpus(config, &rng).ok());
+}
+
+TEST(AtmTest, RejectsBadOptions) {
+  SyntheticCorpusConfig config;
+  config.num_topics = 3;
+  config.vocab_size = 50;
+  config.num_authors = 4;
+  config.num_documents = 10;
+  Rng rng(2);
+  auto generated = GenerateSyntheticCorpus(config, &rng);
+  ASSERT_TRUE(generated.ok());
+  AtmOptions options;
+  options.num_topics = 0;
+  EXPECT_FALSE(FitAtm(generated->corpus, options, &rng).ok());
+  options.num_topics = 3;
+  options.alpha = 0.0;
+  EXPECT_FALSE(FitAtm(generated->corpus, options, &rng).ok());
+}
+
+TEST(AtmTest, OutputsAreDistributions) {
+  SyntheticCorpusConfig config;
+  config.num_topics = 4;
+  config.vocab_size = 100;
+  config.num_authors = 8;
+  config.num_documents = 30;
+  Rng rng(3);
+  auto generated = GenerateSyntheticCorpus(config, &rng);
+  ASSERT_TRUE(generated.ok());
+  AtmOptions options;
+  options.num_topics = 4;
+  options.iterations = 30;
+  options.burn_in = 15;
+  auto model = FitAtm(generated->corpus, options, &rng);
+  ASSERT_TRUE(model.ok());
+  for (int a = 0; a < 8; ++a) {
+    EXPECT_NEAR(model->theta.RowSum(a), 1.0, 1e-9);
+  }
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NEAR(model->phi.RowSum(t), 1.0, 1e-9);
+  }
+}
+
+TEST(AtmTest, BeatsUniformPerplexity) {
+  SyntheticCorpusConfig config;
+  config.num_topics = 5;
+  config.vocab_size = 300;
+  config.num_authors = 10;
+  config.num_documents = 60;
+  Rng rng(4);
+  auto generated = GenerateSyntheticCorpus(config, &rng);
+  ASSERT_TRUE(generated.ok());
+  AtmOptions options;
+  options.num_topics = 5;
+  options.iterations = 60;
+  options.burn_in = 30;
+  auto model = FitAtm(generated->corpus, options, &rng);
+  ASSERT_TRUE(model.ok());
+  const double fitted = ComputePerplexity(generated->corpus, *model);
+  // A uniform model has perplexity == vocab size.
+  EXPECT_LT(fitted, 0.5 * config.vocab_size);
+}
+
+TEST(AtmTest, RecoversSyntheticTopics) {
+  // With well-separated topics, each true topic should have a fitted topic
+  // whose word distribution is much closer to it than random.
+  SyntheticCorpusConfig config;
+  config.num_topics = 4;
+  config.vocab_size = 120;
+  config.num_authors = 16;
+  config.num_documents = 150;
+  config.mean_document_length = 150;
+  config.topic_dirichlet = 0.02;  // sharp topics
+  Rng rng(5);
+  auto generated = GenerateSyntheticCorpus(config, &rng);
+  ASSERT_TRUE(generated.ok());
+  AtmOptions options;
+  options.num_topics = 4;
+  options.iterations = 150;
+  options.burn_in = 80;
+  auto model = FitAtm(generated->corpus, options, &rng);
+  ASSERT_TRUE(model.ok());
+
+  // Greedy best-match by L1 distance; demand a decisively small distance
+  // (random pairs of sparse Dirichlet topics have L1 distance ~2).
+  int well_matched = 0;
+  for (int truth = 0; truth < 4; ++truth) {
+    double best = 2.0;
+    for (int fit = 0; fit < 4; ++fit) {
+      double l1 = 0.0;
+      for (int w = 0; w < config.vocab_size; ++w) {
+        l1 += std::abs(generated->true_phi(truth, w) - model->phi(fit, w));
+      }
+      best = std::min(best, l1);
+    }
+    if (best < 0.8) ++well_matched;
+  }
+  EXPECT_GE(well_matched, 3) << "topic recovery failed";
+}
+
+TEST(EmTest, RecoversPureTopicDocument) {
+  // phi has two disjoint topics; a document of only topic-0 words should
+  // load almost entirely on topic 0.
+  Matrix phi(2, 4, 0.0);
+  phi(0, 0) = 0.5;
+  phi(0, 1) = 0.5;
+  phi(1, 2) = 0.5;
+  phi(1, 3) = 0.5;
+  auto pi = InferTopicMixture({0, 1, 0, 1, 0}, phi);
+  ASSERT_TRUE(pi.ok());
+  EXPECT_GT((*pi)[0], 0.95);
+}
+
+TEST(EmTest, RecoversMixtureProportions) {
+  Matrix phi(2, 4, 0.0);
+  phi(0, 0) = 0.5;
+  phi(0, 1) = 0.5;
+  phi(1, 2) = 0.5;
+  phi(1, 3) = 0.5;
+  // 6 tokens of topic 0, 2 of topic 1 -> expect roughly 0.75 / 0.25.
+  auto pi = InferTopicMixture({0, 1, 0, 1, 0, 1, 2, 3}, phi);
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR((*pi)[0], 0.75, 0.05);
+  EXPECT_NEAR((*pi)[1], 0.25, 0.05);
+}
+
+TEST(EmTest, OutputSumsToOne) {
+  Rng rng(6);
+  Matrix phi(3, 50);
+  for (int t = 0; t < 3; ++t) {
+    auto row = rng.NextDirichlet(50, 0.1);
+    for (int w = 0; w < 50; ++w) phi(t, w) = row[w];
+  }
+  std::vector<int> words;
+  for (int i = 0; i < 40; ++i) {
+    words.push_back(static_cast<int>(rng.NextBounded(50)));
+  }
+  auto pi = InferTopicMixture(words, phi);
+  ASSERT_TRUE(pi.ok());
+  double total = 0.0;
+  for (double v : *pi) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EmTest, RejectsBadInput) {
+  Matrix phi(2, 4, 0.25);
+  EXPECT_FALSE(InferTopicMixture({}, phi).ok());
+  EXPECT_FALSE(InferTopicMixture({9}, phi).ok());
+  EXPECT_FALSE(InferTopicMixture({0}, Matrix()).ok());
+}
+
+}  // namespace
+}  // namespace wgrap::topic

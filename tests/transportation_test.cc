@@ -1,0 +1,116 @@
+// Transportation wrapper tests: equivalence with Hungarian when all
+// capacities are 1, capacity handling, demand > 1, forbidden pairs and
+// infeasibility detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "la/hungarian.h"
+#include "la/transportation.h"
+
+namespace wgrap::la {
+namespace {
+
+TEST(TransportationTest, SimpleTwoByTwo) {
+  Matrix profit(2, 2);
+  profit.At(0, 0) = 0.9;
+  profit.At(0, 1) = 0.1;
+  profit.At(1, 0) = 0.8;
+  profit.At(1, 1) = 0.7;
+  auto result = SolveTransportation(profit, {1, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->task_to_agent[0], 0);
+  EXPECT_EQ(result->task_to_agent[1], 1);
+  EXPECT_NEAR(result->profit, 1.6, 1e-9);
+}
+
+TEST(TransportationTest, CapacityAllowsReuse) {
+  // One strong agent with capacity 2 should take both tasks.
+  Matrix profit(2, 2);
+  profit.At(0, 0) = 1.0;
+  profit.At(0, 1) = 0.1;
+  profit.At(1, 0) = 1.0;
+  profit.At(1, 1) = 0.1;
+  auto result = SolveTransportation(profit, {2, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->task_to_agent[0], 0);
+  EXPECT_EQ(result->task_to_agent[1], 0);
+}
+
+TEST(TransportationTest, CapacityForcesSpread) {
+  Matrix profit(2, 2);
+  profit.At(0, 0) = 1.0;
+  profit.At(0, 1) = 0.9;
+  profit.At(1, 0) = 1.0;
+  profit.At(1, 1) = 0.1;
+  // Agent 0 can take only one; the optimal split gives task 0 to agent 1.
+  auto result = SolveTransportation(profit, {1, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->task_to_agent[0], 1);
+  EXPECT_EQ(result->task_to_agent[1], 0);
+  EXPECT_NEAR(result->profit, 1.9, 1e-9);
+}
+
+TEST(TransportationTest, InsufficientCapacityInfeasible) {
+  Matrix profit(3, 2, 1.0);
+  auto result = SolveTransportation(profit, {1, 1});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(TransportationTest, ForbiddenPairAvoided) {
+  Matrix profit(2, 2, 0.5);
+  profit.At(0, 0) = kTransportForbidden;
+  auto result = SolveTransportation(profit, {1, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->task_to_agent[0], 1);
+}
+
+TEST(TransportationTest, AllForbiddenForTaskInfeasible) {
+  Matrix profit(1, 2, kTransportForbidden);
+  auto result = SolveTransportation(profit, {1, 1});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(TransportationTest, DemandAssignsDistinctAgents) {
+  Matrix profit(1, 4);
+  for (int a = 0; a < 4; ++a) profit.At(0, a) = 0.1 * (a + 1);
+  auto result = SolveTransportationWithDemand(profit, {1, 1, 1, 1}, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->task_to_agents[0].size(), 3u);
+  // Best three agents: 1, 2, 3.
+  EXPECT_NEAR(result->profit, 0.2 + 0.3 + 0.4, 1e-9);
+}
+
+TEST(TransportationTest, ZeroDemandIsEmpty) {
+  Matrix profit(2, 2, 1.0);
+  auto result = SolveTransportationWithDemand(profit, {1, 1}, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->task_to_agents[0].empty());
+  EXPECT_DOUBLE_EQ(result->profit, 0.0);
+}
+
+class TransportationVsHungarianTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportationVsHungarianTest, UnitCapacitiesMatchHungarian) {
+  Rng rng(3000 + GetParam());
+  const int tasks = 2 + GetParam() % 4;
+  const int agents = tasks + GetParam() % 3;
+  Matrix profit(tasks, agents);
+  for (int t = 0; t < tasks; ++t) {
+    for (int a = 0; a < agents; ++a) profit.At(t, a) = rng.NextDouble();
+  }
+  auto transport = SolveTransportation(profit, std::vector<int>(agents, 1));
+  auto hungarian = SolveMaxProfitAssignment(profit);
+  ASSERT_TRUE(transport.ok());
+  ASSERT_TRUE(hungarian.ok());
+  EXPECT_NEAR(transport->profit, hungarian->objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, TransportationVsHungarianTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace wgrap::la

@@ -1,0 +1,300 @@
+// wgrap command-line tool: dataset generation, conference solving, journal
+// (JRA) queries, evaluation and case studies over the CSV formats of
+// data/io.h — the workflow a program chair would actually run.
+//
+//   wgrap_cli generate  --area DB --year 2008 --out dataset.csv
+//   wgrap_cli generate  --pool 300 --papers 50 --out pool.csv
+//   wgrap_cli solve     --dataset d.csv --dp 3 [--dr N] [--algo sdga-sra]
+//                       [--scoring c|cR|cP|cD] [--budget 20] --out a.csv
+//   wgrap_cli jra       --dataset d.csv --paper 0 --dp 3 [--topk 5]
+//   wgrap_cli evaluate  --dataset d.csv --assignment a.csv --dp 3 [--dr N]
+//   wgrap_cli casestudy --dataset d.csv --assignment a.csv --paper 0 --dp 3
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/wgrap.h"
+#include "data/io.h"
+#include "data/synthetic_dblp.h"
+
+namespace {
+
+using namespace wgrap;
+
+// --- tiny flag parser ------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  std::string Require(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+[[noreturn]] void Die(const Status& status, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+core::ScoringFunction ParseScoring(const std::string& name) {
+  if (name == "c") return core::ScoringFunction::kWeightedCoverage;
+  if (name == "cR") return core::ScoringFunction::kReviewerCoverage;
+  if (name == "cP") return core::ScoringFunction::kPaperCoverage;
+  if (name == "cD") return core::ScoringFunction::kDotProduct;
+  std::fprintf(stderr, "unknown scoring '%s' (use c, cR, cP, cD)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+data::RapDataset LoadDatasetOrDie(const std::string& path) {
+  auto dataset = data::LoadDataset(path);
+  if (!dataset.ok()) Die(dataset.status(), "load dataset");
+  return std::move(dataset).value();
+}
+
+core::Instance MakeInstanceOrDie(const data::RapDataset& dataset,
+                                 const Flags& flags) {
+  core::InstanceParams params;
+  params.group_size = flags.GetInt("dp", 3);
+  params.reviewer_workload = flags.GetInt("dr", 0);
+  params.scoring = ParseScoring(flags.GetString("scoring", "c"));
+  auto instance = core::Instance::FromDataset(dataset, params);
+  if (!instance.ok()) Die(instance.status(), "build instance");
+  return std::move(instance).value();
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  file << content;
+}
+
+core::Assignment LoadAssignmentOrDie(const core::Instance& instance,
+                                     const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string csv((std::istreambuf_iterator<char>(file)),
+                  std::istreambuf_iterator<char>());
+  auto pairs = data::AssignmentPairsFromCsv(csv);
+  if (!pairs.ok()) Die(pairs.status(), "parse assignment");
+  core::Assignment assignment(&instance);
+  for (const auto& [p, r] : *pairs) {
+    Status st = assignment.AddUnchecked(p, r);
+    if (!st.ok()) Die(st, "apply assignment pair");
+  }
+  return assignment;
+}
+
+// --- subcommands -----------------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  data::SyntheticDblpConfig config;
+  config.seed = flags.GetInt("seed", 42);
+  config.num_topics = flags.GetInt("topics", 30);
+  Result<data::RapDataset> dataset = Status::Internal("unset");
+  if (flags.GetInt("pool", 0) > 0) {
+    dataset = data::GenerateReviewerPool(flags.GetInt("pool", 0),
+                                         flags.GetInt("papers", 0), config);
+  } else {
+    const std::string area_name = flags.Require("area");
+    data::Area area;
+    if (area_name == "DM") {
+      area = data::Area::kDataMining;
+    } else if (area_name == "DB") {
+      area = data::Area::kDatabases;
+    } else if (area_name == "T") {
+      area = data::Area::kTheory;
+    } else {
+      std::fprintf(stderr, "unknown area '%s' (use DM, DB, T)\n",
+                   area_name.c_str());
+      return 2;
+    }
+    dataset = data::GenerateConferenceDataset(area, flags.GetInt("year", 2008),
+                                              config);
+  }
+  if (!dataset.ok()) Die(dataset.status(), "generate");
+  const std::string out = flags.Require("out");
+  Status st = data::SaveDataset(*dataset, out);
+  if (!st.ok()) Die(st, "save");
+  std::printf("wrote %d reviewers, %d papers, T=%d to %s\n",
+              dataset->num_reviewers(), dataset->num_papers(),
+              dataset->num_topics, out.c_str());
+  return 0;
+}
+
+int CmdSolve(const Flags& flags) {
+  const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
+  core::Instance instance = MakeInstanceOrDie(dataset, flags);
+  const std::string algo = flags.GetString("algo", "sdga-sra");
+  const double budget = flags.GetDouble("budget", 20.0);
+
+  Result<core::Assignment> assignment = Status::Internal("unset");
+  if (algo == "sdga-sra") {
+    core::SraOptions sra;
+    sra.time_limit_seconds = budget;
+    assignment = core::SolveCraSdgaSra(instance, {}, sra);
+  } else if (algo == "sdga") {
+    assignment = core::SolveCraSdga(instance);
+  } else if (algo == "greedy") {
+    assignment = core::SolveCraGreedy(instance);
+  } else if (algo == "brgg") {
+    assignment = core::SolveCraBrgg(instance);
+  } else if (algo == "sm") {
+    assignment = core::SolveCraStableMatching(instance);
+  } else if (algo == "ilp") {
+    assignment = core::SolveCraIlpArap(instance);
+  } else {
+    std::fprintf(stderr,
+                 "unknown algorithm '%s' (sdga-sra, sdga, greedy, brgg, sm, "
+                 "ilp)\n",
+                 algo.c_str());
+    return 2;
+  }
+  if (!assignment.ok()) Die(assignment.status(), "solve");
+
+  std::vector<std::pair<int, int>> pairs;
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    for (int r : assignment->GroupFor(p)) pairs.emplace_back(p, r);
+  }
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) WriteFileOrDie(out, data::AssignmentPairsToCsv(pairs));
+  auto ideal = core::BuildIdealAssignment(instance);
+  std::printf("%s: coverage %.3f (optimality %.1f%%), lowest paper %.3f%s\n",
+              algo.c_str(), assignment->TotalScore(),
+              ideal.ok()
+                  ? 100.0 * core::OptimalityRatio(*assignment, *ideal)
+                  : 0.0,
+              core::LowestCoverage(*assignment),
+              out.empty() ? "" : (", wrote " + out).c_str());
+  return 0;
+}
+
+int CmdJra(const Flags& flags) {
+  const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
+  core::InstanceParams params;  // JRA ignores workloads (δr := R)
+  params.group_size = flags.GetInt("dp", 3);
+  params.reviewer_workload = dataset.num_reviewers();
+  params.scoring = ParseScoring(flags.GetString("scoring", "c"));
+  auto instance = core::Instance::FromDataset(dataset, params);
+  if (!instance.ok()) Die(instance.status(), "build instance");
+  const int paper = flags.GetInt("paper", 0);
+  const int topk = flags.GetInt("topk", 1);
+  auto results = core::SolveJraBbaTopK(*instance, paper, topk);
+  if (!results.ok()) Die(results.status(), "BBA");
+  std::printf("paper %d: \"%s\"\n", paper,
+              dataset.papers[paper].title.c_str());
+  for (size_t i = 0; i < results->size(); ++i) {
+    std::printf("#%zu  score %.4f:", i + 1, (*results)[i].score);
+    for (int r : (*results)[i].group) {
+      std::printf("  %s", dataset.reviewers[r].name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
+  core::Instance instance = MakeInstanceOrDie(dataset, flags);
+  core::Assignment assignment =
+      LoadAssignmentOrDie(instance, flags.Require("assignment"));
+  Status valid = assignment.ValidateComplete();
+  auto ideal = core::BuildIdealAssignment(instance);
+  std::printf("pairs: %lld\n", static_cast<long long>(assignment.size()));
+  std::printf("feasible: %s\n",
+              valid.ok() ? "yes" : valid.ToString().c_str());
+  std::printf("coverage score: %.4f\n", assignment.TotalScore());
+  if (ideal.ok()) {
+    std::printf("optimality ratio: %.2f%%\n",
+                100.0 * core::OptimalityRatio(assignment, *ideal));
+  }
+  std::printf("lowest paper coverage: %.4f\n",
+              core::LowestCoverage(assignment));
+  return 0;
+}
+
+int CmdCaseStudy(const Flags& flags) {
+  const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
+  core::Instance instance = MakeInstanceOrDie(dataset, flags);
+  core::Assignment assignment =
+      LoadAssignmentOrDie(instance, flags.Require("assignment"));
+  const int paper = flags.GetInt("paper", 0);
+  const auto report = core::BuildCaseStudy(instance, assignment, dataset,
+                                           paper, flags.GetInt("topics", 5));
+  std::printf("%s", core::FormatCaseStudy(report, "assignment").c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fputs(
+      "usage: wgrap_cli <generate|solve|jra|evaluate|casestudy> [flags]\n"
+      "run with a subcommand and see the header of tools/wgrap_cli.cc for "
+      "the flag list\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "solve") return CmdSolve(flags);
+  if (command == "jra") return CmdJra(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "casestudy") return CmdCaseStudy(flags);
+  Usage();
+  return 2;
+}

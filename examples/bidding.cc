@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "common/rng.h"
-#include "core/wgrap.h"
-#include "data/synthetic_dblp.h"
+#include "wgrap.h"
 
 int main() {
   using namespace wgrap;
@@ -39,8 +38,8 @@ int main() {
   }
 
   std::printf("%10s %14s %16s\n", "bid w.", "coverage", "bid satisfaction");
-  core::SraOptions sra;
-  sra.time_limit_seconds = 4.0;
+  core::SolverRunOptions options;
+  options.time_limit_seconds = 4.0;
   for (double weight : {0.0, 0.2, 0.5, 1.0, 2.0}) {
     core::InstanceParams p2 = params;
     auto instance = core::Instance::FromDataset(*dataset, p2);
@@ -49,7 +48,8 @@ int main() {
       Matrix copy = bids;
       if (!instance->SetBids(std::move(copy), weight).ok()) return 1;
     }
-    auto assignment = core::SolveCraSdgaSra(*instance, {}, sra);
+    auto assignment = core::SolverRegistry::Default().SolveCra(
+        "sdga-sra", *instance, options);
     if (!assignment.ok()) {
       std::fprintf(stderr, "%s\n", assignment.status().ToString().c_str());
       return 1;

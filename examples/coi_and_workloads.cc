@@ -6,8 +6,7 @@
 //   build/examples/coi_and_workloads
 #include <cstdio>
 
-#include "core/wgrap.h"
-#include "data/synthetic_dblp.h"
+#include "wgrap.h"
 
 int main() {
   using namespace wgrap;
@@ -24,9 +23,10 @@ int main() {
   auto instance = core::Instance::FromDataset(*dataset, params);
   if (!instance.ok()) return 1;
 
-  core::SraOptions sra;
-  sra.time_limit_seconds = 5.0;
-  auto before = core::SolveCraSdgaSra(*instance, {}, sra);
+  const auto& registry = core::SolverRegistry::Default();
+  core::SolverRunOptions options;
+  options.time_limit_seconds = 5.0;
+  auto before = registry.SolveCra("sdga-sra", *instance, options);
   if (!before.ok()) return 1;
 
   // Declare COIs: each paper's single best-matching reviewer is an author's
@@ -38,7 +38,7 @@ int main() {
     }
     instance->AddConflict(best, p);
   }
-  auto after = core::SolveCraSdgaSra(*instance, {}, sra);
+  auto after = registry.SolveCra("sdga-sra", *instance, options);
   if (!after.ok()) return 1;
   std::printf("--- conflicts of interest ---\n");
   std::printf("total coverage without COIs: %.3f\n", before->TotalScore());
@@ -72,7 +72,7 @@ int main() {
         dr_extra;
     auto sweep_instance = core::Instance::FromDataset(*dataset, sweep_params);
     if (!sweep_instance.ok()) return 1;
-    auto assignment = core::SolveCraSdgaSra(*sweep_instance, {}, sra);
+    auto assignment = registry.SolveCra("sdga-sra", *sweep_instance, options);
     if (!assignment.ok()) return 1;
     int busiest = 0;
     for (int r = 0; r < sweep_instance->num_reviewers(); ++r) {

@@ -3,14 +3,13 @@
 //
 //   publication corpus -> ATM (Gibbs) -> reviewer topic vectors
 //   submission abstracts -> EM against fitted topics -> paper vectors
-//   WGRAP instance -> SDGA + stochastic refinement -> program assignment
+//   WGRAP instance -> every registered CRA solver -> program assignment
 //   metrics + case study report
 //
 //   build/examples/conference_assignment
 #include <cstdio>
 
-#include "core/wgrap.h"
-#include "data/synthetic_dblp.h"
+#include "wgrap.h"
 
 int main() {
   using namespace wgrap;
@@ -41,39 +40,39 @@ int main() {
   std::printf("minimal balanced workload dr = %d\n\n",
               instance->reviewer_workload());
 
-  // Compare the paper's line-up on this instance.
+  // Compare the paper's line-up on this instance: every feasible CRA
+  // solver in the registry, dispatched by name.
   auto ideal = core::BuildIdealAssignment(*instance);
   if (!ideal.ok()) return 1;
-  struct Entry {
-    const char* name;
-    Result<core::Assignment> result;
-  };
-  core::SraOptions sra;
-  sra.time_limit_seconds = 10.0;
-  Entry entries[] = {
-      {"SM", core::SolveCraStableMatching(*instance)},
-      {"ILP (ARAP)", core::SolveCraIlpArap(*instance)},
-      {"Greedy", core::SolveCraGreedy(*instance)},
-      {"SDGA", core::SolveCraSdga(*instance)},
-      {"SDGA-SRA", core::SolveCraSdgaSra(*instance, {}, sra)},
-  };
+  const auto& registry = core::SolverRegistry::Default();
+  core::SolverRunOptions options;
+  options.time_limit_seconds = 10.0;
   std::printf("%-12s %10s %12s %10s\n", "method", "score", "optimality",
               "lowest");
-  for (const Entry& e : entries) {
-    if (!e.result.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", e.name,
-                   e.result.status().ToString().c_str());
-      return 1;
+  Result<core::Assignment> champion = Status::Internal("no solver ran");
+  for (const auto* solver : registry.List(core::SolverFamily::kCra)) {
+    if (!solver->produces_feasible) continue;  // skip the RRAP diagnostic
+    auto result = registry.SolveCra(solver->name, *instance, options);
+    if (!result.ok()) {
+      // A baseline blowing its budget shouldn't kill the comparison table.
+      std::printf("%-12s failed: %s\n", solver->name.c_str(),
+                  result.status().ToString().c_str());
+      continue;
     }
-    std::printf("%-12s %10.3f %11.1f%% %10.3f\n", e.name,
-                e.result->TotalScore(),
-                100.0 * core::OptimalityRatio(*e.result, *ideal),
-                core::LowestCoverage(*e.result));
+    std::printf("%-12s %10.3f %11.1f%% %10.3f\n", solver->name.c_str(),
+                result->TotalScore(),
+                100.0 * core::OptimalityRatio(*result, *ideal),
+                core::LowestCoverage(*result));
+    if (solver->name == "sdga-sra") champion = std::move(result);
+  }
+  if (!champion.ok()) {
+    std::fprintf(stderr, "no sdga-sra result for the case study: %s\n",
+                 champion.status().ToString().c_str());
+    return 1;
   }
 
   // Case study on the first submission, as in Figs. 19-20.
-  const auto& champion = *entries[4].result;
-  auto report = core::BuildCaseStudy(*instance, champion, *dataset,
+  auto report = core::BuildCaseStudy(*instance, *champion, *dataset,
                                      /*paper=*/0, /*top_k=*/5);
   std::printf("\n%s",
               core::FormatCaseStudy(report, "SDGA-SRA case study").c_str());

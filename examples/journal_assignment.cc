@@ -7,8 +7,7 @@
 //   build/examples/journal_assignment
 #include <cstdio>
 
-#include "core/wgrap.h"
-#include "data/synthetic_dblp.h"
+#include "wgrap.h"
 
 int main() {
   using namespace wgrap;
@@ -36,8 +35,9 @@ int main() {
               pool->papers[0].title.c_str(), instance->num_reviewers(),
               instance->group_size());
 
-  // 1) Exact optimum via BBA.
-  auto best = core::SolveJraBba(*instance, 0);
+  // 1) Exact optimum via BBA, dispatched through the solver registry.
+  const auto& registry = core::SolverRegistry::Default();
+  auto best = registry.SolveJra("bba", *instance, 0);
   if (!best.ok()) {
     std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
     return 1;
@@ -62,7 +62,7 @@ int main() {
   // 3) One candidate declares a conflict of interest; re-solve.
   const int conflicted = best->group[0];
   instance->AddConflict(conflicted, 0);
-  auto resolved = core::SolveJraBba(*instance, 0);
+  auto resolved = registry.SolveJra("bba", *instance, 0);
   if (!resolved.ok()) {
     std::fprintf(stderr, "%s\n", resolved.status().ToString().c_str());
     return 1;
@@ -79,8 +79,8 @@ int main() {
   small_params.group_size = 3;
   small_params.reviewer_workload = 1;
   auto small = core::Instance::FromDataset(*small_pool, small_params);
-  auto bba = core::SolveJraBba(*small, 0);
-  auto bfs = core::SolveJraBruteForce(*small, 0);
+  auto bba = registry.SolveJra("bba", *small, 0);
+  auto bfs = registry.SolveJra("bfs", *small, 0);
   if (!bba.ok() || !bfs.ok()) return 1;
   std::printf("\ncross-check at R=25: BBA %.6f vs brute force %.6f (%s)\n",
               bba->score, bfs->score,

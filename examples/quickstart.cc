@@ -5,8 +5,7 @@
 //   build/examples/quickstart
 #include <cstdio>
 
-#include "core/wgrap.h"
-#include "data/synthetic_dblp.h"
+#include "wgrap.h"
 
 int main() {
   using namespace wgrap;
@@ -40,10 +39,12 @@ int main() {
               instance->num_topics(), instance->group_size(),
               instance->reviewer_workload());
 
-  // 3) Solve: SDGA (1/2-approximation) + stochastic refinement.
-  core::SraOptions sra;
-  sra.time_limit_seconds = 5.0;
-  auto assignment = core::SolveCraSdgaSra(*instance, {}, sra);
+  // 3) Solve: SDGA (1/2-approximation) + stochastic refinement, dispatched
+  //    by name through the solver registry (`wgrap_cli solvers` lists all).
+  core::SolverRunOptions options;
+  options.time_limit_seconds = 5.0;
+  auto assignment = core::SolverRegistry::Default().SolveCra(
+      "sdga-sra", *instance, options);
   if (!assignment.ok()) {
     std::fprintf(stderr, "solve: %s\n",
                  assignment.status().ToString().c_str());

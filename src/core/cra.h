@@ -68,30 +68,58 @@ struct LocalSearchOptions : CraOptions {
   RefineTrace trace;
 };
 
+/// Long et al.'s pair-at-a-time greedy (Eq. 4), 1/3-approximation.
+/// Lazy-heap implementation: O(P·δp · log(P·R) · T) in practice.
+/// Contract: returns a complete feasible assignment (ValidateComplete
+/// passes) or a non-OK Status; never a partial assignment.
 Result<Assignment> SolveCraGreedy(const Instance& instance,
                                   const CraOptions& options = {});
 
+/// Best Reviewer Group Greedy: each round commits the best whole
+/// (group, paper) pair, solving one JRA-style subproblem per paper per
+/// round — much slower than SolveCraGreedy, kept as the Sec. 5.2 baseline.
+/// Same feasibility contract as SolveCraGreedy.
 Result<Assignment> SolveCraBrgg(const Instance& instance,
                                 const CraOptions& options = {});
 
+/// Stage Deepening Greedy (Algorithm 2, Sec. 4.2-4.3): δp stages, each a
+/// linear assignment over the marginal gains, with the per-stage workload
+/// cap ⌈δr/δp⌉ (Definition 9). Approximation ratio 1/2, rising to ≥ 1-1/e
+/// when δp | δr (Theorems 1-2). Cost: δp LAP solves — O(δp · LAP(P, R))
+/// plus O(P·R·T) gain evaluations per stage; the LAP backend is
+/// options.backend. Same feasibility contract as SolveCraGreedy.
 Result<Assignment> SolveCraSdga(const Instance& instance,
                                 const SdgaOptions& options = {});
 
-/// Runs stochastic refinement on `initial` (typically SDGA output) and
-/// returns the best assignment encountered.
+/// Runs stochastic refinement (Algorithm 3, Sec. 4.4) on `initial`
+/// (typically SDGA output) and returns the best assignment encountered.
+/// Contract: `initial` must be complete and feasible on `instance`; the
+/// result is never worse than `initial`. Anytime: stops on the ω-round
+/// convergence window, max_iterations, or the time limit, whichever comes
+/// first. Each round is O(δp·T) expected. Deterministic given `seed`.
 Result<Assignment> RefineSra(const Instance& instance,
                              const Assignment& initial,
                              const SraOptions& options = {});
 
 /// Hill-climbing swap/replace refinement; the comparison baseline of
-/// Fig. 12 ("SDGA-LS").
+/// Fig. 12 ("SDGA-LS"). Same contract as RefineSra (never worse than
+/// `initial`, anytime, deterministic given `seed`).
 Result<Assignment> RefineLocalSearch(const Instance& instance,
                                      const Assignment& initial,
                                      const LocalSearchOptions& options = {});
 
+/// Gale-Shapley college admissions on pair utilities (the "SM" baseline of
+/// Sec. 5.2): papers propose in rounds, reviewers hold their best δr
+/// proposals. O(P·R·log R). Ignores group complementarity by design —
+/// that gap is what Fig. 11 measures. Same feasibility contract as
+/// SolveCraGreedy.
 Result<Assignment> SolveCraStableMatching(const Instance& instance,
                                           const CraOptions& options = {});
 
+/// Exact solver for ARAP, the *per-pair* objective Σ c(r→, p→) (the
+/// paper's "ILP" baseline), via one min-cost-flow transportation solve.
+/// Optimal for ARAP but not for WGRAP — the group objective is what it
+/// deliberately ignores. O(min-cost-flow(P·δp, R)).
 Result<Assignment> SolveCraIlpArap(const Instance& instance,
                                    const CraOptions& options = {});
 

@@ -42,9 +42,20 @@ struct BbaOptions : JraOptions {
   bool use_gain_branching = true;
 };
 
+/// Exhaustive enumeration of all C(R, δp) groups — O(C(R, δp) · T), only
+/// affordable at sanity-check scale (the Fig. 9 "BFS" curve).
+/// Contract for all JRA solvers: `paper` must be in [0, P); COI reviewers
+/// never appear in the result; `group` has exactly δp distinct ids and
+/// `score` equals ScoreGroup(instance, paper, group). On time/node budget
+/// exhaustion they return kResourceExhausted rather than a suboptimal
+/// group.
 Result<JraResult> SolveJraBruteForce(const Instance& instance, int paper,
                                      const JraOptions& options = {});
 
+/// The paper's Branch-and-Bound Algorithm (Algorithm 1, Sec. 3): cursor
+/// branching in max-marginal-gain order (Definition 8), pruned by the
+/// Eq. 3 coverage upper bound. Exact; worst case exponential but orders of
+/// magnitude faster than BFS in practice (Fig. 9). O(T) work per node.
 Result<JraResult> SolveJraBba(const Instance& instance, int paper,
                               const BbaOptions& options = {});
 
@@ -54,9 +65,16 @@ Result<std::vector<JraResult>> SolveJraBbaTopK(const Instance& instance,
                                                int paper, int k,
                                                const BbaOptions& options = {});
 
+/// Mixed-integer formulation of JRA solved with the in-repo lp/ simplex +
+/// branch-and-bound (the paper's CPLEX-ILP comparison point). Exact but
+/// the slowest of the four on most instances (Fig. 9).
 Result<JraResult> SolveJraIlp(const Instance& instance, int paper,
                               const JraOptions& options = {});
 
+/// Constraint-programming search over the cp/ select-k substrate (the
+/// paper's CPLEX-CP comparison point). Exact, but prunes with a generic
+/// best-remaining-reviewer bound that is far looser than BBA's Eq. 3
+/// cursor bound — reproducing the Fig. 9 gap between CP and BBA.
 Result<JraResult> SolveJraCp(const Instance& instance, int paper,
                              const JraOptions& options = {});
 

@@ -1,0 +1,239 @@
+#include "core/registry.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace wgrap::core {
+
+namespace {
+
+// Adapts RRAP's unconstrained per-paper lists into an Assignment via
+// AddUnchecked so it can flow through the same evaluation pipeline as the
+// feasible solvers. The result intentionally fails ValidateComplete —
+// that imbalance (Fig. 1(a)) is the point of the baseline.
+Result<Assignment> SolveRrapAsAssignment(const Instance& instance,
+                                         const SolverRunOptions&) {
+  const RrapResult raw = SolveCraRrap(instance);
+  Assignment assignment(&instance);
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    for (int r : raw.reviewers_of_paper[p]) {
+      WGRAP_RETURN_IF_ERROR(assignment.AddUnchecked(p, r));
+    }
+  }
+  return assignment;
+}
+
+SolverRegistry BuildDefaultRegistry() {
+  SolverRegistry registry;
+  auto add_cra = [&registry](std::string name, std::string paper_name,
+                             std::string summary, CraSolverFn fn,
+                             bool feasible = true) {
+    SolverDescriptor d;
+    d.name = std::move(name);
+    d.family = SolverFamily::kCra;
+    d.paper_name = std::move(paper_name);
+    d.summary = std::move(summary);
+    d.produces_feasible = feasible;
+    d.cra = std::move(fn);
+    const Status status = registry.Register(std::move(d));
+    WGRAP_CHECK_MSG(status.ok(), "built-in solver registration failed");
+  };
+  auto add_jra = [&registry](std::string name, std::string paper_name,
+                             std::string summary, JraSolverFn fn) {
+    SolverDescriptor d;
+    d.name = std::move(name);
+    d.family = SolverFamily::kJra;
+    d.paper_name = std::move(paper_name);
+    d.summary = std::move(summary);
+    d.jra = std::move(fn);
+    const Status status = registry.Register(std::move(d));
+    WGRAP_CHECK_MSG(status.ok(), "built-in solver registration failed");
+  };
+
+  // --- CRA: whole-conference solvers (Sec. 4 / Sec. 5.2 line-up) ---------
+  add_cra("greedy", "Greedy (Long et al. [22], Eq. 4)",
+          "pair-at-a-time lazy-heap greedy, 1/3-approximation",
+          [](const Instance& instance, const SolverRunOptions& options) {
+            CraOptions cra;
+            cra.time_limit_seconds = options.time_limit_seconds;
+            return SolveCraGreedy(instance, cra);
+          });
+  add_cra("brgg", "BRGG (best reviewer-group greedy)",
+          "commits the best whole (group, paper) pair per round",
+          [](const Instance& instance, const SolverRunOptions& options) {
+            CraOptions cra;
+            cra.time_limit_seconds = options.time_limit_seconds;
+            return SolveCraBrgg(instance, cra);
+          });
+  add_cra("sdga", "SDGA (Algorithm 2)",
+          "stage-deepening greedy: dp linear-assignment stages, "
+          "1/2-approximation",
+          [](const Instance& instance, const SolverRunOptions& options) {
+            SdgaOptions sdga;
+            sdga.time_limit_seconds = options.time_limit_seconds;
+            return SolveCraSdga(instance, sdga);
+          });
+  add_cra("sdga-sra", "SDGA + SRA (Algorithms 2+3)",
+          "the paper's recommended pipeline: SDGA then stochastic refinement",
+          [](const Instance& instance, const SolverRunOptions& options) {
+            SraOptions sra;
+            sra.time_limit_seconds = options.time_limit_seconds;
+            sra.seed = options.seed;
+            return SolveCraSdgaSra(instance, {}, sra);
+          });
+  add_cra("sdga-ls", "SDGA + LS (Fig. 12 baseline)",
+          "SDGA then plain hill-climbing local search",
+          [](const Instance& instance,
+             const SolverRunOptions& options) -> Result<Assignment> {
+            auto initial = SolveCraSdga(instance);
+            WGRAP_RETURN_IF_ERROR(initial.status());
+            LocalSearchOptions ls;
+            ls.time_limit_seconds = options.time_limit_seconds;
+            ls.seed = options.seed;
+            return RefineLocalSearch(instance, *initial, ls);
+          });
+  add_cra("sm", "SM (stable matching)",
+          "Gale-Shapley college-admissions baseline",
+          [](const Instance& instance, const SolverRunOptions& options) {
+            CraOptions cra;
+            cra.time_limit_seconds = options.time_limit_seconds;
+            return SolveCraStableMatching(instance, cra);
+          });
+  add_cra("ilp", "ILP (exact ARAP)",
+          "exact per-pair-objective assignment via min-cost flow",
+          [](const Instance& instance, const SolverRunOptions& options) {
+            CraOptions cra;
+            cra.time_limit_seconds = options.time_limit_seconds;
+            return SolveCraIlpArap(instance, cra);
+          });
+  add_cra("rrap", "RRAP (Definition 4, retrieval baseline)",
+          "each reviewer takes their top-dr papers; group sizes "
+          "unconstrained (diagnostic baseline)",
+          SolveRrapAsAssignment, /*feasible=*/false);
+
+  // --- JRA: single-paper solvers (Sec. 3 / Sec. 5.1 line-up) -------------
+  add_jra("bba", "BBA (Algorithm 1)",
+          "branch-and-bound with the Eq. 3 upper bound and max-gain "
+          "branching",
+          [](const Instance& instance, int paper,
+             const SolverRunOptions& options) {
+            BbaOptions bba;
+            bba.time_limit_seconds = options.time_limit_seconds;
+            return SolveJraBba(instance, paper, bba);
+          });
+  add_jra("bfs", "BFS (brute force)",
+          "enumerates all C(R, dp) groups — exact but exponential",
+          [](const Instance& instance, int paper,
+             const SolverRunOptions& options) {
+            JraOptions jra;
+            jra.time_limit_seconds = options.time_limit_seconds;
+            return SolveJraBruteForce(instance, paper, jra);
+          });
+  add_jra("jra-ilp", "ILP (MIP formulation)",
+          "mixed-integer formulation on the lp/ simplex + B&B solver",
+          [](const Instance& instance, int paper,
+             const SolverRunOptions& options) {
+            JraOptions jra;
+            jra.time_limit_seconds = options.time_limit_seconds;
+            return SolveJraIlp(instance, paper, jra);
+          });
+  add_jra("jra-cp", "CP (constraint programming)",
+          "generic CP search over the cp/ select-k substrate",
+          [](const Instance& instance, int paper,
+             const SolverRunOptions& options) {
+            JraOptions jra;
+            jra.time_limit_seconds = options.time_limit_seconds;
+            return SolveJraCp(instance, paper, jra);
+          });
+
+  return registry;
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::Default() {
+  static SolverRegistry* registry = new SolverRegistry(BuildDefaultRegistry());
+  return *registry;
+}
+
+Status SolverRegistry::Register(SolverDescriptor descriptor) {
+  if (descriptor.name.empty()) {
+    return Status::InvalidArgument("solver name must be non-empty");
+  }
+  const bool is_cra = descriptor.family == SolverFamily::kCra;
+  if (is_cra != static_cast<bool>(descriptor.cra) ||
+      is_cra == static_cast<bool>(descriptor.jra)) {
+    return Status::InvalidArgument(
+        "descriptor must set exactly the callable matching its family");
+  }
+  std::string name = descriptor.name;
+  auto [it, inserted] = solvers_.emplace(std::move(name), std::move(descriptor));
+  if (!inserted) {
+    return Status::FailedPrecondition("solver already registered: " +
+                                      it->first);
+  }
+  return Status::OK();
+}
+
+const SolverDescriptor* SolverRegistry::Find(const std::string& name) const {
+  auto it = solvers_.find(name);
+  return it == solvers_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SolverDescriptor*> SolverRegistry::List() const {
+  std::vector<const SolverDescriptor*> out;
+  out.reserve(solvers_.size());
+  for (const auto& [name, descriptor] : solvers_) out.push_back(&descriptor);
+  return out;
+}
+
+std::vector<const SolverDescriptor*> SolverRegistry::List(
+    SolverFamily family) const {
+  std::vector<const SolverDescriptor*> out;
+  for (const auto& [name, descriptor] : solvers_) {
+    if (descriptor.family == family) out.push_back(&descriptor);
+  }
+  return out;
+}
+
+std::string SolverRegistry::KeysCsv(SolverFamily family) const {
+  std::string csv;
+  for (const SolverDescriptor* descriptor : List(family)) {
+    if (!csv.empty()) csv += ", ";
+    csv += descriptor->name;
+  }
+  return csv;
+}
+
+Result<Assignment> SolverRegistry::SolveCra(
+    const std::string& name, const Instance& instance,
+    const SolverRunOptions& options) const {
+  const SolverDescriptor* descriptor = Find(name);
+  if (descriptor == nullptr) {
+    return Status::NotFound("unknown CRA solver '" + name + "' (have: " +
+                            KeysCsv(SolverFamily::kCra) + ")");
+  }
+  if (descriptor->family != SolverFamily::kCra) {
+    return Status::InvalidArgument("'" + name +
+                                   "' is a JRA solver; use SolveJra");
+  }
+  return descriptor->cra(instance, options);
+}
+
+Result<JraResult> SolverRegistry::SolveJra(
+    const std::string& name, const Instance& instance, int paper,
+    const SolverRunOptions& options) const {
+  const SolverDescriptor* descriptor = Find(name);
+  if (descriptor == nullptr) {
+    return Status::NotFound("unknown JRA solver '" + name + "' (have: " +
+                            KeysCsv(SolverFamily::kJra) + ")");
+  }
+  if (descriptor->family != SolverFamily::kJra) {
+    return Status::InvalidArgument("'" + name +
+                                   "' is a CRA solver; use SolveCra");
+  }
+  return descriptor->jra(instance, paper, options);
+}
+
+}  // namespace wgrap::core

@@ -1,0 +1,112 @@
+// String-keyed solver registry: every CRA and JRA algorithm in the repo
+// behind one factory API, so front ends (wgrap_cli, examples, benches,
+// services) dispatch by name instead of hard-coding call sites.
+//
+// Two solver families mirror the paper's two problems:
+//   kCra — whole-conference solvers: Instance → Assignment (Definition 3).
+//   kJra — single-paper solvers: (Instance, paper) → JraResult
+//          (Definition 6).
+//
+// The default registry is populated with every solver in core/cra.h and
+// core/jra.h (greedy, brgg, sdga, sdga-sra, sdga-ls, sm, ilp, rrap; bba,
+// bfs, jra-ilp, jra-cp). Callers may register additional solvers — e.g. a
+// sharded or GPU-backed variant — under new keys at startup.
+//
+// Usage:
+//   const auto& registry = core::SolverRegistry::Default();
+//   auto assignment = registry.SolveCra("sdga-sra", instance, {});
+//   for (const auto* s : registry.List(core::SolverFamily::kCra)) ...
+#ifndef WGRAP_CORE_REGISTRY_H_
+#define WGRAP_CORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/assignment.h"
+#include "core/cra.h"
+#include "core/instance.h"
+#include "core/jra.h"
+
+namespace wgrap::core {
+
+enum class SolverFamily {
+  kCra,  // conference: full P × R assignment
+  kJra,  // journal: best δp-group for one paper
+};
+
+/// Family-agnostic knobs threaded to whichever options struct the concrete
+/// solver takes. Solver-specific switches (LAP backend, SRA's ω and λ, BBA
+/// bounding) keep their defaults; call the core/cra.h / core/jra.h entry
+/// points directly when those must be tuned.
+struct SolverRunOptions {
+  /// Wall-clock budget in seconds; 0 = unlimited. Anytime solvers
+  /// (sdga-sra, sdga-ls) treat it as the refinement budget and still return
+  /// their best assignment; constructive/exact solvers (greedy, brgg, sm,
+  /// sdga, bba, bfs, jra-ilp, jra-cp) abort with kResourceExhausted when it
+  /// expires. The "ilp" (ARAP) and "rrap" baselines currently ignore it.
+  double time_limit_seconds = 0.0;
+  /// Seed for the randomized refiners (sra, local search).
+  uint64_t seed = 20150531;
+};
+
+using CraSolverFn =
+    std::function<Result<Assignment>(const Instance&, const SolverRunOptions&)>;
+using JraSolverFn = std::function<Result<JraResult>(
+    const Instance&, int paper, const SolverRunOptions&)>;
+
+struct SolverDescriptor {
+  std::string name;        // registry key, e.g. "sdga-sra"
+  SolverFamily family = SolverFamily::kCra;
+  std::string paper_name;  // the paper's label, e.g. "SDGA + SRA (Algs. 2+3)"
+  std::string summary;     // one-line description for --help / `solvers`
+  /// False only for diagnostic baselines (rrap) whose output deliberately
+  /// violates the group-size/workload constraints.
+  bool produces_feasible = true;
+  /// Exactly one of these is set, per `family`.
+  CraSolverFn cra;
+  JraSolverFn jra;
+};
+
+/// Thread-compatible registry of solver factories. `Default()` is built
+/// once and safe for concurrent reads; mutate (Register) only during
+/// startup.
+class SolverRegistry {
+ public:
+  /// The process-wide registry, pre-populated with all built-in solvers.
+  static SolverRegistry& Default();
+
+  /// Adds a solver. Fails with kFailedPrecondition on duplicate keys and
+  /// kInvalidArgument if the descriptor's callable doesn't match its family.
+  Status Register(SolverDescriptor descriptor);
+
+  /// nullptr when `name` is unknown.
+  const SolverDescriptor* Find(const std::string& name) const;
+
+  /// Descriptors in key order, optionally restricted to one family.
+  std::vector<const SolverDescriptor*> List() const;
+  std::vector<const SolverDescriptor*> List(SolverFamily family) const;
+
+  /// Dispatches to the named CRA solver. kNotFound for unknown names with a
+  /// message listing the valid keys; kInvalidArgument if `name` is a JRA
+  /// solver.
+  Result<Assignment> SolveCra(const std::string& name, const Instance& instance,
+                              const SolverRunOptions& options = {}) const;
+
+  /// Dispatches to the named JRA solver (same error contract as SolveCra).
+  Result<JraResult> SolveJra(const std::string& name, const Instance& instance,
+                             int paper,
+                             const SolverRunOptions& options = {}) const;
+
+  /// "greedy, brgg, sdga, ..." — for error messages and usage strings.
+  std::string KeysCsv(SolverFamily family) const;
+
+ private:
+  std::map<std::string, SolverDescriptor> solvers_;
+};
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_CORE_REGISTRY_H_

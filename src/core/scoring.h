@@ -42,13 +42,19 @@ inline double TopicContribution(ScoringFunction f, double r_t, double p_t) {
 
 /// c(r→, p→): sum of per-topic contributions normalized by the paper mass
 /// Σ_t p[t] (Eq. 1). `expertise` may be a single reviewer vector or a group
-/// max-vector (Definition 2) — both length `num_topics`.
+/// max-vector (Definition 2) — both length `num_topics`. Contract:
+/// `paper_mass` must equal Σ_t paper[t] and be > 0 (Instance::PaperMass
+/// guarantees both); result is in [0, 1] for kWeightedCoverage and
+/// kPaperCoverage. O(num_topics), branch-free hot path.
 double ScoreVectors(ScoringFunction f, const double* expertise,
                     const double* paper, int num_topics, double paper_mass);
 
 /// Marginal gain of raising the group expertise from `group` to
 /// max(group, reviewer) element-wise (Definition 8), without materializing
-/// the merged vector.
+/// the merged vector. Equals ScoreVectors(max(group, reviewer)) −
+/// ScoreVectors(group); always ≥ 0 (monotonicity, property C.2), and
+/// non-increasing in the group (submodularity, property C.1) — the two
+/// facts the SDGA/greedy guarantees rest on. O(num_topics).
 double MarginalGainVectors(ScoringFunction f, const double* group,
                            const double* reviewer, const double* paper,
                            int num_topics, double paper_mass);

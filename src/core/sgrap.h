@@ -26,7 +26,10 @@ struct BinarizeOptions {
 
 /// Converts weighted topic vectors into binary ones (the Sec. 2.3
 /// reduction). Every entity keeps at least its single strongest topic, so
-/// no vector becomes all-zero.
+/// no vector becomes all-zero. Contract: the result has the same R/P/T
+/// shape and names as `dataset`, entries only in {0, 1}; running any WGRAP
+/// solver on it optimizes exactly the SGRAP set-coverage objective.
+/// O(R·T + P·T) plus a sort per entity when max_topics_per_entity > 0.
 Result<data::RapDataset> BinarizeDataset(const data::RapDataset& dataset,
                                          const BinarizeOptions& options = {});
 

@@ -1,4 +1,8 @@
-// Umbrella header: the full public API of the WGRAP library.
+// Umbrella header for the core/ layer: instances, assignments, scoring,
+// every CRA/JRA solver, the string-keyed solver registry, metrics,
+// repair/reassignment, the SGRAP reduction and case-study reporting.
+// Programs that also want the data layer (CSV I/O, synthetic generators)
+// should include the top-level "wgrap.h" instead.
 //
 // Quick start (see examples/quickstart.cc for a runnable version):
 //
@@ -7,7 +11,8 @@
 //   wgrap::core::InstanceParams params;
 //   params.group_size = 3;
 //   auto instance = wgrap::core::Instance::FromDataset(*dataset, params);
-//   auto assignment = wgrap::core::SolveCraSdgaSra(*instance);
+//   auto assignment = wgrap::core::SolverRegistry::Default().SolveCra(
+//       "sdga-sra", *instance);
 //   printf("coverage score: %.3f\n", assignment->TotalScore());
 #ifndef WGRAP_CORE_WGRAP_H_
 #define WGRAP_CORE_WGRAP_H_
@@ -19,6 +24,7 @@
 #include "core/jra.h"          // IWYU pragma: export
 #include "core/metrics.h"      // IWYU pragma: export
 #include "core/reassign.h"     // IWYU pragma: export
+#include "core/registry.h"     // IWYU pragma: export
 #include "core/repair.h"       // IWYU pragma: export
 #include "core/scoring.h"      // IWYU pragma: export
 #include "core/sgrap.h"        // IWYU pragma: export

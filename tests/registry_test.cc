@@ -1,0 +1,153 @@
+// Tests for the solver registry (core/registry.h): every built-in solver
+// is present, instantiates on a tiny instance through the factory API, and
+// produces a feasible assignment (or an optimal group, for JRA solvers).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "core/registry.h"
+#include "core/wgrap.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap {
+namespace {
+
+core::Instance TinyInstance() {
+  data::SyntheticDblpConfig config;
+  config.seed = 7;
+  config.num_topics = 8;
+  auto dataset = data::GenerateReviewerPool(/*num_reviewers=*/12,
+                                            /*num_papers=*/8, config);
+  WGRAP_CHECK(dataset.ok());
+  core::InstanceParams params;
+  params.group_size = 2;
+  auto instance = core::Instance::FromDataset(*dataset, params);
+  WGRAP_CHECK(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(SolverRegistryTest, ListsAllBuiltInSolvers) {
+  const auto& registry = core::SolverRegistry::Default();
+  std::set<std::string> names;
+  for (const auto* descriptor : registry.List()) {
+    names.insert(descriptor->name);
+  }
+  // The acceptance bar for this repo: at least 8 solvers behind one API.
+  EXPECT_GE(names.size(), 8u);
+  for (const char* expected :
+       {"greedy", "brgg", "sdga", "sdga-sra", "sdga-ls", "sm", "ilp", "rrap",
+        "bba", "bfs", "jra-ilp", "jra-cp"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing solver: " << expected;
+  }
+}
+
+TEST(SolverRegistryTest, DescriptorsAreWellFormed) {
+  const auto& registry = core::SolverRegistry::Default();
+  for (const auto* descriptor : registry.List()) {
+    EXPECT_FALSE(descriptor->paper_name.empty()) << descriptor->name;
+    EXPECT_FALSE(descriptor->summary.empty()) << descriptor->name;
+    const bool is_cra = descriptor->family == core::SolverFamily::kCra;
+    EXPECT_EQ(is_cra, static_cast<bool>(descriptor->cra)) << descriptor->name;
+    EXPECT_EQ(!is_cra, static_cast<bool>(descriptor->jra)) << descriptor->name;
+  }
+  EXPECT_EQ(registry.List().size(),
+            registry.List(core::SolverFamily::kCra).size() +
+                registry.List(core::SolverFamily::kJra).size());
+}
+
+TEST(SolverRegistryTest, EveryCraSolverProducesExpectedFeasibility) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  for (const auto* descriptor : registry.List(core::SolverFamily::kCra)) {
+    SCOPED_TRACE(descriptor->name);
+    auto assignment = registry.SolveCra(descriptor->name, instance);
+    ASSERT_TRUE(assignment.ok()) << assignment.status().ToString();
+    EXPECT_GT(assignment->TotalScore(), 0.0);
+    const Status valid = assignment->ValidateComplete();
+    if (descriptor->produces_feasible) {
+      EXPECT_TRUE(valid.ok()) << valid.ToString();
+      for (int p = 0; p < instance.num_papers(); ++p) {
+        EXPECT_EQ(static_cast<int>(assignment->GroupFor(p).size()),
+                  instance.group_size());
+      }
+      for (int r = 0; r < instance.num_reviewers(); ++r) {
+        EXPECT_LE(assignment->LoadOf(r), instance.reviewer_workload());
+      }
+    }
+  }
+}
+
+TEST(SolverRegistryTest, EveryJraSolverAgreesWithBruteForce) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  const int paper = 3;
+  auto reference = registry.SolveJra("bfs", instance, paper);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (const auto* descriptor : registry.List(core::SolverFamily::kJra)) {
+    SCOPED_TRACE(descriptor->name);
+    auto result = registry.SolveJra(descriptor->name, instance, paper);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(static_cast<int>(result->group.size()), instance.group_size());
+    std::set<int> unique(result->group.begin(), result->group.end());
+    EXPECT_EQ(unique.size(), result->group.size());
+    // All four JRA solvers are exact — they must match brute force.
+    EXPECT_NEAR(result->score, reference->score, 1e-9);
+    EXPECT_NEAR(result->score, core::ScoreGroup(instance, paper, result->group),
+                1e-9);
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNamesAndFamilyMismatchesAreRejected) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  auto missing = registry.SolveCra("no-such-solver", instance);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The error names the valid keys, so CLI users see the menu.
+  EXPECT_NE(missing.status().message().find("sdga-sra"), std::string::npos);
+
+  auto wrong_family = registry.SolveCra("bba", instance);
+  ASSERT_FALSE(wrong_family.ok());
+  EXPECT_EQ(wrong_family.status().code(), StatusCode::kInvalidArgument);
+  auto wrong_family_jra = registry.SolveJra("sdga", instance, 0);
+  ASSERT_FALSE(wrong_family_jra.ok());
+  EXPECT_EQ(wrong_family_jra.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverRegistryTest, RegisterRejectsDuplicatesAndMalformedDescriptors) {
+  core::SolverRegistry registry;
+  core::SolverDescriptor d;
+  d.name = "custom";
+  d.family = core::SolverFamily::kCra;
+  d.paper_name = "Custom";
+  d.summary = "test";
+  d.cra = [](const core::Instance& instance,
+             const core::SolverRunOptions&) -> Result<core::Assignment> {
+    return core::SolveCraGreedy(instance);
+  };
+  EXPECT_TRUE(registry.Register(d).ok());
+  EXPECT_EQ(registry.Register(d).code(), StatusCode::kFailedPrecondition);
+
+  core::SolverDescriptor no_fn;
+  no_fn.name = "broken";
+  no_fn.family = core::SolverFamily::kJra;
+  EXPECT_EQ(registry.Register(no_fn).code(), StatusCode::kInvalidArgument);
+  core::SolverDescriptor unnamed = d;
+  unnamed.name.clear();
+  EXPECT_EQ(registry.Register(unnamed).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverRegistryTest, TimeLimitIsThreadedThrough) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  core::SolverRunOptions options;
+  options.time_limit_seconds = 5.0;  // generous; must still terminate fast
+  auto assignment = registry.SolveCra("sdga-sra", instance, options);
+  ASSERT_TRUE(assignment.ok()) << assignment.status().ToString();
+  EXPECT_TRUE(assignment->ValidateComplete().ok());
+}
+
+}  // namespace
+}  // namespace wgrap

@@ -2,13 +2,21 @@
 // (JRA) queries, evaluation and case studies over the CSV formats of
 // data/io.h — the workflow a program chair would actually run.
 //
+// All solving dispatches through the wgrap::core::SolverRegistry, so any
+// solver registered at startup is immediately usable via --algo; run
+// `wgrap_cli solvers` for the live menu.
+//
+//   wgrap_cli solvers
 //   wgrap_cli generate  --area DB --year 2008 --out dataset.csv
 //   wgrap_cli generate  --pool 300 --papers 50 --out pool.csv
 //   wgrap_cli solve     --dataset d.csv --dp 3 [--dr N] [--algo sdga-sra]
-//                       [--scoring c|cR|cP|cD] [--budget 20] --out a.csv
+//                       [--scoring c|cR|cP|cD] [--budget secs] [--seed S]
+//                       --out a.csv
 //   wgrap_cli jra       --dataset d.csv --paper 0 --dp 3 [--topk 5]
+//                       [--algo bba]
 //   wgrap_cli evaluate  --dataset d.csv --assignment a.csv --dp 3 [--dr N]
 //   wgrap_cli casestudy --dataset d.csv --assignment a.csv --paper 0 --dp 3
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,9 +24,8 @@
 #include <map>
 #include <string>
 
-#include "core/wgrap.h"
-#include "data/io.h"
-#include "data/synthetic_dblp.h"
+#include "common/table_printer.h"
+#include "wgrap.h"
 
 namespace {
 
@@ -58,6 +65,20 @@ class Flags {
   double GetDouble(const std::string& name, double fallback) const {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  uint64_t GetUint64(const std::string& name, uint64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: invalid unsigned integer '%s'\n",
+                   name.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return v;
   }
 
   std::string Require(const std::string& name) const {
@@ -170,35 +191,43 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+int CmdSolvers(const Flags&) {
+  const auto& registry = core::SolverRegistry::Default();
+  TablePrinter table({"name", "family", "paper name", "summary"});
+  for (const auto* s : registry.List()) {
+    table.AddRow({s->name,
+                  s->family == core::SolverFamily::kCra ? "CRA" : "JRA",
+                  s->paper_name,
+                  s->produces_feasible ? s->summary
+                                       : s->summary + " [infeasible output]"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
 int CmdSolve(const Flags& flags) {
   const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
   core::Instance instance = MakeInstanceOrDie(dataset, flags);
   const std::string algo = flags.GetString("algo", "sdga-sra");
-  const double budget = flags.GetDouble("budget", 20.0);
 
-  Result<core::Assignment> assignment = Status::Internal("unset");
-  if (algo == "sdga-sra") {
-    core::SraOptions sra;
-    sra.time_limit_seconds = budget;
-    assignment = core::SolveCraSdgaSra(instance, {}, sra);
-  } else if (algo == "sdga") {
-    assignment = core::SolveCraSdga(instance);
-  } else if (algo == "greedy") {
-    assignment = core::SolveCraGreedy(instance);
-  } else if (algo == "brgg") {
-    assignment = core::SolveCraBrgg(instance);
-  } else if (algo == "sm") {
-    assignment = core::SolveCraStableMatching(instance);
-  } else if (algo == "ilp") {
-    assignment = core::SolveCraIlpArap(instance);
-  } else {
-    std::fprintf(stderr,
-                 "unknown algorithm '%s' (sdga-sra, sdga, greedy, brgg, sm, "
-                 "ilp)\n",
-                 algo.c_str());
-    return 2;
-  }
+  // No default budget: constructive solvers (greedy, brgg, sm, sdga) abort
+  // with ResourceExhausted when a limit expires, so an implicit cap would
+  // turn slow-but-finishing runs into failures. sdga-sra/sdga-ls terminate
+  // on their own convergence criteria; --budget caps their refinement.
+  core::SolverRunOptions options;
+  options.time_limit_seconds = flags.GetDouble("budget", 0.0);
+  options.seed = flags.GetUint64("seed", 20150531);
+  const auto& registry = core::SolverRegistry::Default();
+  auto assignment = registry.SolveCra(algo, instance, options);
   if (!assignment.ok()) Die(assignment.status(), "solve");
+  const core::SolverDescriptor* descriptor = registry.Find(algo);
+  if (descriptor != nullptr && !descriptor->produces_feasible) {
+    std::fprintf(stderr,
+                 "warning: '%s' is a diagnostic baseline whose output "
+                 "violates the group-size/workload constraints; scores below "
+                 "are not comparable to feasible solvers\n",
+                 algo.c_str());
+  }
 
   std::vector<std::pair<int, int>> pairs;
   for (int p = 0; p < instance.num_papers(); ++p) {
@@ -227,8 +256,24 @@ int CmdJra(const Flags& flags) {
   if (!instance.ok()) Die(instance.status(), "build instance");
   const int paper = flags.GetInt("paper", 0);
   const int topk = flags.GetInt("topk", 1);
-  auto results = core::SolveJraBbaTopK(*instance, paper, topk);
-  if (!results.ok()) Die(results.status(), "BBA");
+  const std::string algo = flags.GetString("algo", "bba");
+  Result<std::vector<core::JraResult>> results = Status::Internal("unset");
+  if (topk > 1) {
+    // Only BBA supports top-k enumeration (Sec. 3, final remark).
+    if (algo != "bba") {
+      std::fprintf(stderr, "--topk > 1 requires --algo bba\n");
+      return 2;
+    }
+    results = core::SolveJraBbaTopK(*instance, paper, topk);
+  } else {
+    auto one = core::SolverRegistry::Default().SolveJra(algo, *instance, paper);
+    if (one.ok()) {
+      results = std::vector<core::JraResult>{*std::move(one)};
+    } else {
+      results = one.status();
+    }
+  }
+  if (!results.ok()) Die(results.status(), algo.c_str());
   std::printf("paper %d: \"%s\"\n", paper,
               dataset.papers[paper].title.c_str());
   for (size_t i = 0; i < results->size(); ++i) {
@@ -275,9 +320,10 @@ int CmdCaseStudy(const Flags& flags) {
 
 void Usage() {
   std::fputs(
-      "usage: wgrap_cli <generate|solve|jra|evaluate|casestudy> [flags]\n"
-      "run with a subcommand and see the header of tools/wgrap_cli.cc for "
-      "the flag list\n",
+      "usage: wgrap_cli <solvers|generate|solve|jra|evaluate|casestudy> "
+      "[flags]\n"
+      "run `wgrap_cli solvers` for the algorithm menu and see the header of "
+      "tools/wgrap_cli.cc for the flag list\n",
       stderr);
 }
 
@@ -290,6 +336,7 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
+  if (command == "solvers") return CmdSolvers(flags);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "solve") return CmdSolve(flags);
   if (command == "jra") return CmdJra(flags);

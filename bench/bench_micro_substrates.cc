@@ -1,11 +1,15 @@
 // google-benchmark microbenchmarks for the substrates the WGRAP solvers
 // stand on: weighted-coverage scoring, marginal gain, Hungarian, min-cost
-// transportation, BBA and one SDGA stage.
+// transportation, BBA, one SDGA stage, and the thread-count sweeps of the
+// two parallel hot paths (SDGA stage scoring, ATM Gibbs sweeps) that
+// bench/BASELINES.md tracks.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
+#include "topic/atm.h"
+#include "topic/synthetic.h"
 
 namespace {
 
@@ -86,5 +90,46 @@ void BM_SdgaStage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SdgaStage)->Unit(benchmark::kMillisecond);
+
+void BM_SdgaThreads(benchmark::State& state) {
+  // Thread sweep over the parallel stage-1 scoring on a Table-3-scale
+  // conference (DB08, δp=5 — the largest stage matrices in the suite).
+  // Output is bit-identical across the sweep; only wall-clock may move.
+  auto setup = bench::MakeConference(data::Area::kDatabases, 2008, 5);
+  core::SdgaOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::SolveCraSdga(setup.instance, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SdgaThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AtmGibbs(benchmark::State& state) {
+  // Thread sweep over the per-document Gibbs fan-out: a reviewer-pool-
+  // sized corpus, timed per sweep batch (fixed iteration count).
+  topic::SyntheticCorpusConfig config;
+  config.num_topics = 30;
+  config.vocab_size = 800;
+  config.num_authors = 60;
+  config.num_documents = 360;
+  config.mean_document_length = 90;
+  Rng corpus_rng(5);
+  auto generated = topic::GenerateSyntheticCorpus(config, &corpus_rng);
+  bench::DieOnError(generated.status(), "GenerateSyntheticCorpus");
+  topic::AtmOptions options;
+  options.num_topics = config.num_topics;
+  options.iterations = 10;
+  options.burn_in = 5;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(17);
+    auto model = topic::FitAtm(generated->corpus, options, &rng);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_AtmGibbs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -44,7 +44,7 @@ core::Instance MakeJraPool(int num_reviewers, int group_size, uint64_t seed) {
   return std::move(instance).value();
 }
 
-std::vector<CraMethod> PaperCraMethods() {
+std::vector<CraMethod> PaperCraMethods(int num_threads) {
   return {
       {"SM",
        [](const core::Instance& instance, double) {
@@ -55,22 +55,29 @@ std::vector<CraMethod> PaperCraMethods() {
          return core::SolveCraIlpArap(instance);
        }},
       {"BRGG",
-       [](const core::Instance& instance, double) {
-         return core::SolveCraBrgg(instance);
+       [num_threads](const core::Instance& instance, double) {
+         core::CraOptions cra;
+         cra.num_threads = num_threads;
+         return core::SolveCraBrgg(instance, cra);
        }},
       {"Greedy",
        [](const core::Instance& instance, double) {
          return core::SolveCraGreedy(instance);
        }},
       {"SDGA",
-       [](const core::Instance& instance, double) {
-         return core::SolveCraSdga(instance);
+       [num_threads](const core::Instance& instance, double) {
+         core::SdgaOptions sdga;
+         sdga.num_threads = num_threads;
+         return core::SolveCraSdga(instance, sdga);
        }},
       {"SDGA-SRA",
-       [](const core::Instance& instance, double budget_seconds) {
+       [num_threads](const core::Instance& instance, double budget_seconds) {
+         core::SdgaOptions sdga;
+         sdga.num_threads = num_threads;
          core::SraOptions sra;
          sra.time_limit_seconds = budget_seconds;
-         return core::SolveCraSdgaSra(instance, {}, sra);
+         sra.num_threads = num_threads;
+         return core::SolveCraSdgaSra(instance, sdga, sra);
        }},
   };
 }

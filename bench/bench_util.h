@@ -37,7 +37,9 @@ struct CraMethod {
 };
 
 /// The Sec. 5.2 line-up: SM, ILP, BRGG, Greedy, SDGA, SDGA-SRA.
-std::vector<CraMethod> PaperCraMethods();
+/// `num_threads` feeds the parallel hot paths of BRGG/SDGA/SDGA-SRA
+/// (results are bit-identical for any value; see CraOptions::num_threads).
+std::vector<CraMethod> PaperCraMethods(int num_threads = 1);
 
 /// Aborts with a message when a Result-carrying expression failed.
 void DieOnError(const Status& status, const std::string& what);

@@ -20,6 +20,7 @@ int main() {
   std::printf("fitting ATM on the reviewers' publication corpus...\n");
   data::SyntheticDblpConfig config;
   config.num_topics = 15;
+  config.atm_threads = ThreadPool::HardwareThreads();  // same result, faster
   auto dataset = data::GenerateDatasetViaAtm(data::Area::kDatabases, 2008,
                                              config, /*scale_divisor=*/5);
   if (!dataset.ok()) {

@@ -24,6 +24,14 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(&sm);
 }
 
+Rng Rng::ForStream(uint64_t seed, uint64_t stream) {
+  // Hash both inputs independently before combining so that neighbouring
+  // (seed, stream) pairs land in unrelated states.
+  uint64_t sm_stream = stream + 0x632be59bd9b4e019ULL;
+  uint64_t sm_seed = seed;
+  return Rng(SplitMix64(&sm_seed) ^ SplitMix64(&sm_stream));
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -20,6 +20,13 @@ class Rng {
   /// Seeds the generator deterministically via splitmix64.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  /// Deterministic stream splitting: derives an independent generator from
+  /// (seed, stream). Parallel loops key the stream on the *item index*
+  /// (paper, document, proposal), never on the worker id, so that sampled
+  /// values — and therefore solver output — are bit-identical at any
+  /// thread count.
+  static Rng ForStream(uint64_t seed, uint64_t stream);
+
   /// Next raw 64-bit value.
   uint64_t NextU64();
 

@@ -87,6 +87,28 @@ Status Assignment::Remove(int paper, int reviewer) {
   return Status::OK();
 }
 
+double Assignment::ScoreWithReplacement(int paper, int drop, int add,
+                                        std::vector<double>* gv_scratch)
+    const {
+  const int T = instance_->num_topics();
+  std::vector<double>& gv = *gv_scratch;
+  gv.assign(T, 0.0);
+  double bids = 0.0;
+  auto fold = [&](int r) {
+    const double* rv = instance_->ReviewerVector(r);
+    for (int t = 0; t < T; ++t) gv[t] = std::max(gv[t], rv[t]);
+    bids += instance_->BidBonus(r, paper);
+  };
+  for (int r : groups_[paper]) {
+    if (r != drop) fold(r);
+  }
+  fold(add);
+  return ScoreVectors(instance_->scoring(), gv.data(),
+                      instance_->PaperVector(paper), T,
+                      instance_->PaperMass(paper)) +
+         bids;
+}
+
 void Assignment::RecomputePaper(int paper) {
   double* gv = group_vec_.Row(paper);
   const int T = instance_->num_topics();

@@ -43,6 +43,13 @@ class Assignment {
   /// gain(A[p], r, p) per Definition 8 (+ bid bonus if bids are set); O(T).
   double MarginalGain(int paper, int reviewer) const;
 
+  /// Score of `paper` with `drop` replaced by `add` in its group, computed
+  /// read-only with the same formula the internal recompute uses — the
+  /// parallel local-search gain evaluation depends on the two never
+  /// diverging. `gv_scratch` is reused across calls; O(δp·T).
+  double ScoreWithReplacement(int paper, int drop, int add,
+                              std::vector<double>* gv_scratch) const;
+
   /// Adds (r, p). Fails on duplicates, COI, full group, or exhausted
   /// workload. O(T) on success.
   Status Add(int paper, int reviewer);

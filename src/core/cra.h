@@ -28,6 +28,14 @@ namespace wgrap::core {
 
 struct CraOptions {
   double time_limit_seconds = 0.0;  // 0 = unlimited
+  /// Worker threads for the parallelized hot paths (SDGA stage scoring,
+  /// SRA removal sampling + completion scoring, local-search neighbourhood
+  /// evaluation, BRGG group construction). Values < 1 are clamped to 1.
+  /// Output is bit-identical for any value — parallel work is keyed by
+  /// item index, random draws come from per-item Rng streams, and
+  /// reductions happen in index order. greedy/sm/ilp/rrap are sequential
+  /// and ignore it.
+  int num_threads = 1;
 };
 
 /// LAP backend used by each SDGA stage (and the SRA completion step).
@@ -48,6 +56,9 @@ struct SdgaOptions : CraOptions {
 using RefineTrace = std::function<void(double, double)>;
 
 struct SraOptions : CraOptions {
+  /// LAP backend for the per-round completion step (same machinery as the
+  /// SDGA stages).
+  LapBackend backend = LapBackend::kMinCostFlow;
   /// ω — stop after this many rounds without improvement (Sec. 4.4; the
   /// paper's default is 10).
   int convergence_window = 10;

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/cra.h"
 #include "core/repair.h"
 
@@ -78,23 +79,34 @@ Result<Assignment> SolveCraBrgg(const Instance& instance,
                              instance.reviewer_workload());
   std::vector<CachedGroup> cache(P);
   std::vector<char> done(P, 0);
+  ThreadPool pool(options.num_threads);
+  std::vector<int> stale;  // papers whose cached group must be rebuilt
 
   bool stranded = false;
   for (int committed = 0; committed < P && !stranded; ++committed) {
     if (deadline.Expired()) {
       return Status::ResourceExhausted("BRGG time limit");
     }
+    // Rebuild stale groups in parallel: BuildGreedyGroup reads only the
+    // frozen capacities, and each paper writes its own cache slot — the
+    // JRA-style subproblems of a round are independent.
+    stale.clear();
+    for (int p = 0; p < P; ++p) {
+      if (!done[p] && !cache[p].valid) stale.push_back(p);
+    }
+    pool.ParallelFor(0, static_cast<int64_t>(stale.size()), /*grain=*/4,
+                     [&](int64_t i) {
+                       const int p = stale[i];
+                       cache[p] = BuildGreedyGroup(instance, p, remaining);
+                     });
     int best_paper = -1;
     for (int p = 0; p < P; ++p) {
       if (done[p]) continue;
       if (!cache[p].valid) {
-        cache[p] = BuildGreedyGroup(instance, p, remaining);
-        if (!cache[p].valid) {
-          // Remaining capacity cannot field a full distinct group for p:
-          // stop whole-group commits and finish via swap repair below.
-          stranded = true;
-          break;
-        }
+        // Remaining capacity cannot field a full distinct group for p:
+        // stop whole-group commits and finish via swap repair below.
+        stranded = true;
+        break;
       }
       if (best_paper < 0 || cache[p].score > cache[best_paper].score) {
         best_paper = p;

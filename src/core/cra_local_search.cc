@@ -4,38 +4,135 @@
 // strict improvement; terminates on a proposal-stall threshold or the time
 // budget. As the paper observes, this gets stuck in local maxima that the
 // stochastic refinement escapes.
+//
+// Parallelism: proposals are generated and scored in fixed-size batches
+// against the frozen assignment — proposal j of round k draws from the
+// (k·B + j) Rng stream and its gain is evaluated read-only, so the batch
+// fans out across threads. The first improving proposal (by index) is then
+// applied with the usual mutate-verify-rollback step, which preserves both
+// the hill-climbing contract and bit-identical trajectories at any thread
+// count.
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/cra.h"
 
 namespace wgrap::core {
 
 namespace {
 
-// Applies "remove (p, out); add (p, in)" if it improves the total score.
-// Returns true when the move was kept.
-bool TryReplace(Assignment* assignment, int paper, int out, int in) {
-  const Instance& instance = assignment->instance();
-  if (assignment->Contains(paper, in) || instance.IsConflict(in, paper)) {
-    return false;
+// Proposals evaluated per round. A fixed constant (never derived from the
+// thread count) so the proposal stream is identical on every machine.
+constexpr int kProposalBatch = 64;
+
+struct Proposal {
+  bool is_swap = false;
+  // Swap: r1 reviews p2 instead of p1 and vice versa. Replace: `out` leaves
+  // p1's group, `in` joins it (r2/p2 unused).
+  int p1 = -1, r1 = -1;
+  int p2 = -1, r2 = -1;
+  bool valid = false;
+  double gain = 0.0;
+};
+
+// Generates proposal j of round `round` from its own stream and scores it
+// against the frozen assignment. Mirrors the draw sequence of the original
+// sequential sampler.
+Proposal MakeProposal(const Assignment& assignment, uint64_t seed,
+                      int64_t round, int64_t j,
+                      std::vector<double>* gv_scratch) {
+  const Instance& instance = assignment.instance();
+  const int P = instance.num_papers();
+  const int R = instance.num_reviewers();
+  Rng rng = Rng::ForStream(seed,
+                           static_cast<uint64_t>(round) * kProposalBatch + j);
+  Proposal proposal;
+  if (P >= 2 && rng.NextDouble() < 0.5) {
+    // Swap move: r1 reviews p2 instead of p1, r2 reviews p1 instead of p2.
+    proposal.is_swap = true;
+    proposal.p1 = static_cast<int>(rng.NextBounded(P));
+    proposal.p2 = static_cast<int>(rng.NextBounded(P - 1));
+    if (proposal.p2 >= proposal.p1) ++proposal.p2;
+    const auto& g1 = assignment.GroupFor(proposal.p1);
+    const auto& g2 = assignment.GroupFor(proposal.p2);
+    proposal.r1 = g1[rng.NextBounded(g1.size())];
+    proposal.r2 = g2[rng.NextBounded(g2.size())];
+    if (proposal.r1 == proposal.r2 ||
+        assignment.Contains(proposal.p1, proposal.r2) ||
+        assignment.Contains(proposal.p2, proposal.r1) ||
+        instance.IsConflict(proposal.r2, proposal.p1) ||
+        instance.IsConflict(proposal.r1, proposal.p2)) {
+      return proposal;  // invalid
+    }
+    proposal.valid = true;
+    proposal.gain =
+        assignment.ScoreWithReplacement(proposal.p1, proposal.r1,
+                                        proposal.r2, gv_scratch) +
+        assignment.ScoreWithReplacement(proposal.p2, proposal.r2,
+                                        proposal.r1, gv_scratch) -
+        assignment.PaperScore(proposal.p1) -
+        assignment.PaperScore(proposal.p2);
+  } else {
+    // Replace move: bring in a reviewer with spare workload.
+    proposal.p1 = static_cast<int>(rng.NextBounded(P));
+    const auto& group = assignment.GroupFor(proposal.p1);
+    proposal.r1 = group[rng.NextBounded(group.size())];  // out
+    proposal.r2 = static_cast<int>(rng.NextBounded(R));  // in
+    if (proposal.r2 == proposal.r1 ||
+        assignment.LoadOf(proposal.r2) >=
+            instance.reviewer_workload() ||
+        assignment.Contains(proposal.p1, proposal.r2) ||
+        instance.IsConflict(proposal.r2, proposal.p1)) {
+      return proposal;  // invalid
+    }
+    proposal.valid = true;
+    proposal.gain = assignment.ScoreWithReplacement(proposal.p1, proposal.r1,
+                                                    proposal.r2, gv_scratch) -
+                    assignment.PaperScore(proposal.p1);
   }
+  return proposal;
+}
+
+// Applies "remove (p1, r1); add (p1, r2)" if it improves the total score
+// under the assignment's own incremental arithmetic. Returns true when the
+// move was kept.
+Status ApplyReplace(Assignment* assignment, const Proposal& proposal,
+                    bool* kept) {
   const double before = assignment->TotalScore();
-  if (!assignment->Remove(paper, out).ok()) return false;
-  if (!assignment->Add(paper, in).ok()) {
-    // Roll back (the add can fail only on workload, COI checked above).
-    Status st = assignment->Add(paper, out);
-    (void)st;
-    return false;
+  WGRAP_RETURN_IF_ERROR(assignment->Remove(proposal.p1, proposal.r1));
+  WGRAP_RETURN_IF_ERROR(assignment->Add(proposal.p1, proposal.r2));
+  if (assignment->TotalScore() > before + 1e-12) {
+    *kept = true;
+    return Status::OK();
   }
-  if (assignment->TotalScore() > before + 1e-12) return true;
-  // Not an improvement: undo.
-  Status st = assignment->Remove(paper, in);
-  (void)st;
-  st = assignment->Add(paper, out);
-  (void)st;
-  return false;
+  WGRAP_RETURN_IF_ERROR(assignment->Remove(proposal.p1, proposal.r2));
+  WGRAP_RETURN_IF_ERROR(assignment->Add(proposal.p1, proposal.r1));
+  *kept = false;
+  return Status::OK();
+}
+
+// Swap counterpart of ApplyReplace. Loads are unchanged by a swap, so the
+// four ops cannot fail on workload.
+Status ApplySwap(Assignment* assignment, const Proposal& proposal,
+                 bool* kept) {
+  const double before = assignment->TotalScore();
+  WGRAP_RETURN_IF_ERROR(assignment->Remove(proposal.p1, proposal.r1));
+  WGRAP_RETURN_IF_ERROR(assignment->Remove(proposal.p2, proposal.r2));
+  WGRAP_RETURN_IF_ERROR(assignment->Add(proposal.p1, proposal.r2));
+  WGRAP_RETURN_IF_ERROR(assignment->Add(proposal.p2, proposal.r1));
+  if (assignment->TotalScore() > before + 1e-12) {
+    *kept = true;
+    return Status::OK();
+  }
+  WGRAP_RETURN_IF_ERROR(assignment->Remove(proposal.p1, proposal.r2));
+  WGRAP_RETURN_IF_ERROR(assignment->Remove(proposal.p2, proposal.r1));
+  WGRAP_RETURN_IF_ERROR(assignment->Add(proposal.p1, proposal.r1));
+  WGRAP_RETURN_IF_ERROR(assignment->Add(proposal.p2, proposal.r2));
+  *kept = false;
+  return Status::OK();
 }
 
 }  // namespace
@@ -43,68 +140,66 @@ bool TryReplace(Assignment* assignment, int paper, int out, int in) {
 Result<Assignment> RefineLocalSearch(const Instance& instance,
                                      const Assignment& initial,
                                      const LocalSearchOptions& options) {
+  (void)instance;  // bound to `initial`; kept for API symmetry with RefineSra
   WGRAP_RETURN_IF_ERROR(initial.ValidateComplete());
-  const int P = instance.num_papers();
-  const int R = instance.num_reviewers();
   Stopwatch watch;
   Deadline deadline(options.time_limit_seconds);
-  Rng rng(options.seed);
+  ThreadPool pool(options.num_threads);
 
   Assignment current = initial;
   if (options.trace) {
     options.trace(watch.ElapsedSeconds(), current.TotalScore());
   }
-  int stall = 0;
-  int64_t proposals = 0;
-  while (stall < options.max_stall_proposals && !deadline.Expired()) {
-    ++proposals;
-    bool improved = false;
-    if (P >= 2 && rng.NextDouble() < 0.5) {
-      // Swap move: r1 reviews p2 instead of p1, r2 reviews p1 instead of p2.
-      const int p1 = static_cast<int>(rng.NextBounded(P));
-      int p2 = static_cast<int>(rng.NextBounded(P - 1));
-      if (p2 >= p1) ++p2;
-      const auto& g1 = current.GroupFor(p1);
-      const auto& g2 = current.GroupFor(p2);
-      const int r1 = g1[rng.NextBounded(g1.size())];
-      const int r2 = g2[rng.NextBounded(g2.size())];
-      if (r1 != r2 && !current.Contains(p1, r2) && !current.Contains(p2, r1) &&
-          !instance.IsConflict(r2, p1) && !instance.IsConflict(r1, p2)) {
-        const double before = current.TotalScore();
-        // Loads are unchanged by a swap, so the four ops cannot fail on
-        // workload; perform and evaluate.
-        Status st = current.Remove(p1, r1);
-        if (st.ok()) st = current.Remove(p2, r2);
-        if (st.ok()) st = current.Add(p1, r2);
-        if (st.ok()) st = current.Add(p2, r1);
-        if (st.ok() && current.TotalScore() > before + 1e-12) {
-          improved = true;
-        } else if (st.ok()) {
-          st = current.Remove(p1, r2);
-          if (st.ok()) st = current.Remove(p2, r1);
-          if (st.ok()) st = current.Add(p1, r1);
-          if (st.ok()) st = current.Add(p2, r2);
-          if (!st.ok()) return st;
-        } else {
-          return st;
-        }
-      }
-    } else {
-      // Replace move: bring in a reviewer with spare workload.
-      const int p = static_cast<int>(rng.NextBounded(P));
-      const auto& group = current.GroupFor(p);
-      const int out = group[rng.NextBounded(group.size())];
-      const int in = static_cast<int>(rng.NextBounded(R));
-      if (current.LoadOf(in) < instance.reviewer_workload()) {
-        improved = TryReplace(&current, p, out, in);
-      }
+  int64_t stall = 0;
+  std::vector<Proposal> batch(kProposalBatch);
+  std::vector<double> gv_serial;
+  // With workers available, a whole batch is generated and scored up
+  // front in parallel; at one thread, proposals are generated lazily
+  // inside the accept loop so nothing past the first improving index is
+  // ever scored. Both walk the same per-index streams, so the trajectory
+  // is identical either way.
+  const bool parallel = pool.num_threads() > 1;
+  for (int64_t round = 0;
+       stall < options.max_stall_proposals && !deadline.Expired(); ++round) {
+    if (parallel) {
+      pool.ParallelForChunks(
+          0, kProposalBatch, /*grain=*/8,
+          [&](int64_t chunk_begin, int64_t chunk_end) {
+            std::vector<double> gv_scratch;
+            for (int64_t j = chunk_begin; j < chunk_end; ++j) {
+              batch[j] = MakeProposal(current, options.seed, round, j,
+                                      &gv_scratch);
+            }
+          });
     }
-    stall = improved ? 0 : stall + 1;
+    // Accept the first improving proposal by index — the same trajectory a
+    // sequential walker over this proposal stream would take.
+    bool improved = false;
+    for (int j = 0;
+         j < kProposalBatch && stall < options.max_stall_proposals; ++j) {
+      const Proposal proposal =
+          parallel ? batch[j]
+                   : MakeProposal(current, options.seed, round, j, &gv_serial);
+      if (!proposal.valid || proposal.gain <= 1e-12) {
+        ++stall;
+        continue;
+      }
+      bool kept = false;
+      WGRAP_RETURN_IF_ERROR(proposal.is_swap
+                                ? ApplySwap(&current, proposal, &kept)
+                                : ApplyReplace(&current, proposal, &kept));
+      if (!kept) {  // read-only estimate disagreed at the tolerance edge
+        ++stall;
+        continue;
+      }
+      improved = true;
+      stall = 0;
+      break;  // proposals after j were scored against a stale assignment
+    }
     if (improved && options.trace) {
       options.trace(watch.ElapsedSeconds(), current.TotalScore());
     }
   }
-  (void)proposals;
   WGRAP_RETURN_IF_ERROR(current.ValidateComplete());
   return current;
 }

@@ -12,6 +12,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/cra.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
@@ -22,13 +23,15 @@ namespace {
 
 // One SDGA stage: assigns one reviewer to every paper, maximizing summed
 // marginal gain, respecting per-stage capacities. Shared with the SRA
-// completion step (cra_sra.cc) via SolveStageAssignment.
+// completion step (cra_sra.cc) via SolveStageAssignment. Rows of the
+// profit matrix are scored on `pool` (required; a 1-thread pool runs
+// inline), which is deterministic because each row is an independent
+// function of the frozen assignment.
 Status RunStage(const Instance& instance, const std::vector<int>& capacity,
-                LapBackend backend, Assignment* assignment) {
+                LapBackend backend, ThreadPool* pool, Assignment* assignment) {
   const int P = instance.num_papers();
   const int R = instance.num_reviewers();
 
-  Matrix profit(P, R, la::kTransportForbidden);
   std::vector<int> papers_needing;  // papers still missing a reviewer
   for (int p = 0; p < P; ++p) {
     if (static_cast<int>(assignment->GroupFor(p).size()) >=
@@ -41,16 +44,18 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
 
   Matrix stage_profit(static_cast<int>(papers_needing.size()), R,
                       la::kTransportForbidden);
-  for (size_t i = 0; i < papers_needing.size(); ++i) {
-    const int p = papers_needing[i];
-    for (int r = 0; r < R; ++r) {
-      if (capacity[r] <= 0 || instance.IsConflict(r, p) ||
-          assignment->Contains(p, r)) {
-        continue;
-      }
-      stage_profit(static_cast<int>(i), r) = assignment->MarginalGain(p, r);
-    }
-  }
+  pool->ParallelFor(0, static_cast<int64_t>(papers_needing.size()),
+                    /*grain=*/8, [&](int64_t i) {
+                      const int p = papers_needing[i];
+                      for (int r = 0; r < R; ++r) {
+                        if (capacity[r] <= 0 || instance.IsConflict(r, p) ||
+                            assignment->Contains(p, r)) {
+                          continue;
+                        }
+                        stage_profit(static_cast<int>(i), r) =
+                            assignment->MarginalGain(p, r);
+                      }
+                    });
 
   std::vector<std::pair<int, int>> pairs;  // (paper, reviewer)
   if (backend == LapBackend::kMinCostFlow) {
@@ -98,8 +103,9 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
 // every paper is missing at most one reviewer.
 Status SolveStageAssignment(const Instance& instance,
                             const std::vector<int>& capacity,
-                            LapBackend backend, Assignment* assignment) {
-  return RunStage(instance, capacity, backend, assignment);
+                            LapBackend backend, ThreadPool* pool,
+                            Assignment* assignment) {
+  return RunStage(instance, capacity, backend, pool, assignment);
 }
 
 Result<Assignment> SolveCraSdga(const Instance& instance,
@@ -110,6 +116,7 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
   const int dp = instance.group_size();
   const int dr = instance.reviewer_workload();
   const int stage_cap = (dr + dp - 1) / dp;  // ⌈δr/δp⌉
+  ThreadPool pool(options.num_threads);
 
   for (int stage = 0; stage < dp; ++stage) {
     if (deadline.Expired()) {
@@ -123,7 +130,7 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
                         : remaining_total;
     }
     Status stage_status =
-        RunStage(instance, capacity, options.backend, &assignment);
+        RunStage(instance, capacity, options.backend, &pool, &assignment);
     if (!stage_status.ok() &&
         stage_status.code() == StatusCode::kInfeasible &&
         options.confine_stage_workload) {
@@ -133,7 +140,7 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
       // stage's contribution, so relaxing the cap to the full remaining
       // workload keeps the 1/2 guarantee intact.
       for (int r = 0; r < R; ++r) capacity[r] = dr - assignment.LoadOf(r);
-      stage_status = RunStage(instance, capacity, options.backend,
+      stage_status = RunStage(instance, capacity, options.backend, &pool,
                               &assignment);
     }
     WGRAP_RETURN_IF_ERROR(stage_status);

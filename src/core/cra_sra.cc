@@ -6,6 +6,11 @@
 // Eq. 10 — and completes the assignment with one Stage-WGRAP linear
 // assignment (the same machinery as SDGA's stages). The best assignment
 // seen is kept; the process stops after ω rounds without improvement.
+//
+// Parallelism: victim sampling is independent across papers, so each
+// (round, paper) draws from its own Rng stream split off options.seed and
+// papers are processed in parallel; removals are then applied in paper
+// order. Results are bit-identical for any num_threads.
 #include <algorithm>
 #include <cmath>
 #include <vector>
@@ -13,6 +18,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/cra.h"
 
 namespace wgrap::core {
@@ -20,7 +26,8 @@ namespace wgrap::core {
 // Defined in cra_sdga.cc.
 Status SolveStageAssignment(const Instance& instance,
                             const std::vector<int>& capacity,
-                            LapBackend backend, Assignment* assignment);
+                            LapBackend backend, ThreadPool* pool,
+                            Assignment* assignment);
 
 Result<Assignment> RefineSra(const Instance& instance,
                              const Assignment& initial,
@@ -34,26 +41,31 @@ Result<Assignment> RefineSra(const Instance& instance,
   const int R = instance.num_reviewers();
   Stopwatch watch;
   Deadline deadline(options.time_limit_seconds);
-  Rng rng(options.seed);
+  ThreadPool pool(options.num_threads);
 
   // Pair scores c(r→, p→) and per-reviewer totals Σ_p' c(r→, p'→) (the
-  // TF-IDF-style denominator of Eq. 9). O(PR) precomputation.
+  // TF-IDF-style denominator of Eq. 9). O(PR) precomputation: rows filled
+  // in parallel, then each reviewer's total summed in fixed paper order.
   Matrix pair_score(P, R);
   std::vector<double> reviewer_total(R, 0.0);
-  for (int p = 0; p < P; ++p) {
+  pool.ParallelFor(0, P, /*grain=*/8, [&](int64_t p) {
     for (int r = 0; r < R; ++r) {
-      const double s = instance.PairUtility(r, p);
-      pair_score(p, r) = s;
-      reviewer_total[r] += s;
+      pair_score(static_cast<int>(p), r) =
+          instance.PairUtility(r, static_cast<int>(p));
     }
-  }
+  });
+  pool.ParallelFor(0, R, /*grain=*/16, [&](int64_t r) {
+    double total = 0.0;
+    for (int p = 0; p < P; ++p) total += pair_score(p, static_cast<int>(r));
+    reviewer_total[r] = total;
+  });
 
   Assignment current = initial;
   Assignment best = initial;
   if (options.trace) options.trace(watch.ElapsedSeconds(), best.TotalScore());
 
   int rounds_without_improvement = 0;
-  std::vector<double> removal_weight;
+  std::vector<int> victims(P);  // reviewer removed from each paper
   for (int iteration = 0;
        iteration < options.max_iterations &&
        rounds_without_improvement < options.convergence_window &&
@@ -61,33 +73,45 @@ Result<Assignment> RefineSra(const Instance& instance,
        ++iteration) {
     const double decay = std::exp(-options.decay_lambda * iteration);
     // Removal phase: drop one reviewer per paper, favouring low P(r|p).
+    // Victim choice per paper reads only the frozen `current`, so papers
+    // run in parallel, each on its own (iteration, paper) stream.
+    pool.ParallelForChunks(
+        0, P, /*grain=*/16, [&](int64_t chunk_begin, int64_t chunk_end) {
+          std::vector<double> removal_weight;
+          for (int64_t pi = chunk_begin; pi < chunk_end; ++pi) {
+            const int p = static_cast<int>(pi);
+            Rng rng = Rng::ForStream(
+                options.seed, static_cast<uint64_t>(iteration) * P + p);
+            const std::vector<int>& group = current.GroupFor(p);
+            removal_weight.resize(group.size());
+            double total = 0.0;
+            for (size_t i = 0; i < group.size(); ++i) {
+              const int r = group[i];
+              double suitability;
+              if (options.uniform_probability) {
+                suitability = 1.0 / R;
+              } else {
+                const double data_term =
+                    reviewer_total[r] > 0.0
+                        ? decay * pair_score(p, r) / reviewer_total[r]
+                        : 0.0;
+                suitability = std::max(1.0 / R, data_term);  // Eq. 10
+              }
+              removal_weight[i] = std::max(0.0, 1.0 - suitability);
+              total += removal_weight[i];
+            }
+            int victim;
+            if (total <= 0.0) {
+              victim = static_cast<int>(rng.NextBounded(group.size()));
+            } else {
+              victim = rng.SampleDiscrete(removal_weight);
+              WGRAP_CHECK(victim >= 0);
+            }
+            victims[p] = group[victim];
+          }
+        });
     for (int p = 0; p < P; ++p) {
-      const std::vector<int> group = current.GroupFor(p);  // copy: mutating
-      removal_weight.resize(group.size());
-      double total = 0.0;
-      for (size_t i = 0; i < group.size(); ++i) {
-        const int r = group[i];
-        double suitability;
-        if (options.uniform_probability) {
-          suitability = 1.0 / R;
-        } else {
-          const double data_term =
-              reviewer_total[r] > 0.0
-                  ? decay * pair_score(p, r) / reviewer_total[r]
-                  : 0.0;
-          suitability = std::max(1.0 / R, data_term);  // Eq. 10
-        }
-        removal_weight[i] = std::max(0.0, 1.0 - suitability);
-        total += removal_weight[i];
-      }
-      int victim;
-      if (total <= 0.0) {
-        victim = static_cast<int>(rng.NextBounded(group.size()));
-      } else {
-        victim = rng.SampleDiscrete(removal_weight);
-        WGRAP_CHECK(victim >= 0);
-      }
-      WGRAP_RETURN_IF_ERROR(current.Remove(p, group[victim]));
+      WGRAP_RETURN_IF_ERROR(current.Remove(p, victims[p]));
     }
     // Completion phase: one Stage-WGRAP linear assignment over the freed
     // slots (capacity = remaining workload, always feasible because every
@@ -96,8 +120,9 @@ Result<Assignment> RefineSra(const Instance& instance,
     for (int r = 0; r < R; ++r) {
       capacity[r] = instance.reviewer_workload() - current.LoadOf(r);
     }
-    WGRAP_RETURN_IF_ERROR(SolveStageAssignment(
-        instance, capacity, LapBackend::kMinCostFlow, &current));
+    WGRAP_RETURN_IF_ERROR(SolveStageAssignment(instance, capacity,
+                                               options.backend, &pool,
+                                               &current));
     if (current.TotalScore() > best.TotalScore() + 1e-12) {
       best = current;
       rounds_without_improvement = 0;

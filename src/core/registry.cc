@@ -1,12 +1,91 @@
 #include "core/registry.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
 
 namespace wgrap::core {
 
+Result<int> SolverRunOptions::ExtraInt(const std::string& key,
+                                       int fallback) const {
+  auto it = extra.find(key);
+  if (it == extra.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0' ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("option '" + key + "': '" + it->second +
+                                   "' is not an integer in range");
+  }
+  return static_cast<int>(v);
+}
+
+Result<double> SolverRunOptions::ExtraDouble(const std::string& key,
+                                             double fallback) const {
+  auto it = extra.find(key);
+  if (it == extra.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("option '" + key + "': '" + it->second +
+                                   "' is not a number");
+  }
+  return v;
+}
+
+std::string SolverRunOptions::ExtraString(const std::string& key,
+                                          const std::string& fallback) const {
+  auto it = extra.find(key);
+  return it == extra.end() ? fallback : it->second;
+}
+
 namespace {
+
+// The knobs shared by the SDGA/SRA/LS pipeline factories, decoded from
+// SolverRunOptions::extra once per dispatch.
+struct PipelineKnobs {
+  int threads = 1;
+  LapBackend backend = LapBackend::kMinCostFlow;
+  int sra_omega = SraOptions{}.convergence_window;
+  double sra_lambda = SraOptions{}.decay_lambda;
+};
+
+Result<PipelineKnobs> ParsePipelineKnobs(const SolverRunOptions& options) {
+  PipelineKnobs knobs;
+  auto threads = options.ExtraInt("threads", knobs.threads);
+  if (!threads.ok()) return threads.status();
+  // Bound the pool size: each worker is a real OS thread, so an absurd
+  // request must fail cleanly rather than exhaust the process.
+  if (*threads < 1 || *threads > 256) {
+    return Status::InvalidArgument("option 'threads' must be in [1, 256]");
+  }
+  knobs.threads = *threads;
+  const std::string lap = options.ExtraString("lap", "mcf");
+  if (lap == "mcf") {
+    knobs.backend = LapBackend::kMinCostFlow;
+  } else if (lap == "hungarian") {
+    knobs.backend = LapBackend::kHungarian;
+  } else {
+    return Status::InvalidArgument("option 'lap': '" + lap +
+                                   "' (use mcf or hungarian)");
+  }
+  auto omega = options.ExtraInt("sra_omega", knobs.sra_omega);
+  if (!omega.ok()) return omega.status();
+  if (*omega <= 0) {
+    return Status::InvalidArgument("option 'sra_omega' must be > 0");
+  }
+  knobs.sra_omega = *omega;
+  auto lambda = options.ExtraDouble("sra_lambda", knobs.sra_lambda);
+  if (!lambda.ok()) return lambda.status();
+  knobs.sra_lambda = *lambda;
+  return knobs;
+}
 
 // Adapts RRAP's unconstrained per-paper lists into an Assignment via
 // AddUnchecked so it can flow through the same evaluation pipeline as the
@@ -61,36 +140,61 @@ SolverRegistry BuildDefaultRegistry() {
           });
   add_cra("brgg", "BRGG (best reviewer-group greedy)",
           "commits the best whole (group, paper) pair per round",
-          [](const Instance& instance, const SolverRunOptions& options) {
+          [](const Instance& instance,
+             const SolverRunOptions& options) -> Result<Assignment> {
+            auto knobs = ParsePipelineKnobs(options);
+            WGRAP_RETURN_IF_ERROR(knobs.status());
             CraOptions cra;
             cra.time_limit_seconds = options.time_limit_seconds;
+            cra.num_threads = knobs->threads;
             return SolveCraBrgg(instance, cra);
           });
   add_cra("sdga", "SDGA (Algorithm 2)",
           "stage-deepening greedy: dp linear-assignment stages, "
           "1/2-approximation",
-          [](const Instance& instance, const SolverRunOptions& options) {
+          [](const Instance& instance,
+             const SolverRunOptions& options) -> Result<Assignment> {
+            auto knobs = ParsePipelineKnobs(options);
+            WGRAP_RETURN_IF_ERROR(knobs.status());
             SdgaOptions sdga;
             sdga.time_limit_seconds = options.time_limit_seconds;
+            sdga.num_threads = knobs->threads;
+            sdga.backend = knobs->backend;
             return SolveCraSdga(instance, sdga);
           });
   add_cra("sdga-sra", "SDGA + SRA (Algorithms 2+3)",
           "the paper's recommended pipeline: SDGA then stochastic refinement",
-          [](const Instance& instance, const SolverRunOptions& options) {
+          [](const Instance& instance,
+             const SolverRunOptions& options) -> Result<Assignment> {
+            auto knobs = ParsePipelineKnobs(options);
+            WGRAP_RETURN_IF_ERROR(knobs.status());
+            SdgaOptions sdga;
+            sdga.num_threads = knobs->threads;
+            sdga.backend = knobs->backend;
             SraOptions sra;
             sra.time_limit_seconds = options.time_limit_seconds;
             sra.seed = options.seed;
-            return SolveCraSdgaSra(instance, {}, sra);
+            sra.num_threads = knobs->threads;
+            sra.backend = knobs->backend;
+            sra.convergence_window = knobs->sra_omega;
+            sra.decay_lambda = knobs->sra_lambda;
+            return SolveCraSdgaSra(instance, sdga, sra);
           });
   add_cra("sdga-ls", "SDGA + LS (Fig. 12 baseline)",
           "SDGA then plain hill-climbing local search",
           [](const Instance& instance,
              const SolverRunOptions& options) -> Result<Assignment> {
-            auto initial = SolveCraSdga(instance);
+            auto knobs = ParsePipelineKnobs(options);
+            WGRAP_RETURN_IF_ERROR(knobs.status());
+            SdgaOptions sdga;
+            sdga.num_threads = knobs->threads;
+            sdga.backend = knobs->backend;
+            auto initial = SolveCraSdga(instance, sdga);
             WGRAP_RETURN_IF_ERROR(initial.status());
             LocalSearchOptions ls;
             ls.time_limit_seconds = options.time_limit_seconds;
             ls.seed = options.seed;
+            ls.num_threads = knobs->threads;
             return RefineLocalSearch(instance, *initial, ls);
           });
   add_cra("sm", "SM (stable matching)",
@@ -218,6 +322,9 @@ Result<Assignment> SolverRegistry::SolveCra(
     return Status::InvalidArgument("'" + name +
                                    "' is a JRA solver; use SolveJra");
   }
+  // Reserved keys are validated here, uniformly, so a typo in a knob value
+  // is diagnosed even by solvers that ignore the knob (greedy, sm, ...).
+  WGRAP_RETURN_IF_ERROR(ParsePipelineKnobs(options).status());
   return descriptor->cra(instance, options);
 }
 
@@ -233,6 +340,7 @@ Result<JraResult> SolverRegistry::SolveJra(
     return Status::InvalidArgument("'" + name +
                                    "' is a CRA solver; use SolveCra");
   }
+  WGRAP_RETURN_IF_ERROR(ParsePipelineKnobs(options).status());
   return descriptor->jra(instance, paper, options);
 }
 

@@ -38,9 +38,20 @@ enum class SolverFamily {
 };
 
 /// Family-agnostic knobs threaded to whichever options struct the concrete
-/// solver takes. Solver-specific switches (LAP backend, SRA's ω and λ, BBA
-/// bounding) keep their defaults; call the core/cra.h / core/jra.h entry
-/// points directly when those must be tuned.
+/// solver takes, plus a string→string `extra` map for solver-specific
+/// switches so front ends never need direct calls.
+///
+/// Keys understood by the built-in solvers (unknown keys are ignored so
+/// custom registrations can define their own):
+///   "threads"    — worker threads for the parallel hot paths (SDGA stage
+///                  scoring, SRA sampling, LS neighbourhood evaluation,
+///                  BRGG group construction), in [1, 256]. Output is
+///                  bit-identical for any value; see
+///                  CraOptions::num_threads.
+///   "lap"        — LAP backend for SDGA stages and the SRA completion
+///                  step: "mcf" (default) or "hungarian".
+///   "sra_omega"  — SRA convergence window ω (int > 0).
+///   "sra_lambda" — SRA decay rate λ (double).
 struct SolverRunOptions {
   /// Wall-clock budget in seconds; 0 = unlimited. Anytime solvers
   /// (sdga-sra, sdga-ls) treat it as the refinement budget and still return
@@ -50,6 +61,15 @@ struct SolverRunOptions {
   double time_limit_seconds = 0.0;
   /// Seed for the randomized refiners (sra, local search).
   uint64_t seed = 20150531;
+  /// Solver-specific knobs; see the key list above.
+  std::map<std::string, std::string> extra;
+
+  /// Typed accessors over `extra`: the fallback when the key is absent,
+  /// kInvalidArgument (naming the key) when the value doesn't parse.
+  Result<int> ExtraInt(const std::string& key, int fallback) const;
+  Result<double> ExtraDouble(const std::string& key, double fallback) const;
+  std::string ExtraString(const std::string& key,
+                          const std::string& fallback) const;
 };
 
 using CraSolverFn =

@@ -47,6 +47,10 @@ struct SyntheticDblpConfig {
   /// Number of salient topics per paper (1..this).
   int max_salient_topics = 4;
   uint64_t seed = 42;
+  /// Worker threads for the ATM fit inside GenerateDatasetViaAtm (the
+  /// vector-only generators ignore it). The generated dataset is
+  /// bit-identical for any value.
+  int atm_threads = 1;
 };
 
 /// Generates the (area, year) conference dataset at Table 3 scale.

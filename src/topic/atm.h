@@ -21,6 +21,10 @@ struct AtmOptions {
   int iterations = 200;    // Gibbs sweeps
   int burn_in = 100;       // sweeps before averaging posterior estimates
   int sample_lag = 10;     // average every `sample_lag` sweeps after burn-in
+  /// Worker threads for the per-document sampling fan-out. The fitted
+  /// model is bit-identical for any value (documents draw from per-
+  /// (sweep, document) Rng streams against batch-frozen counts).
+  int num_threads = 1;
 };
 
 /// Fitted model: theta rows are authors (num_authors x T, row-normalized),

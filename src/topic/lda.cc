@@ -1,11 +1,32 @@
 #include "topic/lda.h"
 
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace wgrap::topic {
 
+namespace {
+
+// Per-document token state with the word→local-column map precomputed so a
+// sweep's local topic-word deltas fit in a dense unique_words x T block.
+struct LdaDocState {
+  std::vector<int> topics;            // per-token assignment
+  std::vector<int> token_local_word;  // index into unique_words
+  std::vector<int> unique_words;      // global word ids, first-seen order
+};
+
+}  // namespace
+
+// Batch-synchronous collapsed Gibbs (the AD-LDA scheme, partitioned by
+// document): each sweep freezes the topic-word counts, documents resample
+// their tokens in parallel against the snapshot plus their own local
+// deltas (the document-topic row is owned by its document and updated in
+// place), and the shared counts are rebuilt in document order afterwards.
+// Every (sweep, document) pair uses its own Rng stream split off the
+// caller's generator, so the model is bit-identical at any thread count.
 Result<LdaModel> FitLda(const Corpus& corpus, const LdaOptions& options,
                         Rng* rng) {
   WGRAP_RETURN_IF_ERROR(corpus.Validate());
@@ -22,50 +43,91 @@ Result<LdaModel> FitLda(const Corpus& corpus, const LdaOptions& options,
   const int T = options.num_topics;
   const int V = corpus.vocab_size;
   const int D = corpus.num_documents();
+  ThreadPool pool(options.num_threads);
 
-  Matrix doc_topic(D, T);   // C_dt
+  Matrix doc_topic(D, T);   // C_dt — row d is owned by document d
   Matrix topic_word(T, V);  // C_tw
   std::vector<double> topic_total(T, 0.0);
-  std::vector<std::vector<int>> assignments(D);
+  std::vector<LdaDocState> states(D);
 
-  // Random initialization.
-  for (int d = 0; d < D; ++d) {
-    const auto& words = corpus.documents[d].words;
-    assignments[d].reserve(words.size());
-    for (int w : words) {
-      const int t = static_cast<int>(rng->NextBounded(T));
-      assignments[d].push_back(t);
-      doc_topic(d, t) += 1.0;
-      topic_word(t, w) += 1.0;
-      topic_total[t] += 1.0;
+  // Random initialization (sequential, from the caller's generator).
+  {
+    std::vector<int> word_local(V, -1);
+    for (int d = 0; d < D; ++d) {
+      const auto& words = corpus.documents[d].words;
+      LdaDocState& state = states[d];
+      state.topics.reserve(words.size());
+      state.token_local_word.reserve(words.size());
+      for (int w : words) {
+        const int t = static_cast<int>(rng->NextBounded(T));
+        state.topics.push_back(t);
+        doc_topic(d, t) += 1.0;
+        topic_word(t, w) += 1.0;
+        topic_total[t] += 1.0;
+        if (word_local[w] < 0) {
+          word_local[w] = static_cast<int>(state.unique_words.size());
+          state.unique_words.push_back(w);
+        }
+        state.token_local_word.push_back(word_local[w]);
+      }
+      for (int w : state.unique_words) word_local[w] = -1;  // reset scratch
     }
   }
+  const uint64_t stream_seed = rng->NextU64();
 
   Matrix doc_sum(D, T);
   Matrix phi_sum(T, V);
   const double v_beta = V * options.beta;
-  std::vector<double> weights(T);
+  Matrix tw_snap;
+  std::vector<double> t_total_snap;
   int samples = 0;
   for (int iter = 0; iter < options.iterations; ++iter) {
+    tw_snap = topic_word;
+    t_total_snap = topic_total;
+    pool.ParallelForChunks(
+        0, D, /*grain=*/2, [&](int64_t chunk_begin, int64_t chunk_end) {
+          std::vector<double> local_tw, local_t_total, weights(T);
+          for (int64_t d = chunk_begin; d < chunk_end; ++d) {
+            const auto& words = corpus.documents[d].words;
+            LdaDocState& state = states[d];
+            const int num_unique =
+                static_cast<int>(state.unique_words.size());
+            Rng doc_rng = Rng::ForStream(
+                stream_seed, static_cast<uint64_t>(iter) * D + d);
+            local_tw.assign(static_cast<size_t>(num_unique) * T, 0.0);
+            local_t_total.assign(T, 0.0);
+            for (size_t i = 0; i < words.size(); ++i) {
+              const int w = words[i];
+              const int w_local = state.token_local_word[i];
+              const int old_topic = state.topics[i];
+              doc_topic(static_cast<int>(d), old_topic) -= 1.0;
+              local_tw[static_cast<size_t>(w_local) * T + old_topic] -= 1.0;
+              local_t_total[old_topic] -= 1.0;
+              for (int t = 0; t < T; ++t) {
+                weights[t] =
+                    (doc_topic(static_cast<int>(d), t) + options.alpha) *
+                    (tw_snap(t, w) +
+                     local_tw[static_cast<size_t>(w_local) * T + t] +
+                     options.beta) /
+                    (t_total_snap[t] + local_t_total[t] + v_beta);
+              }
+              const int new_topic = doc_rng.SampleDiscrete(weights);
+              WGRAP_CHECK(new_topic >= 0);
+              state.topics[i] = new_topic;
+              doc_topic(static_cast<int>(d), new_topic) += 1.0;
+              local_tw[static_cast<size_t>(w_local) * T + new_topic] += 1.0;
+              local_t_total[new_topic] += 1.0;
+            }
+          }
+        });
+    // Rebuild the shared counts from the token states, in document order.
+    topic_word.Fill(0.0);
+    topic_total.assign(T, 0.0);
     for (int d = 0; d < D; ++d) {
       const auto& words = corpus.documents[d].words;
       for (size_t i = 0; i < words.size(); ++i) {
-        const int w = words[i];
-        const int old_topic = assignments[d][i];
-        doc_topic(d, old_topic) -= 1.0;
-        topic_word(old_topic, w) -= 1.0;
-        topic_total[old_topic] -= 1.0;
-        for (int t = 0; t < T; ++t) {
-          weights[t] = (doc_topic(d, t) + options.alpha) *
-                       (topic_word(t, w) + options.beta) /
-                       (topic_total[t] + v_beta);
-        }
-        const int new_topic = rng->SampleDiscrete(weights);
-        WGRAP_CHECK(new_topic >= 0);
-        assignments[d][i] = new_topic;
-        doc_topic(d, new_topic) += 1.0;
-        topic_word(new_topic, w) += 1.0;
-        topic_total[new_topic] += 1.0;
+        topic_word(states[d].topics[i], words[i]) += 1.0;
+        topic_total[states[d].topics[i]] += 1.0;
       }
     }
     const bool take = iter >= options.burn_in &&

@@ -20,6 +20,9 @@ struct LdaOptions {
   int iterations = 200;
   int burn_in = 100;
   int sample_lag = 10;
+  /// Worker threads for the per-document sampling fan-out; the fitted
+  /// model is bit-identical for any value.
+  int num_threads = 1;
 };
 
 /// Fitted LDA model: document-topic mixtures and topic-word distributions

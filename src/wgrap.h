@@ -15,6 +15,7 @@
 #ifndef WGRAP_WGRAP_H_
 #define WGRAP_WGRAP_H_
 
+#include "common/thread_pool.h"  // IWYU pragma: export
 #include "core/wgrap.h"          // IWYU pragma: export
 #include "data/io.h"             // IWYU pragma: export
 #include "data/synthetic_dblp.h" // IWYU pragma: export

@@ -139,6 +139,66 @@ TEST(SolverRegistryTest, RegisterRejectsDuplicatesAndMalformedDescriptors) {
   EXPECT_EQ(registry.Register(unnamed).code(), StatusCode::kInvalidArgument);
 }
 
+TEST(SolverRegistryTest, ExtraKnobsAreThreadedThrough) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  core::SolverRunOptions options;
+  options.extra["threads"] = "4";
+  options.extra["lap"] = "hungarian";
+  options.extra["sra_omega"] = "3";
+  options.extra["sra_lambda"] = "0.1";
+  auto assignment = registry.SolveCra("sdga-sra", instance, options);
+  ASSERT_TRUE(assignment.ok()) << assignment.status().ToString();
+  EXPECT_TRUE(assignment->ValidateComplete().ok());
+  // Unknown keys are ignored so custom registrations can define their own.
+  options.extra["custom_knob"] = "whatever";
+  EXPECT_TRUE(registry.SolveCra("sdga", instance, options).ok());
+}
+
+TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  for (const auto& [key, value] :
+       {std::pair<const char*, const char*>{"threads", "many"},
+        {"threads", "0"},
+        {"threads", "100000"},  // bounded: each worker is an OS thread
+        {"lap", "simplex"},
+        {"sra_omega", "0"},
+        {"sra_lambda", "fast"}}) {
+    core::SolverRunOptions options;
+    options.extra[key] = value;
+    auto result = registry.SolveCra("sdga-sra", instance, options);
+    ASSERT_FALSE(result.ok()) << key;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << key;
+    // The error names the offending key.
+    EXPECT_NE(result.status().message().find(key), std::string::npos) << key;
+    // Reserved keys are validated at dispatch, so even solvers that ignore
+    // the knob diagnose a typo instead of silently running.
+    EXPECT_FALSE(registry.SolveCra("greedy", instance, options).ok()) << key;
+  }
+}
+
+TEST(SolverRunOptionsTest, TypedExtraAccessors) {
+  core::SolverRunOptions options;
+  EXPECT_EQ(*options.ExtraInt("absent", 7), 7);
+  EXPECT_EQ(*options.ExtraDouble("absent", 0.5), 0.5);
+  EXPECT_EQ(options.ExtraString("absent", "x"), "x");
+  options.extra["a"] = "42";
+  options.extra["b"] = "2.25";
+  options.extra["c"] = "text";
+  EXPECT_EQ(*options.ExtraInt("a", 0), 42);
+  EXPECT_EQ(*options.ExtraDouble("b", 0.0), 2.25);
+  EXPECT_EQ(options.ExtraString("c", ""), "text");
+  EXPECT_EQ(options.ExtraInt("c", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(options.ExtraDouble("c", 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  // Values outside int range are rejected, not truncated.
+  options.extra["d"] = "4294967297";
+  EXPECT_EQ(options.ExtraInt("d", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(SolverRegistryTest, TimeLimitIsThreadedThrough) {
   const auto& registry = core::SolverRegistry::Default();
   const core::Instance instance = TinyInstance();

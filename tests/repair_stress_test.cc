@@ -1,0 +1,33 @@
+// Conference-scale completion regressions, split out of repair_test.cc and
+// labelled "slow" in CTest: a full Table-3-sized dataset generation plus a
+// δp=5 SDGA solve takes seconds, which the sanitizer CI jobs skip via
+// `ctest -LE slow`.
+#include <gtest/gtest.h>
+
+#include "core/cra.h"
+#include "data/synthetic_dblp.h"
+
+namespace wgrap::core {
+namespace {
+
+TEST(SdgaCapRelaxationTest, NonDivisibleWorkloadStillFeasible) {
+  // The DM08 δp=5 regression: δr = 14, ⌈δr/δp⌉ = 3 strands capacity in the
+  // last stage; SDGA must relax the cap rather than fail.
+  data::SyntheticDblpConfig config;
+  auto dataset =
+      data::GenerateConferenceDataset(data::Area::kDataMining, 2008, config);
+  ASSERT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = 5;
+  auto instance = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->reviewer_workload(), 14);
+  SdgaOptions options;
+  options.num_threads = 4;  // exercise the parallel stage scoring at scale
+  auto sdga = SolveCraSdga(*instance, options);
+  ASSERT_TRUE(sdga.ok()) << sdga.status().ToString();
+  EXPECT_TRUE(sdga->ValidateComplete().ok());
+}
+
+}  // namespace
+}  // namespace wgrap::core

@@ -116,22 +116,9 @@ TEST_P(TightCapacityTest, AllConstructorsComplete) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TightCapacityTest, ::testing::Range(0, 8));
 
-TEST(SdgaCapRelaxationTest, NonDivisibleWorkloadStillFeasible) {
-  // The DM08 δp=5 regression: δr = 14, ⌈δr/δp⌉ = 3 strands capacity in the
-  // last stage; SDGA must relax the cap rather than fail.
-  data::SyntheticDblpConfig config;
-  auto dataset =
-      data::GenerateConferenceDataset(data::Area::kDataMining, 2008, config);
-  ASSERT_TRUE(dataset.ok());
-  InstanceParams params;
-  params.group_size = 5;
-  auto instance = Instance::FromDataset(*dataset, params);
-  ASSERT_TRUE(instance.ok());
-  EXPECT_EQ(instance->reviewer_workload(), 14);
-  auto sdga = SolveCraSdga(*instance);
-  ASSERT_TRUE(sdga.ok()) << sdga.status().ToString();
-  EXPECT_TRUE(sdga->ValidateComplete().ok());
-}
+// The conference-scale SDGA cap-relaxation regression lives in
+// repair_stress_test.cc (ctest label "slow") so sanitizer CI jobs can skip
+// it — it dominated this suite at ~1.7 s vs milliseconds for the rest.
 
 }  // namespace
 }  // namespace wgrap::core

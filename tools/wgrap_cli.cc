@@ -11,7 +11,8 @@
 //   wgrap_cli generate  --pool 300 --papers 50 --out pool.csv
 //   wgrap_cli solve     --dataset d.csv --dp 3 [--dr N] [--algo sdga-sra]
 //                       [--scoring c|cR|cP|cD] [--budget secs] [--seed S]
-//                       --out a.csv
+//                       [--threads N] [--lap mcf|hungarian]
+//                       [--sra-omega W] [--sra-lambda L] --out a.csv
 //   wgrap_cli jra       --dataset d.csv --paper 0 --dp 3 [--topk 5]
 //                       [--algo bba]
 //   wgrap_cli evaluate  --dataset d.csv --assignment a.csv --dp 3 [--dr N]
@@ -217,6 +218,16 @@ int CmdSolve(const Flags& flags) {
   core::SolverRunOptions options;
   options.time_limit_seconds = flags.GetDouble("budget", 0.0);
   options.seed = flags.GetUint64("seed", 20150531);
+  // Solver-specific knobs ride in the registry's extra map; results are
+  // bit-identical for any --threads value at a fixed --seed.
+  for (const auto& [flag, key] :
+       {std::pair<const char*, const char*>{"threads", "threads"},
+        {"lap", "lap"},
+        {"sra-omega", "sra_omega"},
+        {"sra-lambda", "sra_lambda"}}) {
+    const std::string value = flags.GetString(flag, "");
+    if (!value.empty()) options.extra[key] = value;
+  }
   const auto& registry = core::SolverRegistry::Default();
   auto assignment = registry.SolveCra(algo, instance, options);
   if (!assignment.ok()) Die(assignment.status(), "solve");

@@ -1,6 +1,7 @@
 // google-benchmark microbenchmarks for the substrates the WGRAP solvers
 // stand on: weighted-coverage scoring, marginal gain, Hungarian, min-cost
-// transportation, BBA, one SDGA stage, and the thread-count sweeps of the
+// transportation, BBA, one SDGA stage, the dense-vs-CSR scoring-kernel
+// density sweeps (BM_SparseVsDense*), and the thread-count sweeps of the
 // two parallel hot paths (SDGA stage scoring, ATM Gibbs sweeps) that
 // bench/BASELINES.md tracks.
 #include <benchmark/benchmark.h>
@@ -8,6 +9,8 @@
 #include "bench_util.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
+#include "sparse/sparse_matrix.h"
+#include "sparse/sparse_scoring.h"
 #include "topic/atm.h"
 #include "topic/synthetic.h"
 
@@ -40,6 +43,87 @@ void BM_MarginalGain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MarginalGain)->Arg(30);
+
+// A length-T vector with exactly `nnz` strictly positive entries.
+Matrix MakeSupportVector(int num_topics, int nnz, Rng* rng) {
+  Matrix row(1, num_topics, 0.0);
+  for (int k = 0; k < nnz; ++k) {
+    int t;
+    do {
+      t = static_cast<int>(rng->NextBounded(num_topics));
+    } while (row(0, t) > 0.0);
+    row(0, t) = 0.05 + rng->NextDouble();
+  }
+  return row;
+}
+
+// Dense-vs-CSR pair scoring (Eq. 1) density sweep. Args: {T, nnz, kernel}
+// with kernel 0 = dense core::ScoreVectors over all T topics and
+// kernel 1 = sparse::ScoreSparse over the two supports. Both compute the
+// same bits; the sweep shows where the O(nnz) merge beats the O(T) loop.
+void BM_SparseVsDense(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int nnz = static_cast<int>(state.range(1));
+  const bool sparse_kernel = state.range(2) != 0;
+  Rng rng(6);
+  const Matrix r = MakeSupportVector(T, nnz, &rng);
+  const Matrix p = MakeSupportVector(T, nnz, &rng);
+  const double mass = p.RowSum(0);
+  const auto rs = sparse::SparseTopicMatrix::FromMatrix(r);
+  const auto ps = sparse::SparseTopicMatrix::FromMatrix(p);
+  if (sparse_kernel) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          sparse::ScoreSparse(core::ScoringFunction::kWeightedCoverage,
+                              rs.Row(0), ps.Row(0), mass));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          core::ScoreVectors(core::ScoringFunction::kWeightedCoverage,
+                             r.Row(0), p.Row(0), T, mass));
+    }
+  }
+}
+BENCHMARK(BM_SparseVsDense)
+    ->Args({300, 15, 0})->Args({300, 15, 1})    // nnz/T = 0.05
+    ->Args({300, 30, 0})->Args({300, 30, 1})    // nnz/T = 0.1
+    ->Args({300, 100, 0})->Args({300, 100, 1})  // nnz/T = 0.33
+    ->Args({300, 300, 0})->Args({300, 300, 1})  // fully dense
+    ->Args({30, 3, 0})->Args({30, 3, 1});       // paper-scale T, 0.1
+
+// Same sweep for the Definition 8 marginal gain — the SDGA/BRGG/BBA inner
+// loop. The group accumulator is dense in both kernels; only the reviewer
+// walk is sparse.
+void BM_SparseVsDenseMarginalGain(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int nnz = static_cast<int>(state.range(1));
+  const bool sparse_kernel = state.range(2) != 0;
+  Rng rng(7);
+  const Matrix group = MakeSupportVector(T, nnz, &rng);
+  const Matrix reviewer = MakeSupportVector(T, nnz, &rng);
+  const Matrix paper = MakeSupportVector(T, nnz, &rng);
+  const double mass = paper.RowSum(0);
+  const auto reviewer_csr = sparse::SparseTopicMatrix::FromMatrix(reviewer);
+  if (sparse_kernel) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(sparse::MarginalGainSparse(
+          core::ScoringFunction::kWeightedCoverage, group.Row(0),
+          reviewer_csr.Row(0), paper.Row(0), mass));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(core::MarginalGainVectors(
+          core::ScoringFunction::kWeightedCoverage, group.Row(0),
+          reviewer.Row(0), paper.Row(0), T, mass));
+    }
+  }
+}
+BENCHMARK(BM_SparseVsDenseMarginalGain)
+    ->Args({300, 15, 0})->Args({300, 15, 1})
+    ->Args({300, 30, 0})->Args({300, 30, 1})
+    ->Args({300, 300, 0})->Args({300, 300, 1})
+    ->Args({30, 3, 0})->Args({30, 3, 1});
 
 void BM_Hungarian(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

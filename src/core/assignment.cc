@@ -4,8 +4,14 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "sparse/sparse_scoring.h"
 
 namespace wgrap::core {
+
+// The sparse recompute/replacement paths below use the shared per-thread
+// accumulator (sparse::ThreadLocalGroupAccumulator): local search scores
+// proposals from pool workers, and the warm accumulator makes Reset()
+// O(touched) instead of O(T).
 
 Assignment::Assignment(const Instance* instance)
     : instance_(instance),
@@ -20,6 +26,16 @@ bool Assignment::Contains(int paper, int reviewer) const {
 }
 
 double Assignment::MarginalGain(int paper, int reviewer) const {
+  if (instance_->has_sparse_topics()) {
+    // Bit-identical to the dense branch (sparse/sparse_scoring.h): the
+    // dense loop only touches topics where the reviewer exceeds the group
+    // max, which is a subset of the reviewer's support.
+    return sparse::MarginalGainSparse(
+               instance_->scoring(), group_vec_.Row(paper),
+               instance_->ReviewerSparse(reviewer),
+               instance_->PaperVector(paper), instance_->PaperMass(paper)) +
+           instance_->BidBonus(reviewer, paper);
+  }
   return MarginalGainVectors(
              instance_->scoring(), group_vec_.Row(paper),
              instance_->ReviewerVector(reviewer),
@@ -43,10 +59,14 @@ Status Assignment::AddUnchecked(int paper, int reviewer) {
   groups_[paper].push_back(reviewer);
   ++load_[reviewer];
   ++size_;
-  const double* rv = instance_->ReviewerVector(reviewer);
   double* gv = group_vec_.Row(paper);
-  for (int t = 0; t < instance_->num_topics(); ++t) {
-    gv[t] = std::max(gv[t], rv[t]);
+  if (instance_->has_sparse_topics()) {
+    sparse::MaxInto(instance_->ReviewerSparse(reviewer), gv);
+  } else {
+    const double* rv = instance_->ReviewerVector(reviewer);
+    for (int t = 0; t < instance_->num_topics(); ++t) {
+      gv[t] = std::max(gv[t], rv[t]);
+    }
   }
   paper_score_[paper] += gain;
   total_score_ += gain;
@@ -91,6 +111,26 @@ double Assignment::ScoreWithReplacement(int paper, int drop, int add,
                                         std::vector<double>* gv_scratch)
     const {
   const int T = instance_->num_topics();
+  if (instance_->has_sparse_topics()) {
+    // Sparse twin of the dense fold below, sharing kernels with the sparse
+    // RecomputePaper — the two must never diverge (see the header
+    // contract). `gv_scratch` is unused: the thread-local accumulator is
+    // the scratch.
+    sparse::SparseGroupAccumulator& acc =
+        sparse::ThreadLocalGroupAccumulator();
+    acc.Reset(T);
+    double bids = 0.0;
+    for (int r : groups_[paper]) {
+      if (r == drop) continue;
+      acc.Fold(instance_->ReviewerSparse(r));
+      bids += instance_->BidBonus(r, paper);
+    }
+    acc.Fold(instance_->ReviewerSparse(add));
+    bids += instance_->BidBonus(add, paper);
+    return acc.Score(instance_->scoring(), instance_->PaperSparse(paper),
+                     instance_->PaperMass(paper)) +
+           bids;
+  }
   std::vector<double>& gv = *gv_scratch;
   gv.assign(T, 0.0);
   double bids = 0.0;
@@ -113,17 +153,30 @@ void Assignment::RecomputePaper(int paper) {
   double* gv = group_vec_.Row(paper);
   const int T = instance_->num_topics();
   std::fill(gv, gv + T, 0.0);
-  for (int r : groups_[paper]) {
-    const double* rv = instance_->ReviewerVector(r);
-    for (int t = 0; t < T; ++t) gv[t] = std::max(gv[t], rv[t]);
-  }
   const double old_score = paper_score_[paper];
   double score = 0.0;
-  if (!groups_[paper].empty()) {
-    score = ScoreVectors(instance_->scoring(), gv,
-                         instance_->PaperVector(paper), T,
-                         instance_->PaperMass(paper));
-    for (int r : groups_[paper]) score += instance_->BidBonus(r, paper);
+  if (instance_->has_sparse_topics()) {
+    sparse::SparseGroupAccumulator& acc =
+        sparse::ThreadLocalGroupAccumulator();
+    acc.Reset(T);
+    for (int r : groups_[paper]) acc.Fold(instance_->ReviewerSparse(r));
+    acc.ScatterInto(gv);  // keep the dense member in sync for MarginalGain
+    if (!groups_[paper].empty()) {
+      score = acc.Score(instance_->scoring(), instance_->PaperSparse(paper),
+                        instance_->PaperMass(paper));
+      for (int r : groups_[paper]) score += instance_->BidBonus(r, paper);
+    }
+  } else {
+    for (int r : groups_[paper]) {
+      const double* rv = instance_->ReviewerVector(r);
+      for (int t = 0; t < T; ++t) gv[t] = std::max(gv[t], rv[t]);
+    }
+    if (!groups_[paper].empty()) {
+      score = ScoreVectors(instance_->scoring(), gv,
+                           instance_->PaperVector(paper), T,
+                           instance_->PaperMass(paper));
+      for (int r : groups_[paper]) score += instance_->BidBonus(r, paper);
+    }
   }
   paper_score_[paper] = score;
   total_score_ += paper_score_[paper] - old_score;

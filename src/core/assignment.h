@@ -1,6 +1,9 @@
 // A (possibly partial) WGRAP assignment A ⊆ P × R with incremental
 // group-expertise maintenance: adding a reviewer updates the group
-// max-vector (Definition 2) and cached coverage score in O(T).
+// max-vector (Definition 2) and cached coverage score in O(T) — or
+// O(nnz) when the bound Instance carries sparse topic views, in which
+// case every scoring path here dispatches to the bit-identical kernels
+// of src/sparse/sparse_scoring.h.
 #ifndef WGRAP_CORE_ASSIGNMENT_H_
 #define WGRAP_CORE_ASSIGNMENT_H_
 
@@ -40,13 +43,17 @@ class Assignment {
   /// Σ_p c(g→, p→) — the WGRAP objective (Definition 3).
   double TotalScore() const { return total_score_; }
 
-  /// gain(A[p], r, p) per Definition 8 (+ bid bonus if bids are set); O(T).
+  /// gain(A[p], r, p) per Definition 8 (+ bid bonus if bids are set);
+  /// O(T) dense, O(nnz(r)) with sparse views — same bits either way.
   double MarginalGain(int paper, int reviewer) const;
 
   /// Score of `paper` with `drop` replaced by `add` in its group, computed
   /// read-only with the same formula the internal recompute uses — the
   /// parallel local-search gain evaluation depends on the two never
-  /// diverging. `gv_scratch` is reused across calls; O(δp·T).
+  /// diverging. `gv_scratch` is dense-path scratch only (reused across
+  /// calls, carries no output); the sparse path uses a thread-local
+  /// accumulator instead and leaves it untouched. O(δp·T) dense,
+  /// O(δp·nnz) sparse.
   double ScoreWithReplacement(int paper, int drop, int add,
                               std::vector<double>* gv_scratch) const;
 

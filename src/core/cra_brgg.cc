@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/cra.h"
 #include "core/repair.h"
+#include "sparse/sparse_scoring.h"
 
 namespace wgrap::core {
 
@@ -25,12 +26,16 @@ struct CachedGroup {
 };
 
 // Greedily builds a δp-group for `paper` from reviewers with remaining
-// capacity, maximizing marginal gain at each pick.
+// capacity, maximizing marginal gain at each pick. With sparse topic views
+// the per-candidate gain drops from O(T) to O(nnz(r)) via the bit-identical
+// sparse kernel — this loop over all R candidates per pick is BRGG's
+// dominant cost.
 CachedGroup BuildGreedyGroup(const Instance& instance, int paper,
                              const std::vector<int>& remaining_capacity) {
   const int T = instance.num_topics();
   const double* pv = instance.PaperVector(paper);
   const double mass = instance.PaperMass(paper);
+  const bool use_sparse = instance.has_sparse_topics();
   std::vector<double> group_vec(T, 0.0);
   std::vector<char> in_group(instance.num_reviewers(), 0);
   CachedGroup out;
@@ -44,8 +49,14 @@ CachedGroup BuildGreedyGroup(const Instance& instance, int paper,
         continue;
       }
       const double gain =
-          MarginalGainVectors(instance.scoring(), group_vec.data(),
-                              instance.ReviewerVector(r), pv, T, mass) +
+          (use_sparse
+               ? sparse::MarginalGainSparse(instance.scoring(),
+                                            group_vec.data(),
+                                            instance.ReviewerSparse(r), pv,
+                                            mass)
+               : MarginalGainVectors(instance.scoring(), group_vec.data(),
+                                     instance.ReviewerVector(r), pv, T,
+                                     mass)) +
           instance.BidBonus(r, paper);
       if (gain > best_gain) {
         best_gain = gain;
@@ -60,8 +71,14 @@ CachedGroup BuildGreedyGroup(const Instance& instance, int paper,
     in_group[best] = 1;
     out.reviewers.push_back(best);
     out.score += best_gain;
-    const double* rv = instance.ReviewerVector(best);
-    for (int t = 0; t < T; ++t) group_vec[t] = std::max(group_vec[t], rv[t]);
+    if (use_sparse) {
+      sparse::MaxInto(instance.ReviewerSparse(best), group_vec.data());
+    } else {
+      const double* rv = instance.ReviewerVector(best);
+      for (int t = 0; t < T; ++t) {
+        group_vec[t] = std::max(group_vec[t], rv[t]);
+      }
+    }
   }
   out.valid = true;
   return out;

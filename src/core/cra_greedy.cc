@@ -4,6 +4,9 @@
 // the objective is submodular, a pair's gain only decreases as the
 // assignment grows, so a stale heap entry is an upper bound and can be
 // re-inserted after re-evaluation instead of rescanning all pairs.
+// Both scoring paths — the O(PR) heap seeding via Instance::PairUtility
+// and the lazy re-evaluation via Assignment::MarginalGain — dispatch to
+// the sparse kernels when the instance carries sparse topic views.
 #include <queue>
 #include <vector>
 

@@ -12,6 +12,13 @@
 // applied with the usual mutate-verify-rollback step, which preserves both
 // the hill-climbing contract and bit-identical trajectories at any thread
 // count.
+//
+// Sparse topics: gain estimation runs through
+// Assignment::ScoreWithReplacement, which folds the candidate group with
+// the sparse dense-accumulator kernel when the instance carries sparse
+// views (O(δp·nnz) per proposal instead of O(δp·T)); the apply step uses
+// the same dispatch inside Add/Remove, so estimate and apply still never
+// diverge.
 #include <algorithm>
 #include <vector>
 

@@ -11,6 +11,12 @@
 // (round, paper) draws from its own Rng stream split off options.seed and
 // papers are processed in parallel; removals are then applied in paper
 // order. Results are bit-identical for any num_threads.
+//
+// Sparse topics: the O(PR) suitability model below scores every pair via
+// Instance::PairUtility, and the completion step re-scores marginal gains
+// via Assignment::MarginalGain — both dispatch to the bit-identical sparse
+// kernels when the instance carries sparse views, so SRA needs no sparse
+// code of its own.
 #include <algorithm>
 #include <cmath>
 #include <vector>

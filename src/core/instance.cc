@@ -1,9 +1,31 @@
 #include "core/instance.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
 #include "common/check.h"
 #include "common/string_util.h"
 
 namespace wgrap::core {
+
+namespace {
+
+// CI's sanitizer jobs force the sparse dispatch for the whole test suite
+// (the dense↔sparse contract is bit-identical output, so every test must
+// still pass); see .github/workflows/ci.yml. The falsy spellings are a
+// case-insensitive superset of SolverRunOptions::ExtraBool's (env-var
+// conventions vary more than knob values), so WGRAP_SPARSE_TOPICS=0,
+// =off, =False and =no all mean off.
+bool EnvForcesSparseTopics() {
+  const char* value = std::getenv("WGRAP_SPARSE_TOPICS");
+  if (value == nullptr) return false;
+  std::string v = value;
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  return !(v.empty() || v == "0" || v == "off" || v == "false" || v == "no");
+}
+
+}  // namespace
 
 int Instance::MinimalWorkload(int num_papers, int num_reviewers,
                               int group_size) {
@@ -62,7 +84,18 @@ Result<Instance> Instance::FromDataset(const data::RapDataset& dataset,
     instance.paper_mass_[p] = mass;
   }
   instance.conflicts_.assign(static_cast<size_t>(P) * R, 0);
+  if (params.sparse_topics || EnvForcesSparseTopics()) {
+    instance.BuildSparseTopics();
+  }
   return instance;
+}
+
+void Instance::BuildSparseTopics() {
+  if (sparse_views_ != nullptr) return;
+  auto views = std::make_shared<SparseViews>();
+  views->reviewers = sparse::SparseTopicMatrix::FromMatrix(reviewers_);
+  views->papers = sparse::SparseTopicMatrix::FromMatrix(papers_);
+  sparse_views_ = std::move(views);
 }
 
 Status Instance::SetBids(Matrix bids, double weight) {

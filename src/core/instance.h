@@ -1,17 +1,21 @@
 // A WGRAP problem instance (Definition 3): reviewer and paper topic
 // matrices, the group-size constraint δp, the reviewer workload δr, the
 // scoring function, and conflicts of interest. Instances are immutable
-// after construction apart from COI registration.
+// after construction apart from COI registration and the optional sparse
+// topic views (BuildSparseTopics), both setup-time calls.
 #ifndef WGRAP_CORE_INSTANCE_H_
 #define WGRAP_CORE_INSTANCE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/status.h"
 #include "core/scoring.h"
 #include "data/dataset.h"
+#include "sparse/sparse_matrix.h"
+#include "sparse/sparse_scoring.h"
 
 namespace wgrap::core {
 
@@ -22,6 +26,11 @@ struct InstanceParams {
   /// minimum feasible workload ⌈P·δp/R⌉ (Sec. 5.2).
   int reviewer_workload = 0;
   ScoringFunction scoring = ScoringFunction::kWeightedCoverage;
+  /// Build CSR views of the topic matrices at construction, switching the
+  /// scoring hot paths to the sparse kernels (see Instance::
+  /// BuildSparseTopics). Scores and assignments are bit-identical either
+  /// way; sparse wins when profiles have nnz ≪ T.
+  bool sparse_topics = false;
 };
 
 /// Immutable WGRAP instance over dense topic matrices.
@@ -44,8 +53,34 @@ class Instance {
   /// Σ_t p→[t], the normalization denominator of Eq. 1.
   double PaperMass(int p) const { return paper_mass_[p]; }
 
+  /// Builds immutable CSR views of the reviewer/paper topic matrices. Once
+  /// present, PairScore and the Assignment/solver hot paths dispatch to the
+  /// sparse kernels (src/sparse/), which are bit-identical to the dense
+  /// loops but O(nnz) instead of O(T) per score. Like AddConflict, this is
+  /// a setup call, not per-solve state: do it before handing the instance
+  /// to concurrent solvers. Idempotent. Also forced on for every instance
+  /// when the WGRAP_SPARSE_TOPICS environment variable is set to anything
+  /// but ""/"0"/"off"/"false" (CI's sanitizer jobs use =1 to run the
+  /// whole suite on the sparse path).
+  void BuildSparseTopics();
+  /// Returns to dense-only dispatch (drops the views).
+  void DropSparseTopics() { sparse_views_.reset(); }
+  bool has_sparse_topics() const { return sparse_views_ != nullptr; }
+
+  /// Sparse row views; only valid when has_sparse_topics().
+  sparse::SparseVector ReviewerSparse(int r) const {
+    return sparse_views_->reviewers.Row(r);
+  }
+  sparse::SparseVector PaperSparse(int p) const {
+    return sparse_views_->papers.Row(p);
+  }
+
   /// c(r→, p→) for a single reviewer (Definition 1).
   double PairScore(int r, int p) const {
+    if (sparse_views_ != nullptr) {
+      return sparse::ScoreSparse(scoring_, ReviewerSparse(r), PaperSparse(p),
+                                 paper_mass_[p]);
+    }
     return ScoreVectors(scoring_, ReviewerVector(r), PaperVector(p),
                         num_topics(), paper_mass_[p]);
   }
@@ -88,8 +123,16 @@ class Instance {
  private:
   Instance() = default;
 
+  struct SparseViews {
+    sparse::SparseTopicMatrix reviewers;
+    sparse::SparseTopicMatrix papers;
+  };
+
   Matrix reviewers_;  // R x T
   Matrix papers_;     // P x T
+  /// CSR views of reviewers_/papers_; shared so Instance copies stay cheap
+  /// to make and the views immutable. nullptr = dense-only dispatch.
+  std::shared_ptr<const SparseViews> sparse_views_;
   Matrix bids_;       // P x R when has_bids()
   double bid_weight_ = 0.0;
   std::vector<double> paper_mass_;

@@ -8,6 +8,10 @@
 namespace wgrap::core {
 
 Result<Assignment> BuildIdealAssignment(const Instance& instance) {
+  // The O(P·δp·R) gain scan below dispatches to the sparse marginal-gain
+  // kernel (O(nnz) per candidate) whenever the instance carries sparse
+  // topic views — AI and every ratio derived from it are bit-identical
+  // either way.
   Assignment ideal(&instance);
   const int R = instance.num_reviewers();
   for (int p = 0; p < instance.num_papers(); ++p) {

@@ -39,6 +39,18 @@ Result<double> SolverRunOptions::ExtraDouble(const std::string& key,
   return v;
 }
 
+Result<bool> SolverRunOptions::ExtraBool(const std::string& key,
+                                         bool fallback) const {
+  auto it = extra.find(key);
+  if (it == extra.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "off") return false;
+  return Status::InvalidArgument("option '" + key + "': '" + v +
+                                 "' is not a boolean (use true/false, 1/0 "
+                                 "or on/off)");
+}
+
 std::string SolverRunOptions::ExtraString(const std::string& key,
                                           const std::string& fallback) const {
   auto it = extra.find(key);
@@ -54,6 +66,9 @@ struct PipelineKnobs {
   LapBackend backend = LapBackend::kMinCostFlow;
   int sra_omega = SraOptions{}.convergence_window;
   double sra_lambda = SraOptions{}.decay_lambda;
+  bool sparse_topics = false;  // the "topics" knob requested "sparse"
+  bool bba_bounding = BbaOptions{}.use_bounding;
+  bool bba_gain_branching = BbaOptions{}.use_gain_branching;
 };
 
 Result<PipelineKnobs> ParsePipelineKnobs(const SolverRunOptions& options) {
@@ -84,7 +99,35 @@ Result<PipelineKnobs> ParsePipelineKnobs(const SolverRunOptions& options) {
   auto lambda = options.ExtraDouble("sra_lambda", knobs.sra_lambda);
   if (!lambda.ok()) return lambda.status();
   knobs.sra_lambda = *lambda;
+  const std::string topics = options.ExtraString("topics", "dense");
+  if (topics == "sparse") {
+    knobs.sparse_topics = true;
+  } else if (topics != "dense") {
+    return Status::InvalidArgument("option 'topics': '" + topics +
+                                   "' (use dense or sparse)");
+  }
+  auto bounding = options.ExtraBool("bba_bounding", knobs.bba_bounding);
+  if (!bounding.ok()) return bounding.status();
+  knobs.bba_bounding = *bounding;
+  auto gain_branching =
+      options.ExtraBool("bba_gain_branching", knobs.bba_gain_branching);
+  if (!gain_branching.ok()) return gain_branching.status();
+  knobs.bba_gain_branching = *gain_branching;
   return knobs;
+}
+
+// The "topics" knob's contract check, shared by SolveCra/SolveJra: asking
+// for the sparse kernels only makes sense on an instance that carries the
+// CSR views (building them mutates the instance, which dispatch — taking
+// const Instance& — must not do behind the caller's back).
+Status CheckTopicsKnob(const PipelineKnobs& knobs, const Instance& instance) {
+  if (knobs.sparse_topics && !instance.has_sparse_topics()) {
+    return Status::InvalidArgument(
+        "option 'topics': 'sparse' requires an instance with sparse topic "
+        "views — call Instance::BuildSparseTopics() (or pass --topics "
+        "sparse to wgrap_cli, which does)");
+  }
+  return Status::OK();
 }
 
 // Adapts RRAP's unconstrained per-paper lists into an Assignment via
@@ -219,11 +262,15 @@ SolverRegistry BuildDefaultRegistry() {
   // --- JRA: single-paper solvers (Sec. 3 / Sec. 5.1 line-up) -------------
   add_jra("bba", "BBA (Algorithm 1)",
           "branch-and-bound with the Eq. 3 upper bound and max-gain "
-          "branching",
+          "branching (bba_bounding / bba_gain_branching knobs)",
           [](const Instance& instance, int paper,
-             const SolverRunOptions& options) {
+             const SolverRunOptions& options) -> Result<JraResult> {
+            auto knobs = ParsePipelineKnobs(options);
+            WGRAP_RETURN_IF_ERROR(knobs.status());
             BbaOptions bba;
             bba.time_limit_seconds = options.time_limit_seconds;
+            bba.use_bounding = knobs->bba_bounding;
+            bba.use_gain_branching = knobs->bba_gain_branching;
             return SolveJraBba(instance, paper, bba);
           });
   add_jra("bfs", "BFS (brute force)",
@@ -324,7 +371,9 @@ Result<Assignment> SolverRegistry::SolveCra(
   }
   // Reserved keys are validated here, uniformly, so a typo in a knob value
   // is diagnosed even by solvers that ignore the knob (greedy, sm, ...).
-  WGRAP_RETURN_IF_ERROR(ParsePipelineKnobs(options).status());
+  auto knobs = ParsePipelineKnobs(options);
+  WGRAP_RETURN_IF_ERROR(knobs.status());
+  WGRAP_RETURN_IF_ERROR(CheckTopicsKnob(*knobs, instance));
   return descriptor->cra(instance, options);
 }
 
@@ -340,7 +389,9 @@ Result<JraResult> SolverRegistry::SolveJra(
     return Status::InvalidArgument("'" + name +
                                    "' is a CRA solver; use SolveCra");
   }
-  WGRAP_RETURN_IF_ERROR(ParsePipelineKnobs(options).status());
+  auto knobs = ParsePipelineKnobs(options);
+  WGRAP_RETURN_IF_ERROR(knobs.status());
+  WGRAP_RETURN_IF_ERROR(CheckTopicsKnob(*knobs, instance));
   return descriptor->jra(instance, paper, options);
 }
 

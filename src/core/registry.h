@@ -52,6 +52,21 @@ enum class SolverFamily {
 ///                  step: "mcf" (default) or "hungarian".
 ///   "sra_omega"  — SRA convergence window ω (int > 0).
 ///   "sra_lambda" — SRA decay rate λ (double).
+///   "topics"     — scoring-kernel selector: "dense" (default) or
+///                  "sparse". "sparse" requires an instance that carries
+///                  CSR topic views (Instance::BuildSparseTopics or
+///                  InstanceParams::sparse_topics) and is rejected with
+///                  kInvalidArgument otherwise. Output is bit-identical to
+///                  dense; only wall-clock changes. Note the dispatch
+///                  itself is instance-driven: an instance that already
+///                  carries sparse views uses the sparse kernels even
+///                  under "dense" (same bits either way) — the knob is the
+///                  front-end contract check.
+///   "bba_bounding"        — BBA: prune with the Eq. 3 cursor upper bound
+///                  (bool, default true; the ablation of Fig. 10).
+///   "bba_gain_branching"  — BBA: branch on the max-marginal-gain cursor
+///                  reviewer per Definition 8 (bool, default true).
+///                  Bools accept true/false, 1/0, on/off.
 struct SolverRunOptions {
   /// Wall-clock budget in seconds; 0 = unlimited. Anytime solvers
   /// (sdga-sra, sdga-ls) treat it as the refinement budget and still return
@@ -68,6 +83,8 @@ struct SolverRunOptions {
   /// kInvalidArgument (naming the key) when the value doesn't parse.
   Result<int> ExtraInt(const std::string& key, int fallback) const;
   Result<double> ExtraDouble(const std::string& key, double fallback) const;
+  /// Accepts "true"/"false", "1"/"0", "on"/"off".
+  Result<bool> ExtraBool(const std::string& key, bool fallback) const;
   std::string ExtraString(const std::string& key,
                           const std::string& fallback) const;
 };

@@ -28,5 +28,7 @@
 #include "core/repair.h"       // IWYU pragma: export
 #include "core/scoring.h"      // IWYU pragma: export
 #include "core/sgrap.h"        // IWYU pragma: export
+#include "sparse/sparse_matrix.h"   // IWYU pragma: export
+#include "sparse/sparse_scoring.h"  // IWYU pragma: export
 
 #endif  // WGRAP_CORE_WGRAP_H_

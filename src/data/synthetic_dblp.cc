@@ -84,6 +84,35 @@ int SampleHIndex(Rng* rng) {
   return std::clamp(static_cast<int>(h), 1, 120);
 }
 
+// Restricts a Dirichlet draw to a ⌈density·T⌉-topic support: the support
+// is sampled without replacement proportionally to the concentration, the
+// weights are a Dirichlet over the restricted concentrations, and every
+// other topic is *exactly* zero (the legacy dense draw leaves small but
+// nonzero mass everywhere). Deterministic given the rng state.
+std::vector<double> SampleSparseDirichlet(
+    const std::vector<double>& concentration, double density, Rng* rng) {
+  const int num_topics = static_cast<int>(concentration.size());
+  const int support_size = std::clamp(
+      static_cast<int>(std::ceil(density * num_topics)), 1, num_topics);
+  std::vector<double> weights = concentration;
+  std::vector<int> support;
+  support.reserve(support_size);
+  for (int i = 0; i < support_size; ++i) {
+    const int t = rng->SampleDiscrete(weights);
+    WGRAP_CHECK(t >= 0);
+    support.push_back(t);
+    weights[t] = 0.0;  // without replacement
+  }
+  std::vector<double> restricted(support_size);
+  for (int i = 0; i < support_size; ++i) {
+    restricted[i] = concentration[support[i]];
+  }
+  const std::vector<double> draw = rng->NextDirichlet(restricted);
+  std::vector<double> out(num_topics, 0.0);
+  for (int i = 0; i < support_size; ++i) out[support[i]] = draw[i];
+  return out;
+}
+
 std::vector<double> SampleReviewerVector(Area area, int num_topics,
                                          const SyntheticDblpConfig& config,
                                          Rng* rng) {
@@ -93,6 +122,9 @@ std::vector<double> SampleReviewerVector(Area area, int num_topics,
     for (int t = 0; t < num_topics; ++t) prior[t] = 0.5 * (prior[t] + other[t]);
   }
   for (double& a : prior) a *= config.reviewer_dirichlet;
+  if (config.topic_density > 0.0) {
+    return SampleSparseDirichlet(prior, config.topic_density, rng);
+  }
   return rng->NextDirichlet(prior);
 }
 
@@ -117,6 +149,11 @@ std::vector<double> SamplePaperVector(Area area, int num_topics,
     salient->push_back(t);
     prior[t] *= 0.15;  // discourage re-picking
   }
+  if (config.topic_density > 0.0) {
+    // The salient topics dominate the concentration, so the
+    // prior-weighted support sampling all but surely retains them.
+    return SampleSparseDirichlet(concentration, config.topic_density, rng);
+  }
   return rng->NextDirichlet(concentration);
 }
 
@@ -132,6 +169,33 @@ std::string AreaCode(Area area) {
       return "T";
   }
   return "?";
+}
+
+TopicDensityReport MeasureTopicDensity(const RapDataset& dataset) {
+  TopicDensityReport report;
+  report.num_topics = dataset.num_topics;
+  auto count_nnz = [](const std::vector<double>& v) {
+    int nnz = 0;
+    for (double x : v) nnz += x > 0.0 ? 1 : 0;
+    return nnz;
+  };
+  int64_t reviewer_nnz = 0;
+  for (const ReviewerInfo& reviewer : dataset.reviewers) {
+    reviewer_nnz += count_nnz(reviewer.topics);
+  }
+  int64_t paper_nnz = 0;
+  for (const PaperInfo& paper : dataset.papers) {
+    paper_nnz += count_nnz(paper.topics);
+  }
+  if (!dataset.reviewers.empty()) {
+    report.reviewer_avg_nnz =
+        static_cast<double>(reviewer_nnz) / dataset.num_reviewers();
+  }
+  if (!dataset.papers.empty()) {
+    report.paper_avg_nnz =
+        static_cast<double>(paper_nnz) / dataset.num_papers();
+  }
+  return report;
 }
 
 Result<AreaStats> GetTable3Stats(Area area, int year) {
@@ -156,6 +220,9 @@ Result<RapDataset> GenerateConferenceDataset(
   if (!stats.ok()) return stats.status();
   if (config.num_topics <= 1) {
     return Status::InvalidArgument("num_topics must be > 1");
+  }
+  if (!(config.topic_density >= 0.0 && config.topic_density <= 1.0)) {  // rejects NaN too
+    return Status::InvalidArgument("topic_density must be in [0, 1]");
   }
 
   Rng rng(config.seed ^ (static_cast<uint64_t>(area) << 32) ^
@@ -199,6 +266,9 @@ Result<RapDataset> GenerateReviewerPool(int num_reviewers, int num_papers,
     return Status::InvalidArgument("num_reviewers must be > 0");
   }
   if (num_papers < 0) return Status::InvalidArgument("negative num_papers");
+  if (!(config.topic_density >= 0.0 && config.topic_density <= 1.0)) {  // rejects NaN too
+    return Status::InvalidArgument("topic_density must be in [0, 1]");
+  }
   Rng rng(config.seed ^ 0xa5a5a5a5ULL);
   RapDataset dataset;
   dataset.num_topics = config.num_topics;

@@ -46,12 +46,33 @@ struct SyntheticDblpConfig {
   double reviewer_dirichlet = 0.25;
   /// Number of salient topics per paper (1..this).
   int max_salient_topics = 4;
+  /// Target fraction of topics carrying weight per generated profile, in
+  /// (0, 1]. 0 (the default) keeps the legacy fully-dense Dirichlet draws,
+  /// where every topic receives some mass. A value d restricts each
+  /// reviewer/paper vector to ⌈d·T⌉ prior-weighted topics and leaves the
+  /// rest *exactly* zero, giving the sparse scoring kernels
+  /// (src/sparse/) real zeros to skip — benchmarks sweep this. Verify the
+  /// achieved support with MeasureTopicDensity. The corpus-faithful
+  /// GenerateDatasetViaAtm path ignores it (its vectors come from ATM/EM
+  /// inference, which is dense by construction).
+  double topic_density = 0.0;
   uint64_t seed = 42;
   /// Worker threads for the ATM fit inside GenerateDatasetViaAtm (the
   /// vector-only generators ignore it). The generated dataset is
   /// bit-identical for any value.
   int atm_threads = 1;
 };
+
+/// Achieved sparsity of a generated dataset: average nonzero count per
+/// reviewer/paper topic vector. The generators' density report — pair it
+/// with SyntheticDblpConfig::topic_density to check a sweep materialized
+/// (`wgrap_cli generate` prints it).
+struct TopicDensityReport {
+  int num_topics = 0;
+  double reviewer_avg_nnz = 0.0;
+  double paper_avg_nnz = 0.0;
+};
+TopicDensityReport MeasureTopicDensity(const RapDataset& dataset);
 
 /// Generates the (area, year) conference dataset at Table 3 scale.
 Result<RapDataset> GenerateConferenceDataset(Area area, int year,

@@ -1,0 +1,97 @@
+#include "sparse/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace wgrap::sparse {
+
+SparseTopicMatrix SparseTopicMatrix::FromMatrix(const Matrix& dense) {
+  SparseTopicMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.row_offsets_.assign(out.rows_ + 1, 0);
+  for (int r = 0; r < out.rows_; ++r) {
+    const double* row = dense.Row(r);
+    for (int t = 0; t < out.cols_; ++t) {
+      const double v = row[t];
+      WGRAP_CHECK_MSG(std::isfinite(v) && v >= 0.0,
+                      "topic weights must be finite and nonnegative");
+      if (v > 0.0) {
+        out.ids_.push_back(t);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_offsets_[r + 1] = static_cast<int64_t>(out.ids_.size());
+  }
+  return out;
+}
+
+Result<SparseTopicMatrix> SparseTopicMatrix::FromTriples(
+    int rows, int cols, std::vector<SparseTriple> triples) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("rows and cols must be >= 0");
+  }
+  for (const SparseTriple& triple : triples) {
+    if (triple.row < 0 || triple.row >= rows || triple.topic < 0 ||
+        triple.topic >= cols) {
+      return Status::InvalidArgument(
+          StrFormat("triple (%d, %d) out of range for %d x %d", triple.row,
+                    triple.topic, rows, cols));
+    }
+    if (!std::isfinite(triple.value) || triple.value < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("triple (%d, %d) has a negative or non-finite value",
+                    triple.row, triple.topic));
+    }
+  }
+  std::sort(triples.begin(), triples.end(),
+            [](const SparseTriple& a, const SparseTriple& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.topic < b.topic;
+            });
+  for (size_t i = 1; i < triples.size(); ++i) {
+    if (triples[i].row == triples[i - 1].row &&
+        triples[i].topic == triples[i - 1].topic) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate triple (%d, %d)", triples[i].row,
+                    triples[i].topic));
+    }
+  }
+  SparseTopicMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_offsets_.assign(rows + 1, 0);
+  for (const SparseTriple& triple : triples) {
+    if (triple.value == 0.0) continue;  // dropped, like FromMatrix
+    out.ids_.push_back(triple.topic);
+    out.values_.push_back(triple.value);
+    out.row_offsets_[triple.row + 1] = static_cast<int64_t>(out.ids_.size());
+  }
+  // Rows without entries inherit the previous row's end offset.
+  for (int r = 1; r <= rows; ++r) {
+    out.row_offsets_[r] =
+        std::max(out.row_offsets_[r], out.row_offsets_[r - 1]);
+  }
+  return out;
+}
+
+double SparseTopicMatrix::Density() const {
+  const int64_t cells = static_cast<int64_t>(rows_) * cols_;
+  return cells == 0 ? 0.0 : static_cast<double>(nnz()) / cells;
+}
+
+Matrix SparseTopicMatrix::ToMatrix() const {
+  Matrix dense(rows_, cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const SparseVector row = Row(r);
+    for (int k = 0; k < row.nnz; ++k) {
+      dense(r, row.ids[k]) = row.values[k];
+    }
+  }
+  return dense;
+}
+
+}  // namespace wgrap::sparse

@@ -100,6 +100,48 @@ TEST(DeterminismTest, SolversAreThreadCountInvariant) {
   }
 }
 
+// The sparse-topics contract (src/sparse/): `topics=sparse` on an instance
+// carrying CSR views is bit-identical to the dense path — same scores,
+// same groups — for every solver in the parallel line-up, at any thread
+// count. This is the test the CI smoke diff (`--topics dense` vs
+// `--topics sparse`) mirrors at the CLI layer.
+TEST(DeterminismTest, SparseTopicsAreBitIdenticalToDense) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = 8;
+  config.seed = 306;
+  auto dataset = data::GenerateReviewerPool(14, 10, config);
+  ASSERT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = 3;
+  auto dense = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(dense.ok());
+  dense->DropSparseTopics();  // genuinely dense even under forced-sparse CI
+  params.sparse_topics = true;
+  auto sparse_twin = Instance::FromDataset(*dataset, params);
+  ASSERT_TRUE(sparse_twin.ok());
+  ASSERT_TRUE(sparse_twin->has_sparse_topics());
+
+  const auto& registry = SolverRegistry::Default();
+  for (const char* algo : {"sdga", "sdga-sra", "sdga-ls", "brgg"}) {
+    for (const char* threads : {"1", "8"}) {
+      SCOPED_TRACE(std::string(algo) + " threads=" + threads);
+      SolverRunOptions dense_options;
+      dense_options.seed = 77;
+      dense_options.extra["threads"] = threads;
+      SolverRunOptions sparse_options = dense_options;
+      sparse_options.extra["topics"] = "sparse";
+      auto a = registry.SolveCra(algo, *dense, dense_options);
+      auto b = registry.SolveCra(algo, *sparse_twin, sparse_options);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      EXPECT_EQ(a->TotalScore(), b->TotalScore());
+      for (int p = 0; p < dense->num_papers(); ++p) {
+        EXPECT_EQ(a->GroupFor(p), b->GroupFor(p)) << "paper " << p;
+      }
+    }
+  }
+}
+
 TEST(DeterminismTest, AtmFitIsThreadCountInvariant) {
   topic::SyntheticCorpusConfig config;
   config.num_topics = 5;

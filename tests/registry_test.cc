@@ -155,6 +155,46 @@ TEST(SolverRegistryTest, ExtraKnobsAreThreadedThrough) {
   EXPECT_TRUE(registry.SolveCra("sdga", instance, options).ok());
 }
 
+TEST(SolverRegistryTest, TopicsKnobSelectsSparseKernels) {
+  const auto& registry = core::SolverRegistry::Default();
+  core::Instance instance = TinyInstance();
+  instance.DropSparseTopics();  // deterministic under forced-sparse CI
+
+  // "sparse" without CSR views is rejected with a message naming the fix.
+  core::SolverRunOptions options;
+  options.extra["topics"] = "sparse";
+  auto rejected = registry.SolveCra("sdga", instance, options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("BuildSparseTopics"),
+            std::string::npos);
+  EXPECT_FALSE(registry.SolveJra("bba", instance, 0, options).ok());
+
+  // With views built, sparse output matches dense exactly.
+  auto dense = registry.SolveCra("sdga", instance);
+  ASSERT_TRUE(dense.ok());
+  instance.BuildSparseTopics();
+  auto sparse_result = registry.SolveCra("sdga", instance, options);
+  ASSERT_TRUE(sparse_result.ok()) << sparse_result.status().ToString();
+  EXPECT_EQ(dense->TotalScore(), sparse_result->TotalScore());
+}
+
+TEST(SolverRegistryTest, BbaKnobsAreThreadedThrough) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  auto reference = registry.SolveJra("bba", instance, 1);
+  ASSERT_TRUE(reference.ok());
+  // Ablations stay exact (they only change pruning/branching order), so
+  // the score must agree while the node count moves.
+  core::SolverRunOptions ablated;
+  ablated.extra["bba_bounding"] = "off";
+  ablated.extra["bba_gain_branching"] = "false";
+  auto result = registry.SolveJra("bba", instance, 1, ablated);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->score, reference->score, 1e-12);
+  EXPECT_GE(result->nodes_explored, reference->nodes_explored);
+}
+
 TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
   const auto& registry = core::SolverRegistry::Default();
   const core::Instance instance = TinyInstance();
@@ -164,7 +204,10 @@ TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
         {"threads", "100000"},  // bounded: each worker is an OS thread
         {"lap", "simplex"},
         {"sra_omega", "0"},
-        {"sra_lambda", "fast"}}) {
+        {"sra_lambda", "fast"},
+        {"topics", "csr"},
+        {"bba_bounding", "maybe"},
+        {"bba_gain_branching", "2"}}) {
     core::SolverRunOptions options;
     options.extra[key] = value;
     auto result = registry.SolveCra("sdga-sra", instance, options);
@@ -183,6 +226,18 @@ TEST(SolverRunOptionsTest, TypedExtraAccessors) {
   EXPECT_EQ(*options.ExtraInt("absent", 7), 7);
   EXPECT_EQ(*options.ExtraDouble("absent", 0.5), 0.5);
   EXPECT_EQ(options.ExtraString("absent", "x"), "x");
+  EXPECT_EQ(*options.ExtraBool("absent", true), true);
+  for (const char* yes : {"true", "1", "on"}) {
+    options.extra["flag"] = yes;
+    EXPECT_TRUE(*options.ExtraBool("flag", false)) << yes;
+  }
+  for (const char* no : {"false", "0", "off"}) {
+    options.extra["flag"] = no;
+    EXPECT_FALSE(*options.ExtraBool("flag", true)) << no;
+  }
+  options.extra["flag"] = "yes";
+  EXPECT_EQ(options.ExtraBool("flag", false).status().code(),
+            StatusCode::kInvalidArgument);
   options.extra["a"] = "42";
   options.extra["b"] = "2.25";
   options.extra["c"] = "text";

@@ -7,16 +7,21 @@
 // `wgrap_cli solvers` for the live menu.
 //
 //   wgrap_cli solvers
-//   wgrap_cli generate  --area DB --year 2008 --out dataset.csv
+//   wgrap_cli generate  --area DB --year 2008 [--density 0.1] --out d.csv
 //   wgrap_cli generate  --pool 300 --papers 50 --out pool.csv
 //   wgrap_cli solve     --dataset d.csv --dp 3 [--dr N] [--algo sdga-sra]
 //                       [--scoring c|cR|cP|cD] [--budget secs] [--seed S]
 //                       [--threads N] [--lap mcf|hungarian]
-//                       [--sra-omega W] [--sra-lambda L] --out a.csv
+//                       [--sra-omega W] [--sra-lambda L]
+//                       [--topics dense|sparse] --out a.csv
 //   wgrap_cli jra       --dataset d.csv --paper 0 --dp 3 [--topk 5]
-//                       [--algo bba]
+//                       [--algo bba] [--topics dense|sparse]
+//                       [--bba-bounding on|off] [--bba-gain-branching on|off]
 //   wgrap_cli evaluate  --dataset d.csv --assignment a.csv --dp 3 [--dr N]
 //   wgrap_cli casestudy --dataset d.csv --assignment a.csv --paper 0 --dp 3
+//
+// Note: `--topics` means the scoring-kernel selector (dense or CSR-sparse,
+// bit-identical output) on solve/jra, but the topic *count* T on generate.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -116,12 +121,26 @@ data::RapDataset LoadDatasetOrDie(const std::string& path) {
   return std::move(dataset).value();
 }
 
+// Validates `--topics` and returns true when the sparse kernels were
+// requested (the caller builds the instance's CSR views).
+bool ParseTopicsMode(const Flags& flags) {
+  const std::string topics = flags.GetString("topics", "dense");
+  if (topics == "sparse") return true;
+  if (topics != "dense") {
+    std::fprintf(stderr, "unknown --topics '%s' (use dense or sparse)\n",
+                 topics.c_str());
+    std::exit(2);
+  }
+  return false;
+}
+
 core::Instance MakeInstanceOrDie(const data::RapDataset& dataset,
                                  const Flags& flags) {
   core::InstanceParams params;
   params.group_size = flags.GetInt("dp", 3);
   params.reviewer_workload = flags.GetInt("dr", 0);
   params.scoring = ParseScoring(flags.GetString("scoring", "c"));
+  params.sparse_topics = ParseTopicsMode(flags);
   auto instance = core::Instance::FromDataset(dataset, params);
   if (!instance.ok()) Die(instance.status(), "build instance");
   return std::move(instance).value();
@@ -161,6 +180,20 @@ int CmdGenerate(const Flags& flags) {
   data::SyntheticDblpConfig config;
   config.seed = flags.GetInt("seed", 42);
   config.num_topics = flags.GetInt("topics", 30);
+  // Strict parse: a malformed --density must fail loudly, not silently
+  // fall back to the fully dense default and skew a sparsity sweep.
+  const std::string density_flag = flags.GetString("density", "");
+  if (!density_flag.empty()) {
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(density_flag.c_str(), &end);
+    if (errno != 0 || end == density_flag.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--density: invalid number '%s'\n",
+                   density_flag.c_str());
+      return 2;
+    }
+    config.topic_density = v;
+  }
   Result<data::RapDataset> dataset = Status::Internal("unset");
   if (flags.GetInt("pool", 0) > 0) {
     dataset = data::GenerateReviewerPool(flags.GetInt("pool", 0),
@@ -189,6 +222,12 @@ int CmdGenerate(const Flags& flags) {
   std::printf("wrote %d reviewers, %d papers, T=%d to %s\n",
               dataset->num_reviewers(), dataset->num_papers(),
               dataset->num_topics, out.c_str());
+  // Achieved sparsity, so density sweeps can see what materialized
+  // (salient-topic profiles are sparse even without --density).
+  const data::TopicDensityReport density = data::MeasureTopicDensity(*dataset);
+  std::printf("avg nnz/row: reviewers %.1f/%d, papers %.1f/%d\n",
+              density.reviewer_avg_nnz, density.num_topics,
+              density.paper_avg_nnz, density.num_topics);
   return 0;
 }
 
@@ -224,7 +263,8 @@ int CmdSolve(const Flags& flags) {
        {std::pair<const char*, const char*>{"threads", "threads"},
         {"lap", "lap"},
         {"sra-omega", "sra_omega"},
-        {"sra-lambda", "sra_lambda"}}) {
+        {"sra-lambda", "sra_lambda"},
+        {"topics", "topics"}}) {
     const std::string value = flags.GetString(flag, "");
     if (!value.empty()) options.extra[key] = value;
   }
@@ -263,21 +303,46 @@ int CmdJra(const Flags& flags) {
   params.group_size = flags.GetInt("dp", 3);
   params.reviewer_workload = dataset.num_reviewers();
   params.scoring = ParseScoring(flags.GetString("scoring", "c"));
+  params.sparse_topics = ParseTopicsMode(flags);
   auto instance = core::Instance::FromDataset(dataset, params);
   if (!instance.ok()) Die(instance.status(), "build instance");
   const int paper = flags.GetInt("paper", 0);
   const int topk = flags.GetInt("topk", 1);
   const std::string algo = flags.GetString("algo", "bba");
+  core::SolverRunOptions options;
+  // BBA ablation switches and the kernel selector ride the extra map, like
+  // the CRA knobs in CmdSolve; the registry validates the values.
+  for (const auto& [flag, key] :
+       {std::pair<const char*, const char*>{"topics", "topics"},
+        {"bba-bounding", "bba_bounding"},
+        {"bba-gain-branching", "bba_gain_branching"}}) {
+    const std::string value = flags.GetString(flag, "");
+    if (!value.empty()) options.extra[key] = value;
+  }
   Result<std::vector<core::JraResult>> results = Status::Internal("unset");
   if (topk > 1) {
-    // Only BBA supports top-k enumeration (Sec. 3, final remark).
+    // Only BBA supports top-k enumeration (Sec. 3, final remark), and the
+    // registry doesn't model top-k yet (ROADMAP "Registry gaps"), so this
+    // path decodes the BBA knobs into the direct-call options itself.
     if (algo != "bba") {
       std::fprintf(stderr, "--topk > 1 requires --algo bba\n");
       return 2;
     }
-    results = core::SolveJraBbaTopK(*instance, paper, topk);
+    core::BbaOptions bba;
+    auto bounding = options.ExtraBool("bba_bounding", bba.use_bounding);
+    if (!bounding.ok()) Die(bounding.status(), "parse --bba-bounding");
+    bba.use_bounding = *bounding;
+    auto gain_branching =
+        options.ExtraBool("bba_gain_branching", bba.use_gain_branching);
+    if (!gain_branching.ok()) {
+      Die(gain_branching.status(), "parse --bba-gain-branching");
+    }
+    bba.use_gain_branching = *gain_branching;
+    results = core::SolveJraBbaTopK(*instance, paper, topk, bba);
   } else {
-    auto one = core::SolverRegistry::Default().SolveJra(algo, *instance, paper);
+    auto one =
+        core::SolverRegistry::Default().SolveJra(algo, *instance, paper,
+                                                 options);
     if (one.ok()) {
       results = std::vector<core::JraResult>{*std::move(one)};
     } else {

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
+#include "la/auction.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
 #include "sparse/sparse_matrix.h"
@@ -154,6 +156,94 @@ void BM_Transportation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Transportation)->Arg(100)->Arg(400);
+
+// The interchangeable stage-LAP backends head-to-head on one instance
+// shape (agents = tasks/4, capacity 5 — the BM_Transportation shape).
+// Args: {tasks, backend, forbidden%} with backend 0 = min-cost flow,
+// 1 = Hungarian with column replication, 2 = ε-scaling auction,
+// 3 = auction with top-16 pruning + exactness guard (re-solves wider if
+// the duals cannot certify the pruned optimum). All four return the same
+// optimum; only wall-clock differs. forbidden% sweeps candidate density.
+void BM_LapBackends(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  const int backend = static_cast<int>(state.range(1));
+  const double forbidden = static_cast<int>(state.range(2)) / 100.0;
+  const int agents = tasks / 4;
+  Rng rng(4);
+  Matrix profit(tasks, agents, la::kTransportForbidden);
+  for (int t = 0; t < tasks; ++t) {
+    for (int a = 0; a < agents; ++a) {
+      const double roll = rng.NextDouble();
+      if (roll < forbidden) continue;
+      profit.At(t, a) = rng.NextDouble();
+    }
+  }
+  std::vector<int> capacity(agents, 5);
+  for (auto _ : state) {
+    switch (backend) {
+      case 0: {
+        auto result = la::SolveTransportation(profit, capacity);
+        benchmark::DoNotOptimize(result);
+        break;
+      }
+      case 1: {
+        std::vector<int> column_owner;
+        for (int a = 0; a < agents; ++a) {
+          for (int c = 0; c < std::min(capacity[a], tasks); ++c) {
+            column_owner.push_back(a);
+          }
+        }
+        Matrix expanded(tasks, static_cast<int>(column_owner.size()));
+        for (int t = 0; t < tasks; ++t) {
+          for (size_t c = 0; c < column_owner.size(); ++c) {
+            const double v = profit.At(t, column_owner[c]);
+            expanded(t, static_cast<int>(c)) =
+                v <= la::kTransportForbidden / 2 ? la::kForbiddenProfit : v;
+          }
+        }
+        auto result = la::SolveMaxProfitAssignment(expanded);
+        benchmark::DoNotOptimize(result);
+        break;
+      }
+      case 2: {
+        auto result = la::SolveAuctionTransportation(profit, capacity);
+        benchmark::DoNotOptimize(result);
+        break;
+      }
+      case 3: {
+        auto result = la::SolveAuctionTopK(profit, capacity, 16);
+        benchmark::DoNotOptimize(result);
+        break;
+      }
+    }
+  }
+}
+BENCHMARK(BM_LapBackends)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({{200, 600}, {0, 1, 2, 3}, {0, 60}});
+
+// Auction bidding fan-out thread sweep on the largest shape above (flat
+// on 1 vCPU — see bench/BASELINES.md for the caveat).
+void BM_LapAuctionThreads(benchmark::State& state) {
+  const int tasks = 600;
+  const int agents = tasks / 4;
+  Rng rng(4);
+  Matrix profit(tasks, agents);
+  for (int t = 0; t < tasks; ++t) {
+    for (int a = 0; a < agents; ++a) profit.At(t, a) = rng.NextDouble();
+  }
+  std::vector<int> capacity(agents, 5);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  la::AuctionOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    auto result = la::SolveAuctionTransportation(profit, capacity, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LapAuctionThreads)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_JraBba(benchmark::State& state) {
   const int reviewers = static_cast<int>(state.range(0));

@@ -1,8 +1,10 @@
 // Table 4 of the paper: response time (s) of the approximate CRA methods on
 // the Databases and Data Mining 2008 conferences, for δ = 3 and δ = 5.
 // Pass "--threads N" to fan the BRGG/SDGA/SDGA-SRA hot paths across N
-// workers (identical output, per the determinism contract) — the
-// 1-vs-N comparison is recorded in bench/BASELINES.md.
+// workers (identical output, per the determinism contract) and
+// "--lap mcf|hungarian|auction [--lap-topk K]" to pick the stage-LAP
+// engine of ILP/SDGA/SDGA-SRA — the comparisons are recorded in
+// bench/BASELINES.md.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,17 +16,39 @@
 int main(int argc, char** argv) {
   using namespace wgrap;
   int num_threads = 1;
+  int lap_topk = 0;
+  core::LapBackend lap_backend = core::LapBackend::kMinCostFlow;
+  const char* lap_name = "mcf";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       num_threads = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--lap-topk") == 0) {
+      lap_topk = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--lap") == 0) {
+      lap_name = argv[i + 1];
+      if (std::strcmp(lap_name, "mcf") == 0) {
+        lap_backend = core::LapBackend::kMinCostFlow;
+      } else if (std::strcmp(lap_name, "hungarian") == 0) {
+        lap_backend = core::LapBackend::kHungarian;
+      } else if (std::strcmp(lap_name, "auction") == 0) {
+        lap_backend = core::LapBackend::kAuction;
+      } else {
+        std::fprintf(stderr, "unknown --lap '%s'\n", lap_name);
+        return 2;
+      }
     }
   }
   // The SRA refinement is anytime; the paper lets it converge (ω = 10),
   // reaching ~46 s. We bound it so the whole harness stays interactive.
   const double kSraBudgetSeconds = 20.0;
   std::printf("=== Table 4: response time (s) of approximate methods "
-              "(SDGA-SRA budget %.0fs, %d thread%s) ===\n\n",
-              kSraBudgetSeconds, num_threads, num_threads == 1 ? "" : "s");
+              "(SDGA-SRA budget %.0fs, %d thread%s, lap=%s topk=%d) ===\n\n",
+              kSraBudgetSeconds, num_threads, num_threads == 1 ? "" : "s",
+              lap_name, lap_topk);
+  if (lap_backend == core::LapBackend::kHungarian) {
+    std::printf("(note: lap=hungarian applies to the SDGA stage LAPs; "
+                "the ILP column runs min-cost flow)\n\n");
+  }
 
   TablePrinter table({"dataset", "SM", "ILP", "BRGG", "Greedy", "SDGA",
                       "SDGA-SRA"});
@@ -41,7 +65,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {
         bench::DatasetLabel(config.area, 2008) +
         " (d=" + std::to_string(config.dp) + ")"};
-    for (const auto& method : bench::PaperCraMethods(num_threads)) {
+    for (const auto& method :
+         bench::PaperCraMethods(num_threads, lap_backend, lap_topk)) {
       Stopwatch watch;
       auto assignment = method.run(setup.instance, kSraBudgetSeconds);
       bench::DieOnError(assignment.status(), method.name);

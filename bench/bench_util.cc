@@ -44,15 +44,25 @@ core::Instance MakeJraPool(int num_reviewers, int group_size, uint64_t seed) {
   return std::move(instance).value();
 }
 
-std::vector<CraMethod> PaperCraMethods(int num_threads) {
+std::vector<CraMethod> PaperCraMethods(int num_threads,
+                                       core::LapBackend lap_backend,
+                                       int lap_topk) {
   return {
       {"SM",
        [](const core::Instance& instance, double) {
          return core::SolveCraStableMatching(instance);
        }},
       {"ILP",
-       [](const core::Instance& instance, double) {
-         return core::SolveCraIlpArap(instance);
+       [num_threads, lap_backend](const core::Instance& instance, double) {
+         core::IlpArapOptions ilp;
+         ilp.num_threads = num_threads;
+         // ILP's demand-δp solve supports mcf and auction only; for
+         // lap=hungarian the column honestly runs mcf (the caller's
+         // banner notes this) rather than mislabeling the timing.
+         ilp.backend = lap_backend == core::LapBackend::kAuction
+                           ? core::LapBackend::kAuction
+                           : core::LapBackend::kMinCostFlow;
+         return core::SolveCraIlpArap(instance, ilp);
        }},
       {"BRGG",
        [num_threads](const core::Instance& instance, double) {
@@ -65,18 +75,26 @@ std::vector<CraMethod> PaperCraMethods(int num_threads) {
          return core::SolveCraGreedy(instance);
        }},
       {"SDGA",
-       [num_threads](const core::Instance& instance, double) {
+       [num_threads, lap_backend, lap_topk](const core::Instance& instance,
+                                            double) {
          core::SdgaOptions sdga;
          sdga.num_threads = num_threads;
+         sdga.backend = lap_backend;
+         sdga.lap_topk = lap_topk;
          return core::SolveCraSdga(instance, sdga);
        }},
       {"SDGA-SRA",
-       [num_threads](const core::Instance& instance, double budget_seconds) {
+       [num_threads, lap_backend, lap_topk](const core::Instance& instance,
+                                            double budget_seconds) {
          core::SdgaOptions sdga;
          sdga.num_threads = num_threads;
+         sdga.backend = lap_backend;
+         sdga.lap_topk = lap_topk;
          core::SraOptions sra;
          sra.time_limit_seconds = budget_seconds;
          sra.num_threads = num_threads;
+         sra.backend = lap_backend;
+         sra.lap_topk = lap_topk;
          return core::SolveCraSdgaSra(instance, sdga, sra);
        }},
   };

@@ -39,7 +39,13 @@ struct CraMethod {
 /// The Sec. 5.2 line-up: SM, ILP, BRGG, Greedy, SDGA, SDGA-SRA.
 /// `num_threads` feeds the parallel hot paths of BRGG/SDGA/SDGA-SRA
 /// (results are bit-identical for any value; see CraOptions::num_threads).
-std::vector<CraMethod> PaperCraMethods(int num_threads = 1);
+/// `lap_backend`/`lap_topk` select the stage-LAP engine of ILP/SDGA/
+/// SDGA-SRA (mcf, hungarian, or the ε-scaling auction — optionally with
+/// exactness-guarded top-K pruning).
+std::vector<CraMethod> PaperCraMethods(
+    int num_threads = 1,
+    core::LapBackend lap_backend = core::LapBackend::kMinCostFlow,
+    int lap_topk = 0);
 
 /// Aborts with a message when a Result-carrying expression failed.
 void DieOnError(const Status& status, const std::string& what);

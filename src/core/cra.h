@@ -42,6 +42,11 @@ struct CraOptions {
 enum class LapBackend {
   kMinCostFlow,  // transportation network, default
   kHungarian,    // reviewer columns replicated per unit of stage capacity
+  kAuction,      // parallel ε-scaling auction (la/auction.h): capacity-
+                 // aware (no column replication), bidding rounds fan out
+                 // over the thread pool, optionally pruned to the top-K
+                 // gains per paper with an exactness guard — same optimum
+                 // as kMinCostFlow, bit-identical at any thread count
 };
 
 struct SdgaOptions : CraOptions {
@@ -49,6 +54,26 @@ struct SdgaOptions : CraOptions {
   /// Per-stage reviewer cap ⌈δr/δp⌉ (Definition 9). Turning this off
   /// forfeits the approximation guarantee — ablation knob (DESIGN.md §5).
   bool confine_stage_workload = true;
+  /// Auction backend only: build each stage's LAP from the top-K gains
+  /// per paper instead of the dense P×R matrix (0 = keep everything).
+  /// Exactness is preserved: if the auction's final duals show a pruned
+  /// edge could still matter, K is widened and the stage re-solved, so
+  /// the stage optimum always equals the dense backends'.
+  int lap_topk = 0;
+  /// Auction backend only: initial ε of the scaling schedule in profit
+  /// units (0 = auto, Δ/8). The final phase always runs at the exactness
+  /// threshold regardless.
+  double lap_epsilon = 0.0;
+};
+
+/// Scratch reused across per-stage LAP solves — most importantly the
+/// Hungarian column-replication matrix, which used to be reallocated for
+/// every stage (an R×⌈δr/δp⌉-column buffer). Owned by the solver loop
+/// (SDGA's δp stages, SRA's refinement rounds) and threaded through to the
+/// stage engine; a default-constructed workspace is valid.
+struct StageWorkspace {
+  Matrix hungarian_expanded;
+  std::vector<int> hungarian_column_owner;
 };
 
 /// Progress callback: (elapsed seconds, best objective so far). Used by the
@@ -59,6 +84,9 @@ struct SraOptions : CraOptions {
   /// LAP backend for the per-round completion step (same machinery as the
   /// SDGA stages).
   LapBackend backend = LapBackend::kMinCostFlow;
+  /// Auction-backend pruning/ε knobs; same semantics as SdgaOptions.
+  int lap_topk = 0;
+  double lap_epsilon = 0.0;
   /// ω — stop after this many rounds without improvement (Sec. 4.4; the
   /// paper's default is 10).
   int convergence_window = 10;
@@ -127,12 +155,24 @@ Result<Assignment> RefineLocalSearch(const Instance& instance,
 Result<Assignment> SolveCraStableMatching(const Instance& instance,
                                           const CraOptions& options = {});
 
+struct IlpArapOptions : CraOptions {
+  /// kAuction routes the single demand-δp transportation solve through
+  /// the parallel auction (silently falling back to min-cost flow
+  /// whenever the demand > 1 auction cannot certify optimality, so the
+  /// returned optimum is backend-independent); anything else uses
+  /// min-cost flow. num_threads feeds the auction's bidding fan-out.
+  LapBackend backend = LapBackend::kMinCostFlow;
+  /// Auction initial ε in profit units (0 = auto).
+  double lap_epsilon = 0.0;
+};
+
 /// Exact solver for ARAP, the *per-pair* objective Σ c(r→, p→) (the
-/// paper's "ILP" baseline), via one min-cost-flow transportation solve.
+/// paper's "ILP" baseline), via one transportation solve (min-cost flow,
+/// or the ε-scaling auction when options.backend == kAuction).
 /// Optimal for ARAP but not for WGRAP — the group objective is what it
 /// deliberately ignores. O(min-cost-flow(P·δp, R)).
 Result<Assignment> SolveCraIlpArap(const Instance& instance,
-                                   const CraOptions& options = {});
+                                   const IlpArapOptions& options = {});
 
 /// Convenience: SDGA followed by SRA (the paper's SDGA-SRA method).
 Result<Assignment> SolveCraSdgaSra(const Instance& instance,

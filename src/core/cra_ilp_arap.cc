@@ -1,19 +1,27 @@
 // The "ILP" baseline of Sec. 5.2: ARAP (Definition 5), whose objective sums
 // per-pair scores Σ_p Σ_{r∈A[p]} c(r→, p→) instead of the group coverage.
 // Its constraint matrix is a transportation polytope (totally unimodular),
-// so the integer optimum equals the LP optimum and min-cost flow solves it
-// exactly — same optimum as lp_solve on the ILP, orders of magnitude
-// faster. Like SM, it ignores group diversity; an interdisciplinary paper
-// can end up with δp copies of the same narrow expertise.
+// so the integer optimum equals the LP optimum and one transportation
+// solve finds it exactly — same optimum as lp_solve on the ILP, orders of
+// magnitude faster. Like SM, it ignores group diversity; an
+// interdisciplinary paper can end up with δp copies of the same narrow
+// expertise.
+//
+// With options.backend == kAuction, the demand-δp solve runs on the
+// parallel ε-scaling auction (la/auction.h); the transportation layer
+// falls back to min-cost flow whenever the demand > 1 auction cannot
+// certify optimality, so the optimum is backend-independent either way.
+#include <memory>
+
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/cra.h"
 #include "la/transportation.h"
 
 namespace wgrap::core {
 
 Result<Assignment> SolveCraIlpArap(const Instance& instance,
-                                   const CraOptions& options) {
-  (void)options;  // single exact solve; no anytime behaviour to limit
+                                   const IlpArapOptions& options) {
   const int P = instance.num_papers();
   const int R = instance.num_reviewers();
 
@@ -25,8 +33,19 @@ Result<Assignment> SolveCraIlpArap(const Instance& instance,
     }
   }
   std::vector<int> capacity(R, instance.reviewer_workload());
-  auto solved = la::SolveTransportationWithDemand(profit, capacity,
-                                                  instance.group_size());
+
+  la::TransportationOptions transport;
+  std::unique_ptr<ThreadPool> pool;
+  if (options.backend == LapBackend::kAuction) {
+    transport.backend = la::TransportationBackend::kAuction;
+    transport.initial_epsilon = options.lap_epsilon;
+    if (options.num_threads > 1) {
+      pool = std::make_unique<ThreadPool>(options.num_threads);
+      transport.pool = pool.get();
+    }
+  }
+  auto solved = la::SolveTransportationWithDemand(
+      profit, capacity, instance.group_size(), transport);
   if (!solved.ok()) return solved.status();
 
   Assignment assignment(&instance);

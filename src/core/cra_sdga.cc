@@ -7,6 +7,19 @@
 // later stages, which is what the (1 - 1/e) / 1/2 approximation proof
 // (Theorems 1 and 2) relies on. Conflicts of interest are forbidden edges
 // and do not affect the guarantee (Sec. 4.3).
+//
+// Three interchangeable LAP backends solve the stage (all find the same
+// optimum of the same scaled integer program):
+//   kMinCostFlow — dense transportation network, sequential.
+//   kHungarian   — reviewer columns replicated per unit of stage capacity
+//                  into a scratch matrix reused across stages.
+//   kAuction     — parallel ε-scaling auction on a CSR candidate set,
+//                  optionally pruned to the top-K gains per paper. Pruning
+//                  is guarded for exactness: if the auction's final duals
+//                  cannot prove every pruned edge irrelevant (or the
+//                  pruned graph is infeasible), K widens and the stage
+//                  re-solves, so the returned stage assignment is the
+//                  same optimum the dense backends find.
 #include <algorithm>
 #include <vector>
 
@@ -14,12 +27,92 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/cra.h"
+#include "la/auction.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
 
 namespace wgrap::core {
 
 namespace {
+
+// Hard cap on the Hungarian replication buffer (cells). δr values that
+// would blow past it (possible with confine_stage_workload off and a huge
+// workload) are a configuration error for this backend — the capacity-
+// aware backends handle them natively.
+constexpr int64_t kMaxHungarianCells = 200'000'000;
+
+Status SolveStageMinCostFlow(const Matrix& stage_profit,
+                             const std::vector<int>& capacity,
+                             std::vector<int>* chosen_agent) {
+  auto solved = la::SolveTransportation(stage_profit, capacity);
+  if (!solved.ok()) return solved.status();
+  *chosen_agent = std::move(solved->task_to_agent);
+  return Status::OK();
+}
+
+Status SolveStageHungarian(const Matrix& stage_profit,
+                           const std::vector<int>& capacity,
+                           StageWorkspace* workspace,
+                           std::vector<int>* chosen_agent) {
+  const int rows = stage_profit.rows();
+  const int R = stage_profit.cols();
+  // Replicate each reviewer column once per unit of capacity — clamped to
+  // the paper count, since a stage assigns at most one paper per column
+  // set and extra replicas could never carry flow. This bounds the buffer
+  // at rows × (R·rows) no matter how pathological δr is.
+  std::vector<int>& column_owner = workspace->hungarian_column_owner;
+  column_owner.clear();
+  for (int r = 0; r < R; ++r) {
+    const int replicas = std::min(capacity[r], rows);
+    for (int c = 0; c < replicas; ++c) column_owner.push_back(r);
+  }
+  const int cols = static_cast<int>(column_owner.size());
+  if (cols < rows) {
+    return Status::Infeasible("stage capacity below paper count");
+  }
+  if (static_cast<int64_t>(rows) * cols > kMaxHungarianCells) {
+    return Status::InvalidArgument(
+        "Hungarian column replication would exceed the scratch budget; "
+        "use the mcf or auction backend for this workload");
+  }
+  Matrix& expanded = workspace->hungarian_expanded;
+  if (expanded.rows() != rows || expanded.cols() != cols) {
+    expanded = Matrix(rows, cols);  // reused across stages once sized
+  }
+  for (int i = 0; i < rows; ++i) {
+    for (int c = 0; c < cols; ++c) {
+      const double v = stage_profit(i, column_owner[c]);
+      expanded(i, c) =
+          v <= la::kTransportForbidden / 2 ? la::kForbiddenProfit : v;
+    }
+  }
+  auto solved = la::SolveMaxProfitAssignment(expanded);
+  if (!solved.ok()) return solved.status();
+  chosen_agent->resize(rows);
+  for (int i = 0; i < rows; ++i) {
+    (*chosen_agent)[i] = column_owner[solved->row_to_col[i]];
+  }
+  return Status::OK();
+}
+
+// Auction with top-K candidate pruning: la::SolveAuctionTopK widens K
+// and re-solves until the final duals certify that no pruned edge could
+// improve the optimum. kFailedPrecondition (instance outside the
+// auction's integer price domain, or non-convergence) is not an error —
+// the caller falls back to min-cost flow, keeping the optimum identical.
+Status SolveStageAuction(const Matrix& stage_profit,
+                         const std::vector<int>& capacity, int top_k,
+                         double initial_epsilon, ThreadPool* pool,
+                         std::vector<int>* chosen_agent) {
+  la::AuctionOptions auction;
+  auction.pool = pool;
+  auction.initial_epsilon = initial_epsilon;
+  auto solved =
+      la::SolveAuctionTopK(stage_profit, capacity, top_k, auction);
+  if (!solved.ok()) return solved.status();
+  *chosen_agent = std::move(solved->task_to_agent);
+  return Status::OK();
+}
 
 // One SDGA stage: assigns one reviewer to every paper, maximizing summed
 // marginal gain, respecting per-stage capacities. Shared with the SRA
@@ -28,7 +121,8 @@ namespace {
 // inline), which is deterministic because each row is an independent
 // function of the frozen assignment.
 Status RunStage(const Instance& instance, const std::vector<int>& capacity,
-                LapBackend backend, ThreadPool* pool, Assignment* assignment) {
+                const SdgaOptions& options, ThreadPool* pool,
+                StageWorkspace* workspace, Assignment* assignment) {
   const int P = instance.num_papers();
   const int R = instance.num_reviewers();
 
@@ -57,42 +151,32 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
                       }
                     });
 
-  std::vector<std::pair<int, int>> pairs;  // (paper, reviewer)
-  if (backend == LapBackend::kMinCostFlow) {
-    auto solved = la::SolveTransportation(stage_profit, capacity);
-    if (!solved.ok()) return solved.status();
-    for (size_t i = 0; i < papers_needing.size(); ++i) {
-      pairs.emplace_back(papers_needing[i],
-                         solved->task_to_agent[static_cast<int>(i)]);
-    }
-  } else {
-    // Hungarian backend: replicate each reviewer column per capacity unit.
-    std::vector<int> column_owner;
-    for (int r = 0; r < R; ++r) {
-      for (int c = 0; c < capacity[r]; ++c) column_owner.push_back(r);
-    }
-    const int cols = static_cast<int>(column_owner.size());
-    if (cols < static_cast<int>(papers_needing.size())) {
-      return Status::Infeasible("stage capacity below paper count");
-    }
-    Matrix expanded(static_cast<int>(papers_needing.size()), cols);
-    for (int i = 0; i < expanded.rows(); ++i) {
-      for (int c = 0; c < cols; ++c) {
-        const double v = stage_profit(i, column_owner[c]);
-        expanded(i, c) =
-            v <= la::kTransportForbidden / 2 ? la::kForbiddenProfit : v;
+  std::vector<int> chosen_agent;
+  Status solved = Status::OK();
+  switch (options.backend) {
+    case LapBackend::kMinCostFlow:
+      solved = SolveStageMinCostFlow(stage_profit, capacity, &chosen_agent);
+      break;
+    case LapBackend::kHungarian:
+      solved = SolveStageHungarian(stage_profit, capacity, workspace,
+                                   &chosen_agent);
+      break;
+    case LapBackend::kAuction:
+      solved = SolveStageAuction(stage_profit, capacity, options.lap_topk,
+                                 options.lap_epsilon, pool, &chosen_agent);
+      if (!solved.ok() &&
+          solved.code() == StatusCode::kFailedPrecondition) {
+        // Outside the auction's integer price domain — same optimum via
+        // the flow backend.
+        solved =
+            SolveStageMinCostFlow(stage_profit, capacity, &chosen_agent);
       }
-    }
-    auto solved = la::SolveMaxProfitAssignment(expanded);
-    if (!solved.ok()) return solved.status();
-    for (size_t i = 0; i < papers_needing.size(); ++i) {
-      pairs.emplace_back(
-          papers_needing[i],
-          column_owner[solved->row_to_col[static_cast<int>(i)]]);
-    }
+      break;
   }
-  for (const auto& [p, r] : pairs) {
-    WGRAP_RETURN_IF_ERROR(assignment->Add(p, r));
+  WGRAP_RETURN_IF_ERROR(solved);
+  for (size_t i = 0; i < papers_needing.size(); ++i) {
+    WGRAP_RETURN_IF_ERROR(
+        assignment->Add(papers_needing[i], chosen_agent[i]));
   }
   return Status::OK();
 }
@@ -100,12 +184,15 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
 }  // namespace
 
 // Exposed for cra_sra.cc (declared there): completes an assignment where
-// every paper is missing at most one reviewer.
+// every paper is missing at most one reviewer. `lap` carries the backend
+// plus the auction pruning/ε knobs; `workspace` persists scratch across
+// calls.
 Status SolveStageAssignment(const Instance& instance,
                             const std::vector<int>& capacity,
-                            LapBackend backend, ThreadPool* pool,
+                            const SdgaOptions& lap, ThreadPool* pool,
+                            StageWorkspace* workspace,
                             Assignment* assignment) {
-  return RunStage(instance, capacity, backend, pool, assignment);
+  return RunStage(instance, capacity, lap, pool, workspace, assignment);
 }
 
 Result<Assignment> SolveCraSdga(const Instance& instance,
@@ -117,6 +204,7 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
   const int dr = instance.reviewer_workload();
   const int stage_cap = (dr + dp - 1) / dp;  // ⌈δr/δp⌉
   ThreadPool pool(options.num_threads);
+  StageWorkspace workspace;  // scratch shared by all δp stages
 
   for (int stage = 0; stage < dp; ++stage) {
     if (deadline.Expired()) {
@@ -129,8 +217,8 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
                         ? std::min(stage_cap, remaining_total)
                         : remaining_total;
     }
-    Status stage_status =
-        RunStage(instance, capacity, options.backend, &pool, &assignment);
+    Status stage_status = RunStage(instance, capacity, options, &pool,
+                                   &workspace, &assignment);
     if (!stage_status.ok() &&
         stage_status.code() == StatusCode::kInfeasible &&
         options.confine_stage_workload) {
@@ -140,8 +228,8 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
       // stage's contribution, so relaxing the cap to the full remaining
       // workload keeps the 1/2 guarantee intact.
       for (int r = 0; r < R; ++r) capacity[r] = dr - assignment.LoadOf(r);
-      stage_status = RunStage(instance, capacity, options.backend, &pool,
-                              &assignment);
+      stage_status = RunStage(instance, capacity, options, &pool,
+                              &workspace, &assignment);
     }
     WGRAP_RETURN_IF_ERROR(stage_status);
   }

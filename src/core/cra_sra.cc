@@ -29,10 +29,12 @@
 
 namespace wgrap::core {
 
-// Defined in cra_sdga.cc.
+// Defined in cra_sdga.cc. `lap` carries the LAP backend plus the auction
+// pruning/ε knobs; `workspace` persists stage scratch across rounds.
 Status SolveStageAssignment(const Instance& instance,
                             const std::vector<int>& capacity,
-                            LapBackend backend, ThreadPool* pool,
+                            const SdgaOptions& lap, ThreadPool* pool,
+                            StageWorkspace* workspace,
                             Assignment* assignment);
 
 Result<Assignment> RefineSra(const Instance& instance,
@@ -48,6 +50,12 @@ Result<Assignment> RefineSra(const Instance& instance,
   Stopwatch watch;
   Deadline deadline(options.time_limit_seconds);
   ThreadPool pool(options.num_threads);
+  // Completion-step LAP configuration + scratch shared by every round.
+  SdgaOptions completion_lap;
+  completion_lap.backend = options.backend;
+  completion_lap.lap_topk = options.lap_topk;
+  completion_lap.lap_epsilon = options.lap_epsilon;
+  StageWorkspace completion_workspace;
 
   // Pair scores c(r→, p→) and per-reviewer totals Σ_p' c(r→, p'→) (the
   // TF-IDF-style denominator of Eq. 9). O(PR) precomputation: rows filled
@@ -127,7 +135,8 @@ Result<Assignment> RefineSra(const Instance& instance,
       capacity[r] = instance.reviewer_workload() - current.LoadOf(r);
     }
     WGRAP_RETURN_IF_ERROR(SolveStageAssignment(instance, capacity,
-                                               options.backend, &pool,
+                                               completion_lap, &pool,
+                                               &completion_workspace,
                                                &current));
     if (current.TotalScore() > best.TotalScore() + 1e-12) {
       best = current;

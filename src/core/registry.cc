@@ -64,6 +64,8 @@ namespace {
 struct PipelineKnobs {
   int threads = 1;
   LapBackend backend = LapBackend::kMinCostFlow;
+  int lap_topk = 0;
+  double lap_epsilon = 0.0;
   int sra_omega = SraOptions{}.convergence_window;
   double sra_lambda = SraOptions{}.decay_lambda;
   bool sparse_topics = false;  // the "topics" knob requested "sparse"
@@ -86,9 +88,28 @@ Result<PipelineKnobs> ParsePipelineKnobs(const SolverRunOptions& options) {
     knobs.backend = LapBackend::kMinCostFlow;
   } else if (lap == "hungarian") {
     knobs.backend = LapBackend::kHungarian;
+  } else if (lap == "auction") {
+    knobs.backend = LapBackend::kAuction;
   } else {
     return Status::InvalidArgument("option 'lap': '" + lap +
-                                   "' (use mcf or hungarian)");
+                                   "' (use mcf, hungarian or auction)");
+  }
+  auto lap_topk = options.ExtraInt("lap_topk", knobs.lap_topk);
+  if (!lap_topk.ok()) return lap_topk.status();
+  if (*lap_topk < 0) {
+    return Status::InvalidArgument("option 'lap_topk' must be >= 0");
+  }
+  knobs.lap_topk = *lap_topk;
+  auto lap_epsilon = options.ExtraDouble("lap_epsilon", knobs.lap_epsilon);
+  if (!lap_epsilon.ok()) return lap_epsilon.status();
+  if (*lap_epsilon < 0.0) {
+    return Status::InvalidArgument("option 'lap_epsilon' must be >= 0");
+  }
+  knobs.lap_epsilon = *lap_epsilon;
+  if (knobs.backend != LapBackend::kAuction &&
+      (knobs.lap_topk != 0 || knobs.lap_epsilon != 0.0)) {
+    return Status::InvalidArgument(
+        "options 'lap_topk'/'lap_epsilon' require lap=auction");
   }
   auto omega = options.ExtraInt("sra_omega", knobs.sra_omega);
   if (!omega.ok()) return omega.status();
@@ -203,6 +224,8 @@ SolverRegistry BuildDefaultRegistry() {
             sdga.time_limit_seconds = options.time_limit_seconds;
             sdga.num_threads = knobs->threads;
             sdga.backend = knobs->backend;
+            sdga.lap_topk = knobs->lap_topk;
+            sdga.lap_epsilon = knobs->lap_epsilon;
             return SolveCraSdga(instance, sdga);
           });
   add_cra("sdga-sra", "SDGA + SRA (Algorithms 2+3)",
@@ -214,11 +237,15 @@ SolverRegistry BuildDefaultRegistry() {
             SdgaOptions sdga;
             sdga.num_threads = knobs->threads;
             sdga.backend = knobs->backend;
+            sdga.lap_topk = knobs->lap_topk;
+            sdga.lap_epsilon = knobs->lap_epsilon;
             SraOptions sra;
             sra.time_limit_seconds = options.time_limit_seconds;
             sra.seed = options.seed;
             sra.num_threads = knobs->threads;
             sra.backend = knobs->backend;
+            sra.lap_topk = knobs->lap_topk;
+            sra.lap_epsilon = knobs->lap_epsilon;
             sra.convergence_window = knobs->sra_omega;
             sra.decay_lambda = knobs->sra_lambda;
             return SolveCraSdgaSra(instance, sdga, sra);
@@ -232,6 +259,8 @@ SolverRegistry BuildDefaultRegistry() {
             SdgaOptions sdga;
             sdga.num_threads = knobs->threads;
             sdga.backend = knobs->backend;
+            sdga.lap_topk = knobs->lap_topk;
+            sdga.lap_epsilon = knobs->lap_epsilon;
             auto initial = SolveCraSdga(instance, sdga);
             WGRAP_RETURN_IF_ERROR(initial.status());
             LocalSearchOptions ls;
@@ -248,11 +277,30 @@ SolverRegistry BuildDefaultRegistry() {
             return SolveCraStableMatching(instance, cra);
           });
   add_cra("ilp", "ILP (exact ARAP)",
-          "exact per-pair-objective assignment via min-cost flow",
-          [](const Instance& instance, const SolverRunOptions& options) {
-            CraOptions cra;
-            cra.time_limit_seconds = options.time_limit_seconds;
-            return SolveCraIlpArap(instance, cra);
+          "exact per-pair-objective assignment via one transportation "
+          "solve (lap=mcf or auction)",
+          [](const Instance& instance,
+             const SolverRunOptions& options) -> Result<Assignment> {
+            auto knobs = ParsePipelineKnobs(options);
+            WGRAP_RETURN_IF_ERROR(knobs.status());
+            // ilp honors the lap knob, so unsupported values must be
+            // rejected, not silently mapped to min-cost flow.
+            if (knobs->backend == LapBackend::kHungarian) {
+              return Status::InvalidArgument(
+                  "option 'lap': 'hungarian' is not supported by ilp "
+                  "(use mcf or auction)");
+            }
+            if (knobs->lap_topk != 0) {
+              return Status::InvalidArgument(
+                  "option 'lap_topk' is not supported by ilp (its "
+                  "demand-dp solve is dense)");
+            }
+            IlpArapOptions ilp;
+            ilp.time_limit_seconds = options.time_limit_seconds;
+            ilp.num_threads = knobs->threads;
+            ilp.backend = knobs->backend;
+            ilp.lap_epsilon = knobs->lap_epsilon;
+            return SolveCraIlpArap(instance, ilp);
           });
   add_cra("rrap", "RRAP (Definition 4, retrieval baseline)",
           "each reviewer takes their top-dr papers; group sizes "

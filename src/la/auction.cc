@@ -1,0 +1,796 @@
+// Capacity-aware Bertsekas ε-scaling auction (see auction.h for the
+// contract). Implementation notes, in the order they matter for
+// correctness:
+//
+// Integer domain. Double profits are scaled once with
+// ScaleTransportProfit (the same fixed point min-cost flow uses), shifted
+// so the smallest candidate profit is 0, and multiplied by
+// M = total_slots + 1. All bidding arithmetic is int64 in this
+// "M-domain": every assignment's total value is a multiple of M, so
+// terminating the last scaling phase at ε = 1 (< M / total_slots) pins
+// the exact optimum of the identical integer program the min-cost-flow
+// backend solves.
+//
+// Slots and balancing. Agent a owns min(capacity[a], num_tasks) identical
+// slots (a task never sends two units to one agent, so higher capacity is
+// unusable). Each slot carries a price and the unit holding it; an
+// agent's slots are kept sorted by (price, unit), so the cheapest and
+// second-cheapest slot — the only prices bidding needs — are slots[0] and
+// slots[1]. Excess slots are filled by zero-value dummy units, making the
+// problem symmetric (units == slots). This is load-bearing, not cosmetic:
+// ε-scaling carries slot prices across phases, and with spare capacity a
+// slot priced in an early phase could sit free at the end, breaking the
+// duality bound that makes ε-CS imply optimality (the classic asymmetric-
+// auction pitfall). With dummies every slot is always held, the symmetric
+// theorem applies, and the dummies' constant value cancels from every
+// feasible assignment.
+//
+// Rounds. Every unassigned unit computes its bid against an immutable
+// snapshot of the slot prices (fanned out over the ThreadPool, writing
+// only its own bid cell), then bids are resolved sequentially: each agent
+// sorts its incoming bids (descending, ties to the lowest unit index) and
+// accepts its j-th highest bid at its j-th cheapest slot for as long as
+// the bid strictly exceeds that slot's snapshot price. This multi-accept
+// preserves ε-complementary slackness per slot: the j-th winner's
+// post-assignment value is w2 - ε, where w2 already counted the agent's
+// second-cheapest snapshot slot — every cheaper slot just went to an even
+// higher bid (value below w2 - ε), and every pricier slot kept a price ≥
+// the snapshot second-cheapest. Output is bit-identical at any thread
+// count, including none.
+//
+// Infeasibility. If the instance is feasible, no slot price can climb
+// more than (units + 1)·(Δ + ε) above its value at the start of a phase
+// (Bertsekas' price bound), so a bid exceeding the accumulated ceiling
+// proves the candidate graph cannot cover all units — except that the
+// bound is theory, so before declaring infeasibility we confirm with an
+// exact zero-cost max-flow on the candidate graph (cheap, and only on
+// this rare path). The pruning layer in cra_sdga.cc treats kInfeasible as
+// "widen K".
+#include "la/auction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "la/min_cost_flow.h"
+
+namespace wgrap::la {
+
+namespace {
+
+constexpr int64_t kNoValue = std::numeric_limits<int64_t>::min();
+constexpr int64_t kNoPrice = std::numeric_limits<int64_t>::max();
+// ε divisor between scaling phases (Bertsekas recommends 4–10).
+constexpr int64_t kEpsilonDivisor = 8;
+
+// One slot of an agent: its price and the unit holding it (-1 = free,
+// only transiently within a phase).
+struct Slot {
+  int64_t price = 0;
+  int unit = -1;
+};
+
+bool SlotLess(const Slot& a, const Slot& b) {
+  if (a.price != b.price) return a.price < b.price;
+  return a.unit < b.unit;
+}
+
+Status ValidateProblem(const SparseLapProblem& problem,
+                       const std::vector<int>& capacity) {
+  const int tasks = problem.num_tasks;
+  const int agents = problem.num_agents;
+  if (tasks < 0 || agents < 0) {
+    return Status::InvalidArgument("negative task/agent count");
+  }
+  if (static_cast<int>(capacity.size()) != agents) {
+    return Status::InvalidArgument("capacity size != number of agents");
+  }
+  for (int c : capacity) {
+    if (c < 0) return Status::InvalidArgument("negative capacity");
+  }
+  if (problem.row_offsets.size() != static_cast<size_t>(tasks) + 1 ||
+      (!problem.row_offsets.empty() && problem.row_offsets.front() != 0) ||
+      problem.row_offsets.back() !=
+          static_cast<int64_t>(problem.agent_ids.size()) ||
+      problem.agent_ids.size() != problem.profits.size()) {
+    return Status::InvalidArgument("malformed CSR row structure");
+  }
+  for (int t = 0; t < tasks; ++t) {
+    const int64_t begin = problem.row_offsets[t];
+    const int64_t end = problem.row_offsets[t + 1];
+    if (begin > end) return Status::InvalidArgument("decreasing row offsets");
+    for (int64_t e = begin; e < end; ++e) {
+      const int a = problem.agent_ids[e];
+      if (a < 0 || a >= agents) {
+        return Status::InvalidArgument("agent id out of range");
+      }
+      if (e > begin && problem.agent_ids[e - 1] >= a) {
+        return Status::InvalidArgument("agent ids not ascending within row");
+      }
+      WGRAP_RETURN_IF_ERROR(ValidateTransportProfit(problem.profits[e]));
+    }
+  }
+  return Status::OK();
+}
+
+// Exact feasibility of the candidate graph via zero-cost max flow: can
+// every task route `demand` units to distinct usable agents? Only run on
+// the rare ceiling-hit path, so the cost does not sit on the solve path.
+bool ExactlyFeasible(const SparseLapProblem& problem,
+                     const std::vector<int>& slots_per_agent, int demand) {
+  const int tasks = problem.num_tasks;
+  const int agents = problem.num_agents;
+  const int source = 0;
+  const int sink = tasks + agents + 1;
+  MinCostFlow flow(sink + 1);
+  for (int t = 0; t < tasks; ++t) flow.AddEdge(source, 1 + t, demand, 0);
+  for (int t = 0; t < tasks; ++t) {
+    for (int64_t e = problem.row_offsets[t]; e < problem.row_offsets[t + 1];
+         ++e) {
+      const int a = problem.agent_ids[e];
+      if (slots_per_agent[a] > 0) flow.AddEdge(1 + t, 1 + tasks + a, 1, 0);
+    }
+  }
+  for (int a = 0; a < agents; ++a) {
+    if (slots_per_agent[a] > 0) {
+      flow.AddEdge(1 + tasks + a, sink, slots_per_agent[a], 0);
+    }
+  }
+  auto solved = flow.Solve(source, sink);
+  return solved.ok() &&
+         solved->flow == static_cast<int64_t>(tasks) * demand;
+}
+
+}  // namespace
+
+Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
+                                         const std::vector<int>& capacity,
+                                         const AuctionOptions& options) {
+  WGRAP_RETURN_IF_ERROR(ValidateProblem(problem, capacity));
+  const int tasks = problem.num_tasks;
+  const int agents = problem.num_agents;
+  const int demand = options.demand;
+  if (demand < 1) return Status::InvalidArgument("demand must be >= 1");
+
+  AuctionResult result;
+  result.task_to_agents.resize(tasks);
+  result.task_value.assign(tasks, 0);
+  if (tasks == 0) return result;
+
+  const int64_t num_real64 = static_cast<int64_t>(tasks) * demand;
+
+  // A task sends at most one unit to any agent, so capacity beyond
+  // num_tasks is unusable — clamp so slot storage stays O(agents·tasks).
+  std::vector<int> slots_per_agent(agents);
+  int64_t total_slots64 = 0;
+  for (int a = 0; a < agents; ++a) {
+    slots_per_agent[a] = std::min(capacity[a], tasks);
+    total_slots64 += slots_per_agent[a];
+  }
+  if (total_slots64 < num_real64) {
+    return Status::Infeasible("agent capacity below total task demand");
+  }
+  if (total_slots64 > std::numeric_limits<int>::max() / 2) {
+    return Status::FailedPrecondition("instance too large for the auction");
+  }
+  // Balance the problem: zero-value dummy units fill the spare slots (see
+  // the header comment — required for ε-scaling price carryover to stay
+  // exact). Real units are [0, num_real); unit u belongs to task
+  // u / demand.
+  const int num_real = static_cast<int>(num_real64);
+  const int num_units = static_cast<int>(total_slots64);
+
+  // Scale profits once; track the range over usable edges (edges to
+  // zero-capacity agents can never be assigned and are ignored entirely).
+  const int64_t num_edges = problem.row_offsets.back();
+  std::vector<int64_t> scaled(num_edges);
+  int64_t s_min = std::numeric_limits<int64_t>::max();
+  int64_t s_max = std::numeric_limits<int64_t>::min();
+  for (int t = 0; t < tasks; ++t) {
+    int usable = 0;
+    for (int64_t e = problem.row_offsets[t]; e < problem.row_offsets[t + 1];
+         ++e) {
+      if (slots_per_agent[problem.agent_ids[e]] == 0) continue;
+      scaled[e] = ScaleTransportProfit(problem.profits[e]);
+      s_min = std::min(s_min, scaled[e]);
+      s_max = std::max(s_max, scaled[e]);
+      ++usable;
+    }
+    if (usable < demand) {
+      return Status::Infeasible("task has fewer candidate agents than demand");
+    }
+  }
+
+  // M-domain setup + overflow guards (all intermediate math in __int128).
+  const int64_t unit_value = total_slots64 + 1;  // M
+  const int64_t kLimit = std::numeric_limits<int64_t>::max() / 8;
+  const __int128 range128 =
+      (static_cast<__int128>(s_max) - s_min) * unit_value;
+  const __int128 abs_max128 =
+      static_cast<__int128>(std::max(std::abs(s_min), std::abs(s_max))) *
+      unit_value;
+  if (range128 > kLimit || abs_max128 > kLimit) {
+    return Status::FailedPrecondition(
+        "profit range x instance size exceeds the int64 price domain; use "
+        "the min-cost-flow backend");
+  }
+  const int64_t value_range = static_cast<int64_t>(range128);  // Δ
+
+  int64_t epsilon0 = std::max<int64_t>(1, value_range / kEpsilonDivisor);
+  if (options.initial_epsilon > 0.0) {
+    const double clamped =
+        std::min(options.initial_epsilon, 2.0 * kMaxTransportProfit);
+    const __int128 user =
+        static_cast<__int128>(
+            std::llround(clamped * kTransportProfitScale)) *
+        unit_value;
+    epsilon0 = static_cast<int64_t>(std::max<__int128>(
+        1, std::min<__int128>(user, std::max<int64_t>(value_range, 1))));
+  }
+  int num_phases = 1;
+  for (int64_t e = epsilon0; e > 1; e /= kEpsilonDivisor) ++num_phases;
+  // Accumulated Bertsekas price bound over every phase; exceeding it is
+  // the (flow-confirmed) infeasibility signal.
+  const __int128 ceiling128 =
+      static_cast<__int128>(num_units + 2) *
+          (static_cast<__int128>(value_range) * (num_phases + 2) +
+           2 * static_cast<__int128>(epsilon0)) +
+      1;
+  if (ceiling128 > std::numeric_limits<int64_t>::max() / 4) {
+    return Status::FailedPrecondition(
+        "auction price ceiling exceeds the int64 price domain; use the "
+        "min-cost-flow backend");
+  }
+  const int64_t price_ceiling = static_cast<int64_t>(ceiling128);
+
+  // Shifted M-domain edge values: V = (s - s_min) * M ∈ [0, Δ]. Dummy
+  // units value every agent at exactly 0 — any constant works, since a
+  // balanced assignment places every dummy exactly once.
+  std::vector<int64_t> value(num_edges, 0);
+  for (int t = 0; t < tasks; ++t) {
+    for (int64_t e = problem.row_offsets[t]; e < problem.row_offsets[t + 1];
+         ++e) {
+      if (slots_per_agent[problem.agent_ids[e]] == 0) continue;
+      value[e] = (scaled[e] - s_min) * unit_value;
+    }
+  }
+
+  std::vector<std::vector<Slot>> slots(agents);
+  for (int a = 0; a < agents; ++a) slots[a].resize(slots_per_agent[a]);
+
+  std::vector<int> assigned_agent(num_units, -1);
+  std::vector<int64_t> assigned_edge(num_units, -1);  // CSR edge (real only)
+  std::vector<int64_t> price1(agents, kNoPrice);  // cheapest slot snapshot
+  std::vector<int64_t> price2(agents, kNoPrice);  // second-cheapest snapshot
+  std::vector<int64_t> bid_amount(num_units, kNoValue);
+  std::vector<int64_t> bid_edge(num_units, -1);
+  std::vector<int> bid_agent(num_units, -1);
+  // Per-agent incoming bids this round, as (amount, unit); only entries
+  // for `touched` agents are live, and they are cleared after resolution.
+  std::vector<std::vector<std::pair<int64_t, int>>> agent_bids(agents);
+  std::vector<std::pair<int64_t, int>> accepted;  // per-agent scratch
+  std::vector<int> touched;
+  touched.reserve(agents);
+  std::vector<int> unassigned;
+  unassigned.reserve(num_units);
+  const bool exclusive = demand > 1;
+
+  int64_t work = 0;  // bids + per-round bookkeeping, the actual cost unit
+  int64_t rounds = 0;
+  int64_t bids = 0;
+  // Defensive budget on auction work across all phases; exhausting it
+  // degrades to the min-cost-flow fallback (kFailedPrecondition), never
+  // to a wrong answer. Work counts bids plus the per-round O(agents +
+  // units) bookkeeping, so drawn-out tail wars (one unassigned unit
+  // re-bidding for thousands of rounds) are charged honestly. The
+  // ε-scaled schedule needs a handful of bids per unit in practice, so
+  // the budget is far above normal convergence — except in exclusive
+  // (demand > 1) mode, where sibling exclusion voids the convergence
+  // theorem and near-saturated instances genuinely livelock: that mode
+  // gets a budget keeping the worst case well under a second before the
+  // guaranteed fallback.
+  const int64_t round_overhead = agents + num_units / 8 + 8;
+  const int64_t work_cap =
+      exclusive ? std::max<int64_t>(2'000'000, 500 * int64_t{num_units})
+                : std::max<int64_t>(20'000'000, 5'000 * int64_t{num_units});
+  bool diverged = false;  // work-cap / exclusion-stall escape hatch
+  for (int64_t epsilon = epsilon0;; epsilon /= kEpsilonDivisor) {
+    epsilon = std::max<int64_t>(1, epsilon);
+    // New phase: keep every slot price (the warm start ε-scaling relies
+    // on) but clear all assignments; the phase re-runs at the tighter ε.
+    for (int a = 0; a < agents; ++a) {
+      for (Slot& s : slots[a]) s.unit = -1;
+      std::sort(slots[a].begin(), slots[a].end(), SlotLess);
+    }
+    std::fill(assigned_agent.begin(), assigned_agent.end(), -1);
+    std::fill(assigned_edge.begin(), assigned_edge.end(), -1);
+
+    for (;;) {
+      unassigned.clear();
+      for (int u = 0; u < num_units; ++u) {
+        if (assigned_agent[u] < 0) unassigned.push_back(u);
+      }
+      if (unassigned.empty()) break;
+      ++rounds;
+      bids += static_cast<int64_t>(unassigned.size());
+      work += static_cast<int64_t>(unassigned.size()) + round_overhead;
+      if (work > work_cap) {
+        diverged = true;
+        break;
+      }
+
+      // Immutable price snapshot for this round.
+      for (int a = 0; a < agents; ++a) {
+        if (slots[a].empty()) continue;
+        price1[a] = slots[a][0].price;
+        price2[a] = slots[a].size() > 1 ? slots[a][1].price : kNoPrice;
+      }
+
+      // Jacobi bidding: each unassigned unit writes only its own bid
+      // cells, from the snapshot — deterministic at any thread count.
+      const auto bid_for = [&](int64_t i) {
+        const int u = unassigned[i];
+        int64_t best_value = kNoValue;
+        int64_t second_value = kNoValue;
+        int64_t best_v = 0;  // M-domain value of the chosen agent's edge
+        int64_t best_e = -1;
+        int chosen = -1;
+        if (u < num_real) {
+          const int t = u / demand;
+          for (int64_t e = problem.row_offsets[t];
+               e < problem.row_offsets[t + 1]; ++e) {
+            const int a = problem.agent_ids[e];
+            if (slots[a].empty()) continue;
+            if (exclusive) {
+              bool held_by_sibling = false;
+              for (int v = t * demand; v < (t + 1) * demand; ++v) {
+                if (v != u && assigned_agent[v] == a) {
+                  held_by_sibling = true;
+                  break;
+                }
+              }
+              if (held_by_sibling) continue;
+            }
+            const int64_t v1 = value[e] - price1[a];
+            if (v1 > best_value) {
+              second_value = best_value;
+              best_value = v1;
+              best_v = value[e];
+              best_e = e;
+              chosen = a;
+            } else if (v1 > second_value) {
+              second_value = v1;
+            }
+          }
+        } else {
+          // Dummy unit: value 0 for every agent, i.e. it hunts the
+          // cheapest slot overall (lowest agent index on ties).
+          for (int a = 0; a < agents; ++a) {
+            if (slots[a].empty()) continue;
+            const int64_t v1 = -price1[a];
+            if (v1 > best_value) {
+              second_value = best_value;
+              best_value = v1;
+              best_v = 0;
+              best_e = -1;
+              chosen = a;
+            } else if (v1 > second_value) {
+              second_value = v1;
+            }
+          }
+        }
+        if (chosen < 0) {
+          bid_agent[u] = -1;
+          return;
+        }
+        // The agent's own second-cheapest slot also competes for w2.
+        if (price2[chosen] != kNoPrice) {
+          second_value = std::max(second_value, best_v - price2[chosen]);
+        }
+        if (second_value == kNoValue) {
+          // Single candidate slot: bid high enough to always win it.
+          second_value = best_value - (value_range + epsilon);
+        }
+        bid_agent[u] = chosen;
+        bid_edge[u] = best_e;
+        bid_amount[u] = best_v - second_value + epsilon;
+      };
+      if (options.pool != nullptr) {
+        options.pool->ParallelFor(0, static_cast<int64_t>(unassigned.size()),
+                                  /*grain=*/16, bid_for);
+      } else {
+        for (size_t i = 0; i < unassigned.size(); ++i) {
+          bid_for(static_cast<int64_t>(i));
+        }
+      }
+
+      // Sequential resolution: per agent, accept the j-th highest bid at
+      // the j-th cheapest slot while it strictly beats that slot's
+      // snapshot price (see the header comment for why this keeps ε-CS
+      // exact per slot). Grouping walks units in ascending order and
+      // agents independently, so the outcome is scheduling-free.
+      bool any_bid = false;
+      bool ceiling_hit = false;
+      for (const int u : unassigned) {
+        const int a = bid_agent[u];
+        if (a < 0) continue;
+        any_bid = true;
+        if (agent_bids[a].empty()) touched.push_back(a);
+        agent_bids[a].emplace_back(bid_amount[u], u);
+      }
+      if (!any_bid) {
+        // Every unassigned unit is locked out (demand > 1 sibling
+        // exclusion deadlock); no bid can ever be placed again.
+        diverged = true;
+        break;
+      }
+      for (const int a : touched) {
+        std::vector<std::pair<int64_t, int>>& incoming_bids = agent_bids[a];
+        std::sort(incoming_bids.begin(), incoming_bids.end(),
+                  [](const std::pair<int64_t, int>& x,
+                     const std::pair<int64_t, int>& y) {
+                    if (x.first != y.first) return x.first > y.first;
+                    return x.second < y.second;
+                  });
+        // Decide acceptances against the snapshot slot order: the j-th
+        // accepted bid must beat the j-th cheapest slot, and — in
+        // exclusive mode — no two units of one task may land on the same
+        // agent, so a bid whose sibling already holds (or just won) a
+        // slot here is passed over. Two unassigned siblings can submit
+        // identical bids to the same agent in one round; without this
+        // check both would be accepted, silently violating distinctness.
+        accepted.clear();
+        for (const auto& bid : incoming_bids) {
+          const int j = static_cast<int>(accepted.size());
+          if (j >= static_cast<int>(slots[a].size()) ||
+              bid.first <= slots[a][j].price) {
+            break;
+          }
+          if (exclusive && bid.second < num_real) {
+            const int t = bid.second / demand;
+            bool duplicate = false;
+            for (int v = t * demand; v < (t + 1) * demand && !duplicate;
+                 ++v) {
+              duplicate = v != bid.second && assigned_agent[v] == a;
+            }
+            for (const auto& prior : accepted) {
+              duplicate = duplicate ||
+                          (prior.second < num_real &&
+                           prior.second / demand == t);
+            }
+            if (duplicate) continue;
+          }
+          accepted.push_back(bid);
+        }
+        for (size_t j = 0; j < accepted.size(); ++j) {
+          const int evicted = slots[a][0].unit;
+          if (evicted >= 0) {
+            assigned_agent[evicted] = -1;
+            assigned_edge[evicted] = -1;
+          }
+          slots[a].erase(slots[a].begin());
+        }
+        for (const auto& [amount, u] : accepted) {
+          if (amount > price_ceiling) {
+            ceiling_hit = true;
+            continue;
+          }
+          const Slot incoming{amount, u};
+          slots[a].insert(std::upper_bound(slots[a].begin(), slots[a].end(),
+                                           incoming, SlotLess),
+                          incoming);
+          assigned_agent[u] = a;
+          assigned_edge[u] = bid_edge[u];
+        }
+        incoming_bids.clear();
+      }
+      touched.clear();
+      if (ceiling_hit) {
+        // Feasible instances provably stay below the ceiling; confirm
+        // with an exact flow before reporting infeasibility.
+        if (ExactlyFeasible(problem, slots_per_agent, demand)) {
+          return Status::FailedPrecondition(
+              "auction exceeded its price bound on a feasible instance");
+        }
+        return Status::Infeasible(
+            "candidate edges cannot cover all tasks (auction price bound)");
+      }
+    }
+    if (diverged) {
+      if (!ExactlyFeasible(problem, slots_per_agent, demand)) {
+        return Status::Infeasible(
+            "candidate edges cannot cover all tasks (auction stall)");
+      }
+      return Status::FailedPrecondition(
+          "auction did not converge; use the min-cost-flow backend");
+    }
+    if (epsilon == 1) break;
+  }
+
+  // Recover the assignment, the duals the pruning guard needs, and — for
+  // demand > 1, where sibling exclusion voids the ε-CS optimality theorem
+  // — certify exact complementary slackness of the final prices.
+  result.final_epsilon = 1;
+  result.value_unit = unit_value;
+  result.rounds = rounds;
+  result.bids = bids;
+  result.task_value.assign(tasks, std::numeric_limits<int64_t>::max());
+  // Every agent's cheapest slot price lower-bounds what a pruned edge
+  // would have to pay — on tight instances where every agent got bid up,
+  // this is what lets CertifiesPruning accept small K.
+  result.min_slot_price = std::numeric_limits<int64_t>::max();
+  for (int a = 0; a < agents; ++a) {
+    if (slots[a].empty()) continue;
+    result.min_slot_price = std::min(result.min_slot_price,
+                                     slots[a][0].price);
+  }
+  if (result.min_slot_price == std::numeric_limits<int64_t>::max()) {
+    result.min_slot_price = 0;
+  }
+  std::vector<int64_t> paid(num_units, 0);
+  for (int a = 0; a < agents; ++a) {
+    for (const Slot& s : slots[a]) {
+      if (s.unit >= 0) paid[s.unit] = s.price;
+    }
+  }
+  for (int u = 0; u < num_real; ++u) {
+    const int t = u / demand;
+    const int a = assigned_agent[u];
+    const int64_t e = assigned_edge[u];
+    WGRAP_CHECK(a >= 0 && e >= 0);
+    result.task_to_agents[t].push_back(a);
+    result.profit += problem.profits[e];
+    // Exported in the unshifted M-domain: s·M − price, so CertifiesPruning
+    // can compare pruned profits without knowing the internal shift.
+    const int64_t shifted_value = value[e] - paid[u];
+    result.task_value[t] = std::min(
+        result.task_value[t],
+        shifted_value + s_min * unit_value);
+  }
+  for (int t = 0; t < tasks; ++t) {
+    std::sort(result.task_to_agents[t].begin(),
+              result.task_to_agents[t].end());
+    // Distinctness is enforced during resolution; this guard is the
+    // cheap insurance that a violation can only ever surface as a
+    // fallback, never as a wrong answer.
+    for (size_t i = 1; i < result.task_to_agents[t].size(); ++i) {
+      if (result.task_to_agents[t][i] == result.task_to_agents[t][i - 1]) {
+        return Status::FailedPrecondition(
+            "auction assigned duplicate agents to a task; use the "
+            "min-cost-flow backend");
+      }
+    }
+  }
+  if (demand == 1) {
+    result.task_to_agent.resize(tasks);
+    for (int t = 0; t < tasks; ++t) {
+      result.task_to_agent[t] = result.task_to_agents[t][0];
+    }
+  }
+
+  if (exclusive) {
+    // Exact dual certificate for the edge-capacitated transportation
+    // polytope: agent price 0 unless saturated by real units, task
+    // potential the worst assigned reduced value; optimal iff no
+    // unassigned candidate edge beats the potential. (Exact — no ε slack
+    // — hence the fallback.)
+    std::vector<int64_t> dual_price(agents, 0);
+    for (int a = 0; a < agents; ++a) {
+      if (slots[a].empty()) continue;
+      bool real_saturated = true;
+      for (const Slot& s : slots[a]) {
+        real_saturated = real_saturated && s.unit >= 0 && s.unit < num_real;
+      }
+      dual_price[a] = real_saturated ? slots[a][0].price : 0;
+    }
+    std::vector<int64_t> potential(tasks,
+                                   std::numeric_limits<int64_t>::max());
+    for (int u = 0; u < num_real; ++u) {
+      const int t = u / demand;
+      potential[t] =
+          std::min(potential[t],
+                   value[assigned_edge[u]] - dual_price[assigned_agent[u]]);
+    }
+    for (int t = 0; t < tasks; ++t) {
+      for (int64_t e = problem.row_offsets[t];
+           e < problem.row_offsets[t + 1]; ++e) {
+        const int a = problem.agent_ids[e];
+        if (slots_per_agent[a] == 0) continue;
+        bool assigned_here = false;
+        for (int v = t * demand; v < (t + 1) * demand; ++v) {
+          assigned_here = assigned_here || assigned_agent[v] == a;
+        }
+        if (assigned_here) continue;
+        if (value[e] - dual_price[a] > potential[t]) {
+          return Status::FailedPrecondition(
+              "demand > 1 auction could not certify optimality");
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Dense matrix -> CSR candidate set (forbidden entries omitted). Range
+// errors surface later in SolveAuctionSparse's validation.
+SparseLapProblem CsrFromDense(const Matrix& profit) {
+  SparseLapProblem problem;
+  problem.num_tasks = profit.rows();
+  problem.num_agents = profit.cols();
+  problem.row_offsets.assign(1, 0);
+  for (int t = 0; t < profit.rows(); ++t) {
+    for (int a = 0; a < profit.cols(); ++a) {
+      const double p = profit.At(t, a);
+      if (p <= kTransportForbidden / 2) continue;
+      problem.agent_ids.push_back(a);
+      problem.profits.push_back(p);
+    }
+    problem.row_offsets.push_back(
+        static_cast<int64_t>(problem.agent_ids.size()));
+  }
+  return problem;
+}
+
+}  // namespace
+
+Result<TransportationResult> SolveAuctionTransportation(
+    const Matrix& profit, const std::vector<int>& capacity,
+    const AuctionOptions& options) {
+  AuctionOptions unit = options;
+  unit.demand = 1;
+  auto solved = SolveAuctionSparse(CsrFromDense(profit), capacity, unit);
+  if (!solved.ok()) return solved.status();
+  TransportationResult result;
+  result.task_to_agent = std::move(solved->task_to_agent);
+  result.profit = solved->profit;
+  return result;
+}
+
+Result<MultiTransportationResult> SolveAuctionTransportationWithDemand(
+    const Matrix& profit, const std::vector<int>& capacity, int demand,
+    const AuctionOptions& options) {
+  if (demand == 0) {
+    MultiTransportationResult empty;
+    empty.task_to_agents.resize(profit.rows());
+    return empty;
+  }
+  AuctionOptions with_demand = options;
+  with_demand.demand = demand;
+  auto solved =
+      SolveAuctionSparse(CsrFromDense(profit), capacity, with_demand);
+  if (!solved.ok()) return solved.status();
+  MultiTransportationResult result;
+  result.task_to_agents = std::move(solved->task_to_agents);
+  result.profit = solved->profit;
+  return result;
+}
+
+PrunedCandidates BuildTopKCandidates(const Matrix& profit, int top_k,
+                                     ThreadPool* pool) {
+  const int tasks = profit.rows();
+  const int agents = profit.cols();
+  PrunedCandidates out;
+  out.problem.num_tasks = tasks;
+  out.problem.num_agents = agents;
+  out.best_pruned.assign(tasks,
+                         -std::numeric_limits<double>::infinity());
+  const int keep = top_k <= 0 ? agents : std::min(top_k, agents);
+
+  // Per-row selection is independent — fan out, then stitch the CSR rows
+  // together sequentially (deterministic either way).
+  std::vector<std::vector<std::pair<int, double>>> rows(tasks);
+  const auto select_row = [&](int64_t t64) {
+    const int t = static_cast<int>(t64);
+    std::vector<std::pair<double, int>> candidates;  // (profit, agent)
+    candidates.reserve(agents);
+    for (int a = 0; a < agents; ++a) {
+      const double p = profit.At(t, a);
+      if (p <= kTransportForbidden / 2) continue;
+      candidates.emplace_back(p, a);
+    }
+    const auto better = [](const std::pair<double, int>& x,
+                           const std::pair<double, int>& y) {
+      if (x.first != y.first) return x.first > y.first;
+      return x.second < y.second;
+    };
+    if (static_cast<int>(candidates.size()) > keep) {
+      std::nth_element(candidates.begin(), candidates.begin() + keep,
+                       candidates.end(), better);
+      for (size_t i = keep; i < candidates.size(); ++i) {
+        out.best_pruned[t] = std::max(out.best_pruned[t],
+                                      candidates[i].first);
+      }
+      candidates.resize(keep);
+    }
+    rows[t].reserve(candidates.size());
+    for (const auto& [p, a] : candidates) rows[t].emplace_back(a, p);
+    std::sort(rows[t].begin(), rows[t].end());
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, tasks, /*grain=*/8, select_row);
+  } else {
+    for (int t = 0; t < tasks; ++t) select_row(t);
+  }
+
+  out.problem.row_offsets.assign(1, 0);
+  for (int t = 0; t < tasks; ++t) {
+    for (const auto& [a, p] : rows[t]) {
+      out.problem.agent_ids.push_back(a);
+      out.problem.profits.push_back(p);
+    }
+    out.problem.row_offsets.push_back(
+        static_cast<int64_t>(out.problem.agent_ids.size()));
+    out.pruned_any =
+        out.pruned_any ||
+        out.best_pruned[t] > -std::numeric_limits<double>::infinity();
+  }
+  return out;
+}
+
+bool CertifiesPruning(const AuctionResult& result,
+                      const std::vector<double>& best_pruned) {
+  WGRAP_CHECK(best_pruned.size() == result.task_value.size());
+  for (size_t t = 0; t < best_pruned.size(); ++t) {
+    if (best_pruned[t] == -std::numeric_limits<double>::infinity()) continue;
+    // A pruned profit below the scalable range would overflow llround;
+    // skipping it is sound because the dense program it would have to
+    // beat rejects such inputs outright (SolveTransportation returns
+    // kInvalidArgument), so "same optimum as the dense backends" is only
+    // ever asserted over in-range profits.
+    if (best_pruned[t] < -kMaxTransportProfit) continue;
+    // __int128: an in-range pruned profit (|s| up to 1e15) times a large
+    // value_unit overflows int64.
+    const __int128 pruned_value =
+        static_cast<__int128>(ScaleTransportProfit(best_pruned[t])) *
+        result.value_unit;
+    if (pruned_value - result.min_slot_price >
+        static_cast<__int128>(result.task_value[t]) +
+            result.final_epsilon) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<AuctionResult> SolveAuctionTopK(const Matrix& profit,
+                                       const std::vector<int>& capacity,
+                                       int top_k,
+                                       const AuctionOptions& options,
+                                       int* widen_count) {
+  const int agents = profit.cols();
+  AuctionOptions unit = options;
+  unit.demand = 1;
+  if (widen_count != nullptr) *widen_count = 0;
+  int k = top_k <= 0 ? agents : std::min(top_k, agents);
+  for (;;) {
+    PrunedCandidates candidates =
+        BuildTopKCandidates(profit, k >= agents ? 0 : k, unit.pool);
+    auto solved = SolveAuctionSparse(candidates.problem, capacity, unit);
+    if (solved.ok() &&
+        (!candidates.pruned_any ||
+         CertifiesPruning(*solved, candidates.best_pruned))) {
+      return solved;
+    }
+    const bool pruned_infeasible =
+        !solved.ok() &&
+        solved.status().code() == StatusCode::kInfeasible &&
+        candidates.pruned_any;
+    const bool uncertified = solved.ok();  // certificate failed above
+    if (!pruned_infeasible && !uncertified) {
+      // Terminal: genuinely infeasible, invalid input, or the auction
+      // asked for the min-cost-flow fallback — widening cannot help.
+      return solved.status();
+    }
+    k = std::min(agents, k * 2);
+    if (widen_count != nullptr) ++*widen_count;
+  }
+}
+
+}  // namespace wgrap::la

@@ -4,24 +4,23 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "la/auction.h"
 #include "la/min_cost_flow.h"
 
 namespace wgrap::la {
 
-namespace {
-
-// Fixed-point scale for double profits. Profits are in [0, 1] per topic sums
-// in this codebase, so 1e9 keeps ~9 significant digits without overflow:
-// total flow cost <= tasks * demand * 1e6 * kScale < 2^62 for any realistic
-// instance size.
-constexpr double kScale = 1e9;
-
-int64_t ScaleProfit(double p) {
-  WGRAP_CHECK_MSG(std::abs(p) <= 1e6, "profit out of scalable range");
-  return static_cast<int64_t>(std::llround(p * kScale));
+int64_t ScaleTransportProfit(double profit) {
+  return static_cast<int64_t>(std::llround(profit * kTransportProfitScale));
 }
 
-}  // namespace
+Status ValidateTransportProfit(double profit) {
+  // Negated comparison so NaN (all comparisons false) is rejected too.
+  if (!(std::abs(profit) <= kMaxTransportProfit)) {
+    return Status::InvalidArgument(
+        "profit outside the scalable range [-1e6, 1e6]");
+  }
+  return Status::OK();
+}
 
 Result<MultiTransportationResult> SolveTransportationWithDemand(
     const Matrix& profit, const std::vector<int>& capacity, int demand) {
@@ -56,7 +55,9 @@ Result<MultiTransportationResult> SolveTransportationWithDemand(
     for (int a = 0; a < agents; ++a) {
       const double p = profit.At(t, a);
       if (p <= kTransportForbidden / 2) continue;
-      pair_edge[t][a] = flow.AddEdge(1 + t, 1 + tasks + a, 1, -ScaleProfit(p));
+      WGRAP_RETURN_IF_ERROR(ValidateTransportProfit(p));
+      pair_edge[t][a] =
+          flow.AddEdge(1 + t, 1 + tasks + a, 1, -ScaleTransportProfit(p));
     }
   }
   for (int a = 0; a < agents; ++a) {
@@ -82,6 +83,26 @@ Result<MultiTransportationResult> SolveTransportationWithDemand(
     WGRAP_CHECK(static_cast<int>(result.task_to_agents[t].size()) == demand);
   }
   return result;
+}
+
+Result<MultiTransportationResult> SolveTransportationWithDemand(
+    const Matrix& profit, const std::vector<int>& capacity, int demand,
+    const TransportationOptions& options) {
+  if (options.backend == TransportationBackend::kAuction && demand >= 1) {
+    AuctionOptions auction;
+    auction.pool = options.pool;
+    auction.initial_epsilon = options.initial_epsilon;
+    auto solved =
+        SolveAuctionTransportationWithDemand(profit, capacity, demand, auction);
+    // kFailedPrecondition = the demand > 1 auction could not certify
+    // complementary slackness; everything else (ok, infeasible, invalid)
+    // is a final answer. The fallback keeps the optimum backend-agnostic.
+    if (solved.ok() ||
+        solved.status().code() != StatusCode::kFailedPrecondition) {
+      return solved;
+    }
+  }
+  return SolveTransportationWithDemand(profit, capacity, demand);
 }
 
 Result<TransportationResult> SolveTransportation(

@@ -11,6 +11,10 @@
 #include "common/matrix.h"
 #include "common/status.h"
 
+namespace wgrap {
+class ThreadPool;
+}  // namespace wgrap
+
 namespace wgrap::la {
 
 /// A task<->agent matching: task_to_agent[t] is the agent serving task t.
@@ -22,13 +26,33 @@ struct TransportationResult {
 /// Profit marking an infeasible (forbidden) pair, e.g. conflicts of interest.
 inline constexpr double kTransportForbidden = -1e15;
 
+/// Fixed-point scale shared by every integer LAP backend (min-cost flow and
+/// the auction). Profits are in [0, 1] per topic sums in this codebase, so
+/// 1e9 keeps ~9 significant digits without overflow.
+inline constexpr double kTransportProfitScale = 1e9;
+/// Largest |profit| the int64 scaling supports; anything outside (other
+/// than the forbidden marker) is rejected with kInvalidArgument.
+inline constexpr double kMaxTransportProfit = 1e6;
+
+/// llround(profit * kTransportProfitScale). Callers validate the range
+/// first; this is the single definition both integer backends share, so a
+/// pruned auction solve and a dense min-cost-flow solve optimize literally
+/// the same integer program.
+int64_t ScaleTransportProfit(double profit);
+
+/// OK for finite profits in [-kMaxTransportProfit, kMaxTransportProfit];
+/// kInvalidArgument otherwise (including NaN). The forbidden marker is not
+/// a valid input — callers skip it before scaling.
+Status ValidateTransportProfit(double profit);
+
 /// Maximizes total profit assigning each of `profit.rows()` tasks exactly one
 /// of `profit.cols()` agents, agent a used at most capacity[a] times.
 ///
-/// Profits are scaled to int64 internally (profits must lie in
-/// [-1e6, 1e6] apart from the forbidden marker). Returns
-/// Status::Infeasible when capacities cannot cover all tasks or only
-/// forbidden pairs remain for some task.
+/// Profits are scaled to int64 internally; inputs outside
+/// [-kMaxTransportProfit, kMaxTransportProfit] (apart from the forbidden
+/// marker) are rejected with kInvalidArgument. Returns Status::Infeasible
+/// when capacities cannot cover all tasks or only forbidden pairs remain
+/// for some task.
 Result<TransportationResult> SolveTransportation(
     const Matrix& profit, const std::vector<int>& capacity);
 
@@ -42,6 +66,31 @@ struct MultiTransportationResult {
 
 Result<MultiTransportationResult> SolveTransportationWithDemand(
     const Matrix& profit, const std::vector<int>& capacity, int demand);
+
+/// Backend selector for the options overload below: the successive-
+/// shortest-path min-cost flow (default, sequential) or the parallel
+/// ε-scaling auction of la/auction.h. Both find the same optimum of the
+/// same scaled integer program.
+enum class TransportationBackend {
+  kMinCostFlow,
+  kAuction,
+};
+
+struct TransportationOptions {
+  TransportationBackend backend = TransportationBackend::kMinCostFlow;
+  /// Auction bidding fan-out; ignored by min-cost flow. nullptr = inline.
+  wgrap::ThreadPool* pool = nullptr;
+  /// Auction initial ε (profit units); 0 = auto. Ignored by min-cost flow.
+  double initial_epsilon = 0.0;
+};
+
+/// Options overload: routes to the selected backend. The auction path is
+/// exact for demand == 1; for demand > 1 it verifies complementary
+/// slackness and silently falls back to min-cost flow when certification
+/// fails, so the returned optimum is backend-independent either way.
+Result<MultiTransportationResult> SolveTransportationWithDemand(
+    const Matrix& profit, const std::vector<int>& capacity, int demand,
+    const TransportationOptions& options);
 
 }  // namespace wgrap::la
 

@@ -1,0 +1,373 @@
+// Cross-backend LAP equivalence suite: the ε-scaling auction must find
+// exactly the optimum min-cost flow (and, at unit capacities, the
+// Hungarian algorithm) finds — same scaled-integer objective on every
+// instance, and the identical assignment on instances whose optimum is
+// unique (continuous random profits; the paper's instances are of this
+// kind). Sweeps cover P/R shapes, capacity styles, forbidden-pair
+// densities, top-K pruning with the exactness guard, demand > 1, and 1-
+// vs 8-thread bidding (bit-identical output is the determinism contract).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/cra.h"
+#include "data/synthetic_dblp.h"
+#include "la/auction.h"
+#include "la/hungarian.h"
+#include "la/transportation.h"
+
+namespace wgrap::la {
+namespace {
+
+// Continuous profits in (-1, 1) so the scaled optimum is unique with
+// probability ~1; `forbidden_fraction` knocks out candidate edges.
+Matrix RandomProfit(int tasks, int agents, double forbidden_fraction,
+                    Rng* rng) {
+  Matrix profit(tasks, agents, kTransportForbidden);
+  for (int t = 0; t < tasks; ++t) {
+    for (int a = 0; a < agents; ++a) {
+      if (rng->NextDouble() < forbidden_fraction) continue;
+      profit.At(t, a) = 2.0 * rng->NextDouble() - 1.0;
+    }
+  }
+  return profit;
+}
+
+// Both integer backends optimize Σ ScaleTransportProfit(p) — compare
+// objectives exactly in that domain (double sums differ by fp order).
+int64_t ScaledObjective(const Matrix& profit,
+                        const std::vector<int>& task_to_agent) {
+  int64_t total = 0;
+  for (int t = 0; t < profit.rows(); ++t) {
+    total += ScaleTransportProfit(profit.At(t, task_to_agent[t]));
+  }
+  return total;
+}
+
+int64_t ScaledObjective(const Matrix& profit,
+                        const std::vector<std::vector<int>>& task_to_agents) {
+  int64_t total = 0;
+  for (int t = 0; t < profit.rows(); ++t) {
+    for (int a : task_to_agents[t]) {
+      total += ScaleTransportProfit(profit.At(t, a));
+    }
+  }
+  return total;
+}
+
+TEST(LapEquivalenceTest, AuctionMatchesMinCostFlowAcrossSweeps) {
+  ThreadPool pool(8);
+  Rng rng(20150531);
+  const struct {
+    int tasks;
+    int agents;
+  } shapes[] = {{5, 8}, {12, 7}, {20, 25}, {33, 14}};
+  int feasible_count = 0;
+  for (const auto& shape : shapes) {
+    for (const double forbidden : {0.0, 0.35, 0.7}) {
+      for (const int capacity_style : {0, 1, 2}) {
+        Matrix profit =
+            RandomProfit(shape.tasks, shape.agents, forbidden, &rng);
+        std::vector<int> capacity(shape.agents);
+        for (int a = 0; a < shape.agents; ++a) {
+          capacity[a] = capacity_style == 0   ? 1
+                        : capacity_style == 1 ? 3
+                                              : rng.NextInt(0, 4);
+        }
+        auto flow = SolveTransportation(profit, capacity);
+        auto auction_inline = SolveAuctionTransportation(profit, capacity);
+        AuctionOptions threaded;
+        threaded.pool = &pool;
+        auto auction_threaded =
+            SolveAuctionTransportation(profit, capacity, threaded);
+        if (!flow.ok()) {
+          EXPECT_EQ(flow.status().code(), StatusCode::kInfeasible);
+          ASSERT_FALSE(auction_inline.ok());
+          EXPECT_EQ(auction_inline.status().code(), StatusCode::kInfeasible);
+          continue;
+        }
+        ++feasible_count;
+        ASSERT_TRUE(auction_inline.ok())
+            << auction_inline.status().ToString();
+        ASSERT_TRUE(auction_threaded.ok());
+        EXPECT_EQ(ScaledObjective(profit, flow->task_to_agent),
+                  ScaledObjective(profit, auction_inline->task_to_agent));
+        // Unique optimum (continuous profits) → identical assignment.
+        EXPECT_EQ(flow->task_to_agent, auction_inline->task_to_agent);
+        // Bit-identical at any thread count, including none.
+        EXPECT_EQ(auction_inline->task_to_agent,
+                  auction_threaded->task_to_agent);
+      }
+    }
+  }
+  EXPECT_GT(feasible_count, 10);  // the sweep must actually exercise solves
+}
+
+TEST(LapEquivalenceTest, AuctionMatchesHungarianAtUnitCapacity) {
+  Rng rng(7);
+  for (const int tasks : {6, 15}) {
+    const int agents = tasks + 5;
+    Matrix profit = RandomProfit(tasks, agents, 0.2, &rng);
+    // Hungarian uses its own forbidden marker; same cells, same value.
+    auto hungarian = SolveMaxProfitAssignment(profit);
+    auto auction = SolveAuctionTransportation(
+        profit, std::vector<int>(agents, 1));
+    ASSERT_TRUE(hungarian.ok() && auction.ok());
+    EXPECT_EQ(ScaledObjective(profit, hungarian->row_to_col),
+              ScaledObjective(profit, auction->task_to_agent));
+    EXPECT_EQ(hungarian->row_to_col, auction->task_to_agent);
+  }
+}
+
+TEST(LapEquivalenceTest, TopKPruningGuardNeverReturnsSubOptimal) {
+  ThreadPool pool(8);
+  Rng rng(99);
+  AuctionOptions options;
+  options.pool = &pool;
+  for (const int tasks : {10, 24}) {
+    const int agents = 18;
+    for (const double forbidden : {0.0, 0.4}) {
+      Matrix profit = RandomProfit(tasks, agents, forbidden, &rng);
+      std::vector<int> capacity(agents, 2);
+      auto flow = SolveTransportation(profit, capacity);
+      if (!flow.ok()) continue;
+      const int64_t dense_optimum =
+          ScaledObjective(profit, flow->task_to_agent);
+      for (const int k : {1, 2, 4, 8}) {
+        int widenings = 0;
+        auto pruned =
+            SolveAuctionTopK(profit, capacity, k, options, &widenings);
+        ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+        EXPECT_EQ(dense_optimum,
+                  ScaledObjective(profit, pruned->task_to_agent))
+            << "tasks=" << tasks << " k=" << k;
+        // K=1 cannot cover capacity conflicts — the guard must widen, not
+        // return a feasible-but-worse assignment.
+        if (k == 1 && tasks > agents) {
+          EXPECT_GT(widenings, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(LapEquivalenceTest, DemandAuctionMatchesFlowOrFallsBack) {
+  ThreadPool pool(8);
+  Rng rng(1234);
+  for (const int demand : {2, 3}) {
+    for (const int tasks : {6, 14}) {
+      const int agents = 10;
+      Matrix profit = RandomProfit(tasks, agents, 0.15, &rng);
+      std::vector<int> capacity(agents, (tasks * demand) / agents + 2);
+      auto flow = SolveTransportationWithDemand(profit, capacity, demand);
+      TransportationOptions options;
+      options.backend = TransportationBackend::kAuction;
+      options.pool = &pool;
+      auto auction =
+          SolveTransportationWithDemand(profit, capacity, demand, options);
+      ASSERT_EQ(flow.ok(), auction.ok());
+      if (!flow.ok()) continue;
+      EXPECT_EQ(ScaledObjective(profit, flow->task_to_agents),
+                ScaledObjective(profit, auction->task_to_agents));
+      EXPECT_EQ(flow->task_to_agents, auction->task_to_agents);
+    }
+  }
+}
+
+// Regression: two unassigned units of one task can submit identical bids
+// to the same agent in one round; the resolution must not accept both
+// (distinct-agent constraint). Before the fix this produced
+// task_to_agents[t] = [a, a] on ~1 in 9 of these seeds.
+TEST(LapEquivalenceTest, DemandUnitsNeverShareAnAgent) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(9000 + seed);
+    Matrix profit = RandomProfit(6, 10, 0.0, &rng);
+    std::vector<int> capacity(10, 3);
+    AuctionOptions options;
+    options.demand = 2;
+    auto solved = SolveAuctionSparse(
+        BuildTopKCandidates(profit, 0, nullptr).problem, capacity, options);
+    if (!solved.ok()) {
+      // Certification failure is allowed (callers fall back) — silently
+      // returning a duplicate pair is not.
+      EXPECT_EQ(solved.status().code(), StatusCode::kFailedPrecondition);
+      continue;
+    }
+    auto flow = SolveTransportationWithDemand(profit, capacity, 2);
+    ASSERT_TRUE(flow.ok());
+    for (int t = 0; t < 6; ++t) {
+      ASSERT_EQ(solved->task_to_agents[t].size(), 2u) << "seed " << seed;
+      EXPECT_NE(solved->task_to_agents[t][0], solved->task_to_agents[t][1])
+          << "seed " << seed << " task " << t;
+    }
+    // A certified demand-2 solve is exact — same objective as the flow.
+    EXPECT_EQ(ScaledObjective(profit, flow->task_to_agents),
+              ScaledObjective(profit, solved->task_to_agents))
+        << "seed " << seed;
+  }
+}
+
+TEST(LapEquivalenceTest, InitialEpsilonKnobKeepsTheOptimum) {
+  Rng rng(5);
+  Matrix profit = RandomProfit(12, 9, 0.1, &rng);
+  std::vector<int> capacity(9, 2);
+  auto reference = SolveAuctionTransportation(profit, capacity);
+  ASSERT_TRUE(reference.ok());
+  for (const double epsilon : {1e-3, 0.25, 50.0}) {
+    AuctionOptions options;
+    options.initial_epsilon = epsilon;
+    auto tuned = SolveAuctionTransportation(profit, capacity, options);
+    ASSERT_TRUE(tuned.ok()) << "epsilon " << epsilon;
+    EXPECT_EQ(ScaledObjective(profit, reference->task_to_agent),
+              ScaledObjective(profit, tuned->task_to_agent));
+  }
+  // A near-zero ε disables the scaling schedule entirely; the auction may
+  // then hit its round cap and ask for the mcf fallback — that is the
+  // documented contract (never a wrong answer, never a hang).
+  AuctionOptions degenerate;
+  degenerate.initial_epsilon = 1e-9;
+  auto tiny = SolveAuctionTransportation(profit, capacity, degenerate);
+  if (tiny.ok()) {
+    EXPECT_EQ(ScaledObjective(profit, reference->task_to_agent),
+              ScaledObjective(profit, tiny->task_to_agent));
+  } else {
+    EXPECT_EQ(tiny.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(LapEquivalenceTest, RejectsMalformedInput) {
+  // CSR with non-ascending agent ids.
+  SparseLapProblem bad;
+  bad.num_tasks = 1;
+  bad.num_agents = 3;
+  bad.row_offsets = {0, 2};
+  bad.agent_ids = {2, 1};
+  bad.profits = {0.5, 0.25};
+  auto solved = SolveAuctionSparse(bad, {1, 1, 1});
+  EXPECT_EQ(solved.status().code(), StatusCode::kInvalidArgument);
+
+  // Out-of-range profit (not the forbidden marker).
+  Matrix profit(1, 2, 0.5);
+  profit.At(0, 0) = 2e6;
+  auto out_of_range = SolveAuctionTransportation(profit, {1, 1});
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+
+  // Capacity cannot cover the tasks.
+  Matrix wide(3, 2, 0.5);
+  auto infeasible = SolveAuctionTransportation(wide, {1, 1});
+  EXPECT_EQ(infeasible.status().code(), StatusCode::kInfeasible);
+
+  // Empty instance is trivially solved.
+  auto empty = SolveAuctionTransportation(Matrix(0, 2), {1, 1});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->task_to_agent.empty());
+}
+
+}  // namespace
+}  // namespace wgrap::la
+
+namespace wgrap::core {
+namespace {
+
+Instance PoolInstance(int reviewers, int papers, int group_size,
+                      uint64_t seed, int topics = 12) {
+  data::SyntheticDblpConfig config;
+  config.num_topics = topics;
+  config.seed = seed;
+  auto dataset = data::GenerateReviewerPool(reviewers, papers, config);
+  EXPECT_TRUE(dataset.ok());
+  InstanceParams params;
+  params.group_size = group_size;
+  auto instance = Instance::FromDataset(*dataset, params);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return std::move(instance).value();
+}
+
+std::vector<std::vector<int>> Groups(const Assignment& assignment,
+                                     const Instance& instance) {
+  std::vector<std::vector<int>> groups(instance.num_papers());
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    groups[p] = assignment.GroupFor(p);
+  }
+  return groups;
+}
+
+TEST(LapEquivalenceTest, SdgaStagesAreBackendAndThreadInvariant) {
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    Instance instance = PoolInstance(18, 14, 3, seed);
+    SdgaOptions flow_options;
+    flow_options.backend = LapBackend::kMinCostFlow;
+    auto flow = SolveCraSdga(instance, flow_options);
+    ASSERT_TRUE(flow.ok()) << flow.status().ToString();
+    for (const int top_k : {0, 2, 5}) {
+      SdgaOptions auction_options;
+      auction_options.backend = LapBackend::kAuction;
+      auction_options.num_threads = 1;
+      auction_options.lap_topk = top_k;
+      auto auction1 = SolveCraSdga(instance, auction_options);
+      ASSERT_TRUE(auction1.ok())
+          << "seed " << seed << " k " << top_k << ": "
+          << auction1.status().ToString();
+      auction_options.num_threads = 8;
+      auto auction8 = SolveCraSdga(instance, auction_options);
+      ASSERT_TRUE(auction8.ok());
+      // Hard determinism contract: bit-identical at any thread count.
+      EXPECT_EQ(Groups(*auction1, instance), Groups(*auction8, instance))
+          << "seed " << seed << " k " << top_k;
+      EXPECT_EQ(auction1->TotalScore(), auction8->TotalScore());
+      // Both backends solve every stage to the same optimum; late stages
+      // can have tied optima (many zero marginal gains), where the chosen
+      // argmax may legitimately differ — compare stage-wise totals, same
+      // caveat as CraSdgaTest.BackendsAgreeOnObjective.
+      EXPECT_NEAR(flow->TotalScore(), auction1->TotalScore(), 1e-6)
+          << "seed " << seed << " k " << top_k;
+      EXPECT_TRUE(auction1->ValidateComplete().ok());
+    }
+  }
+}
+
+// Late SDGA/SRA stages routinely contain tied stage optima (saturated
+// groups leave many reviewers at identical marginal gain), and a tie
+// resolved differently sends the two refinement trajectories apart — so
+// full-pipeline group equality only holds on tie-free instances. This
+// seed is verified tie-free; the LAP-level tests above carry the exact
+// cross-backend guarantee in general.
+TEST(LapEquivalenceTest, SdgaSraPipelineIsBackendInvariant) {
+  Instance instance = PoolInstance(15, 12, 3, 77, /*topics=*/30);
+  SraOptions sra;
+  sra.max_iterations = 25;
+  auto flow = SolveCraSdgaSra(instance, {}, sra);
+  ASSERT_TRUE(flow.ok());
+  SdgaOptions sdga_auction;
+  sdga_auction.backend = LapBackend::kAuction;
+  sdga_auction.lap_topk = 4;
+  SraOptions sra_auction = sra;
+  sra_auction.backend = LapBackend::kAuction;
+  sra_auction.lap_topk = 4;
+  sra_auction.num_threads = 8;
+  auto auction = SolveCraSdgaSra(instance, sdga_auction, sra_auction);
+  ASSERT_TRUE(auction.ok()) << auction.status().ToString();
+  EXPECT_EQ(Groups(*flow, instance), Groups(*auction, instance));
+  // Identical groups, but each pipeline accumulated its running score
+  // through its own Add/Remove history — equal within fp noise only.
+  EXPECT_NEAR(flow->TotalScore(), auction->TotalScore(), 1e-9);
+}
+
+TEST(LapEquivalenceTest, IlpArapAuctionBackendMatchesFlow) {
+  Instance instance = PoolInstance(12, 9, 3, 41);
+  auto flow = SolveCraIlpArap(instance);
+  ASSERT_TRUE(flow.ok());
+  IlpArapOptions auction_options;
+  auction_options.backend = LapBackend::kAuction;
+  auction_options.num_threads = 4;
+  auto auction = SolveCraIlpArap(instance, auction_options);
+  ASSERT_TRUE(auction.ok()) << auction.status().ToString();
+  EXPECT_EQ(Groups(*flow, instance), Groups(*auction, instance));
+}
+
+}  // namespace
+}  // namespace wgrap::core

@@ -3,6 +3,7 @@
 // infeasibility detection.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -90,6 +91,37 @@ TEST(TransportationTest, ZeroDemandIsEmpty) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->task_to_agents[0].empty());
   EXPECT_DOUBLE_EQ(result->profit, 0.0);
+}
+
+// Regression for the int64 profit-scaling hardening: profits at the
+// documented boundary still solve, anything beyond it (other than the
+// forbidden marker, which is skipped before scaling) is rejected with
+// kInvalidArgument instead of silently scaling into garbage.
+TEST(TransportationTest, RejectsProfitsOutsideScalableRange) {
+  Matrix at_boundary(1, 2, 0.5);
+  at_boundary.At(0, 0) = kMaxTransportProfit;
+  at_boundary.At(0, 1) = -kMaxTransportProfit;
+  auto ok = SolveTransportation(at_boundary, {1, 1});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->task_to_agent[0], 0);
+
+  for (const double bad :
+       {kMaxTransportProfit * (1.0 + 1e-6), -2e6,
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    Matrix profit(1, 2, 0.5);
+    profit.At(0, 0) = bad;
+    auto rejected = SolveTransportation(profit, {1, 1});
+    ASSERT_FALSE(rejected.ok()) << bad;
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+
+  // The forbidden marker is not a profit — still accepted (skipped).
+  Matrix with_forbidden(1, 2, 0.5);
+  with_forbidden.At(0, 0) = kTransportForbidden;
+  auto skipped = SolveTransportation(with_forbidden, {1, 1});
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped->task_to_agent[0], 1);
 }
 
 class TransportationVsHungarianTest : public ::testing::TestWithParam<int> {};

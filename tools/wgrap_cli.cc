@@ -11,7 +11,8 @@
 //   wgrap_cli generate  --pool 300 --papers 50 --out pool.csv
 //   wgrap_cli solve     --dataset d.csv --dp 3 [--dr N] [--algo sdga-sra]
 //                       [--scoring c|cR|cP|cD] [--budget secs] [--seed S]
-//                       [--threads N] [--lap mcf|hungarian]
+//                       [--threads N] [--lap mcf|hungarian|auction]
+//                       [--lap-topk K] [--lap-epsilon E]
 //                       [--sra-omega W] [--sra-lambda L]
 //                       [--topics dense|sparse] --out a.csv
 //   wgrap_cli jra       --dataset d.csv --paper 0 --dp 3 [--topk 5]
@@ -262,6 +263,8 @@ int CmdSolve(const Flags& flags) {
   for (const auto& [flag, key] :
        {std::pair<const char*, const char*>{"threads", "threads"},
         {"lap", "lap"},
+        {"lap-topk", "lap_topk"},
+        {"lap-epsilon", "lap_epsilon"},
         {"sra-omega", "sra_omega"},
         {"sra-lambda", "sra_lambda"},
         {"topics", "topics"}}) {

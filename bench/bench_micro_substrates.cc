@@ -1,13 +1,15 @@
 // google-benchmark microbenchmarks for the substrates the WGRAP solvers
 // stand on: weighted-coverage scoring, marginal gain, Hungarian, min-cost
 // transportation, BBA, one SDGA stage, the dense-vs-CSR scoring-kernel
-// density sweeps (BM_SparseVsDense*), and the thread-count sweeps of the
-// two parallel hot paths (SDGA stage scoring, ATM Gibbs sweeps) that
-// bench/BASELINES.md tracks.
+// density sweeps (BM_SparseVsDense*), the rebuild-vs-incremental
+// stage-profit maintenance sweep (BM_GainCacheVsRebuild), and the
+// thread-count sweeps of the two parallel hot paths (SDGA stage scoring,
+// ATM Gibbs sweeps) that bench/BASELINES.md tracks.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "common/thread_pool.h"
+#include "core/gain_cache.h"
 #include "la/auction.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
@@ -244,6 +246,107 @@ void BM_LapAuctionThreads(benchmark::State& state) {
 BENCHMARK(BM_LapAuctionThreads)
     ->Unit(benchmark::kMillisecond)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Per-stage profit maintenance head-to-head: rebuild every P×R marginal
+// gain vs. the delta-maintained GainCache (core/gain_cache.h), on a
+// 400-paper reviewer-pool instance at the given topic density. Args:
+// {density%, epoch, mode} with mode 0 = rebuild, 1 = incremental (notes
+// + Refresh + AssembleStageProfit; the cache copy that resets state is
+// excluded from timing), over the two epochs the solvers actually
+// maintain:
+//   epoch 0 — SDGA stage: "stage 2 just committed one reviewer per
+//     paper; produce stage 3's LAP matrix". The cache's worst case:
+//     young groups mean low per-topic maxima, so a commit changes most
+//     of its support and the invalidation floors bite little.
+//   epoch 1 — SRA completion round: "one victim removed per complete
+//     group; produce the completion LAP matrix". The dominant workload
+//     in sdga-sra (rounds outnumber stages ~100:1) and the cache's home
+//     turf: a removal only lowers maxima the victim uniquely held, and
+//     the min(old, new)-max floor screens out most column reviewers.
+// Both modes produce the identical integer program; only wall-clock
+// differs.
+void BM_GainCacheVsRebuild(benchmark::State& state) {
+  const double density = static_cast<int>(state.range(0)) / 100.0;
+  const bool sra_round = state.range(1) != 0;
+  const bool incremental = state.range(2) != 0;
+  const int P = 400;
+  const int R = 300;
+  data::SyntheticDblpConfig config;
+  config.seed = 11;
+  config.num_topics = 100;
+  config.topic_density = density;
+  auto dataset = data::GenerateReviewerPool(R, P, config);
+  bench::DieOnError(dataset.status(), "GenerateReviewerPool");
+  core::InstanceParams params;
+  params.group_size = 3;
+  params.sparse_topics = density < 1.0;
+  auto instance = core::Instance::FromDataset(*dataset, params);
+  bench::DieOnError(instance.status(), "FromDataset");
+  // Replay the epoch from a solved run. Groups list members in stage
+  // order, so member k is the stage-(k+1) commit.
+  auto solved = core::SolveCraSdga(*instance);
+  bench::DieOnError(solved.status(), "SolveCraSdga");
+  core::Assignment before(&*instance);  // the state the cache last saw
+  std::vector<std::pair<int, int>> deltas(P);  // (paper, reviewer) notes
+  if (sra_round) {
+    before = *solved;
+    for (int p = 0; p < P; ++p) {
+      deltas[p] = {p, solved->GroupFor(p)[0]};  // victim per paper
+    }
+  } else {
+    for (int p = 0; p < P; ++p) {
+      bench::DieOnError(before.Add(p, solved->GroupFor(p)[0]),
+                        "stage-1 add");
+      deltas[p] = {p, solved->GroupFor(p)[1]};  // stage-2 commit
+    }
+  }
+  core::Assignment after = before;
+  for (const auto& [p, r] : deltas) {
+    bench::DieOnError(sra_round ? after.Remove(p, r) : after.Add(p, r),
+                      "apply delta");
+  }
+  std::vector<int> papers(P);
+  for (int p = 0; p < P; ++p) papers[p] = p;
+  std::vector<int> capacity(R);
+  for (int r = 0; r < R; ++r) {
+    capacity[r] = instance->reviewer_workload() - after.LoadOf(r);
+  }
+  ThreadPool pool(1);
+  Matrix profit(P, R, la::kTransportForbidden);
+  if (incremental) {
+    core::GainCache base(&*instance);
+    base.Refresh(before, &pool);
+    int64_t patched = 0;
+    for (auto _ : state) {
+      state.PauseTiming();
+      core::GainCache cache = base;  // rewind to the pre-delta epoch
+      state.ResumeTiming();
+      for (const auto& [p, r] : deltas) cache.NoteRemove(p, r);
+      cache.Refresh(after, &pool);
+      cache.AssembleStageProfit(papers, capacity, after, &pool, &profit);
+      benchmark::DoNotOptimize(profit);
+      patched = cache.patched_entries();
+    }
+    state.counters["patched"] = static_cast<double>(patched);
+  } else {
+    for (auto _ : state) {
+      for (int p = 0; p < P; ++p) {
+        for (int r = 0; r < R; ++r) {
+          profit(p, r) = capacity[r] <= 0 ||
+                                 instance->IsConflict(r, p) ||
+                                 after.Contains(p, r)
+                             ? la::kTransportForbidden
+                             : after.MarginalGain(p, r);
+        }
+      }
+      benchmark::DoNotOptimize(profit);
+    }
+    state.counters["patched"] = static_cast<double>(P) * R;
+  }
+}
+BENCHMARK(BM_GainCacheVsRebuild)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({{1, 3, 10, 33}, {0, 1}, {0, 1}});
 
 void BM_JraBba(benchmark::State& state) {
   const int reviewers = static_cast<int>(state.range(0));

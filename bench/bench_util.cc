@@ -46,7 +46,7 @@ core::Instance MakeJraPool(int num_reviewers, int group_size, uint64_t seed) {
 
 std::vector<CraMethod> PaperCraMethods(int num_threads,
                                        core::LapBackend lap_backend,
-                                       int lap_topk) {
+                                       int lap_topk, core::GainMode gains) {
   return {
       {"SM",
        [](const core::Instance& instance, double) {
@@ -75,26 +75,29 @@ std::vector<CraMethod> PaperCraMethods(int num_threads,
          return core::SolveCraGreedy(instance);
        }},
       {"SDGA",
-       [num_threads, lap_backend, lap_topk](const core::Instance& instance,
-                                            double) {
+       [num_threads, lap_backend, lap_topk, gains](
+           const core::Instance& instance, double) {
          core::SdgaOptions sdga;
          sdga.num_threads = num_threads;
          sdga.backend = lap_backend;
          sdga.lap_topk = lap_topk;
+         sdga.gains = gains;
          return core::SolveCraSdga(instance, sdga);
        }},
       {"SDGA-SRA",
-       [num_threads, lap_backend, lap_topk](const core::Instance& instance,
-                                            double budget_seconds) {
+       [num_threads, lap_backend, lap_topk, gains](
+           const core::Instance& instance, double budget_seconds) {
          core::SdgaOptions sdga;
          sdga.num_threads = num_threads;
          sdga.backend = lap_backend;
          sdga.lap_topk = lap_topk;
+         sdga.gains = gains;
          core::SraOptions sra;
          sra.time_limit_seconds = budget_seconds;
          sra.num_threads = num_threads;
          sra.backend = lap_backend;
          sra.lap_topk = lap_topk;
+         sra.gains = gains;
          return core::SolveCraSdgaSra(instance, sdga, sra);
        }},
   };

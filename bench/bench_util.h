@@ -41,11 +41,13 @@ struct CraMethod {
 /// (results are bit-identical for any value; see CraOptions::num_threads).
 /// `lap_backend`/`lap_topk` select the stage-LAP engine of ILP/SDGA/
 /// SDGA-SRA (mcf, hungarian, or the ε-scaling auction — optionally with
-/// exactness-guarded top-K pruning).
+/// exactness-guarded top-K pruning). `gains` picks the stage-profit
+/// maintenance mode of SDGA/SDGA-SRA (rebuild vs the delta-maintained
+/// GainCache — identical output, different wall-clock).
 std::vector<CraMethod> PaperCraMethods(
     int num_threads = 1,
     core::LapBackend lap_backend = core::LapBackend::kMinCostFlow,
-    int lap_topk = 0);
+    int lap_topk = 0, core::GainMode gains = core::GainMode::kIncremental);
 
 /// Aborts with a message when a Result-carrying expression failed.
 void DieOnError(const Status& status, const std::string& what);

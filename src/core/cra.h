@@ -38,6 +38,20 @@ struct CraOptions {
   int num_threads = 1;
 };
 
+/// How the per-stage profit matrix (SDGA stages, the SRA completion step)
+/// and the local-search replacement scores are produced. Both modes give
+/// bit-identical scores and assignments (tests/gain_cache_test.cc);
+/// kIncremental wins wall-clock on sparse topic profiles, where a stage
+/// commit invalidates only the CSC columns of the topics it actually
+/// changed (core/gain_cache.h).
+enum class GainMode {
+  /// Recompute every P×R marginal gain from scratch each stage.
+  kRebuild,
+  /// Delta-maintain the stage profits over a topic-inverted index and
+  /// cache local-search group folds.
+  kIncremental,
+};
+
 /// LAP backend used by each SDGA stage (and the SRA completion step).
 enum class LapBackend {
   kMinCostFlow,  // transportation network, default
@@ -51,6 +65,11 @@ enum class LapBackend {
 
 struct SdgaOptions : CraOptions {
   LapBackend backend = LapBackend::kMinCostFlow;
+  /// Stage-profit maintenance mode; kIncremental is the default because it
+  /// is bit-identical to kRebuild and never meaningfully slower (on dense
+  /// instances the changed-topic columns cover every reviewer and the two
+  /// modes converge in cost).
+  GainMode gains = GainMode::kIncremental;
   /// Per-stage reviewer cap ⌈δr/δp⌉ (Definition 9). Turning this off
   /// forfeits the approximation guarantee — ablation knob (DESIGN.md §5).
   bool confine_stage_workload = true;
@@ -87,6 +106,10 @@ struct SraOptions : CraOptions {
   /// Auction-backend pruning/ε knobs; same semantics as SdgaOptions.
   int lap_topk = 0;
   double lap_epsilon = 0.0;
+  /// Completion-step profit maintenance (see SdgaOptions::gains). With
+  /// kIncremental one GainCache lives across all refinement rounds: each
+  /// round's removals and re-adds patch it instead of rebuilding P×R.
+  GainMode gains = GainMode::kIncremental;
   /// ω — stop after this many rounds without improvement (Sec. 4.4; the
   /// paper's default is 10).
   int convergence_window = 10;
@@ -103,6 +126,10 @@ struct SraOptions : CraOptions {
 struct LocalSearchOptions : CraOptions {
   /// Stop after this many consecutive non-improving proposals.
   int max_stall_proposals = 20000;
+  /// kIncremental scores proposals from cached leave-one-out group folds
+  /// (core/gain_cache.h) instead of re-folding the whole group per
+  /// proposal; trajectories are bit-identical either way.
+  GainMode gains = GainMode::kIncremental;
   uint64_t seed = 20150531;
   RefineTrace trace;
 };

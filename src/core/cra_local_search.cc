@@ -19,6 +19,14 @@
 // views (O(δp·nnz) per proposal instead of O(δp·T)); the apply step uses
 // the same dispatch inside Add/Remove, so estimate and apply still never
 // diverge.
+//
+// Incremental gains (options.gains == GainMode::kIncremental, default):
+// replacement scores come from a ReplacementFoldCache of leave-one-out
+// group folds (core/gain_cache.h) — bit-identical to
+// ScoreWithReplacement, so the knob never changes a trajectory. The batch
+// is then drawn first (RNG only), the folds of the touched papers are
+// freshened in parallel, and scoring reads the frozen cache; papers
+// touched by an applied move (kept or rolled back) are invalidated.
 #include <algorithm>
 #include <vector>
 
@@ -26,6 +34,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/cra.h"
+#include "core/gain_cache.h"
 
 namespace wgrap::core {
 
@@ -45,12 +54,12 @@ struct Proposal {
   double gain = 0.0;
 };
 
-// Generates proposal j of round `round` from its own stream and scores it
-// against the frozen assignment. Mirrors the draw sequence of the original
+// Draws proposal j of round `round` from its own stream: RNG choices and
+// validity checks only, no scoring — so the stream is identical whichever
+// gain mode later scores it. Mirrors the draw sequence of the original
 // sequential sampler.
-Proposal MakeProposal(const Assignment& assignment, uint64_t seed,
-                      int64_t round, int64_t j,
-                      std::vector<double>* gv_scratch) {
+Proposal DrawProposal(const Assignment& assignment, uint64_t seed,
+                      int64_t round, int64_t j) {
   const Instance& instance = assignment.instance();
   const int P = instance.num_papers();
   const int R = instance.num_reviewers();
@@ -75,13 +84,6 @@ Proposal MakeProposal(const Assignment& assignment, uint64_t seed,
       return proposal;  // invalid
     }
     proposal.valid = true;
-    proposal.gain =
-        assignment.ScoreWithReplacement(proposal.p1, proposal.r1,
-                                        proposal.r2, gv_scratch) +
-        assignment.ScoreWithReplacement(proposal.p2, proposal.r2,
-                                        proposal.r1, gv_scratch) -
-        assignment.PaperScore(proposal.p1) -
-        assignment.PaperScore(proposal.p2);
   } else {
     // Replace move: bring in a reviewer with spare workload.
     proposal.p1 = static_cast<int>(rng.NextBounded(P));
@@ -96,11 +98,30 @@ Proposal MakeProposal(const Assignment& assignment, uint64_t seed,
       return proposal;  // invalid
     }
     proposal.valid = true;
-    proposal.gain = assignment.ScoreWithReplacement(proposal.p1, proposal.r1,
-                                                    proposal.r2, gv_scratch) -
-                    assignment.PaperScore(proposal.p1);
   }
   return proposal;
+}
+
+// Scores a valid proposal against the frozen assignment: through the fold
+// cache when given, else directly through ScoreWithReplacement — the same
+// doubles either way (the cache's bit-identity contract).
+double ScoreProposal(const Assignment& assignment, const Proposal& proposal,
+                     const ReplacementFoldCache* folds,
+                     std::vector<double>* gv_scratch) {
+  const auto replaced = [&](int paper, int drop, int add) {
+    return folds != nullptr
+               ? folds->Score(paper, drop, add)
+               : assignment.ScoreWithReplacement(paper, drop, add,
+                                                 gv_scratch);
+  };
+  if (proposal.is_swap) {
+    return replaced(proposal.p1, proposal.r1, proposal.r2) +
+           replaced(proposal.p2, proposal.r2, proposal.r1) -
+           assignment.PaperScore(proposal.p1) -
+           assignment.PaperScore(proposal.p2);
+  }
+  return replaced(proposal.p1, proposal.r1, proposal.r2) -
+         assignment.PaperScore(proposal.p1);
 }
 
 // Applies "remove (p1, r1); add (p1, r2)" if it improves the total score
@@ -160,22 +181,49 @@ Result<Assignment> RefineLocalSearch(const Instance& instance,
   int64_t stall = 0;
   std::vector<Proposal> batch(kProposalBatch);
   std::vector<double> gv_serial;
+  const bool use_folds = options.gains == GainMode::kIncremental;
+  ReplacementFoldCache folds(&initial.instance());
+  std::vector<int> touched;  // papers a batch's valid proposals read
   // With workers available, a whole batch is generated and scored up
   // front in parallel; at one thread, proposals are generated lazily
   // inside the accept loop so nothing past the first improving index is
-  // ever scored. Both walk the same per-index streams, so the trajectory
-  // is identical either way.
+  // ever scored (fold mode scores the batch up front at any thread count
+  // — each score is cheap once the folds exist). All variants walk the
+  // same per-index streams and produce the same doubles, so the
+  // trajectory is identical across thread counts and gain modes.
   const bool parallel = pool.num_threads() > 1;
   for (int64_t round = 0;
        stall < options.max_stall_proposals && !deadline.Expired(); ++round) {
-    if (parallel) {
+    if (use_folds) {
+      // Draw first (RNG only), freshen the folds the batch needs, then
+      // score against the frozen cache.
+      touched.clear();
+      for (int j = 0; j < kProposalBatch; ++j) {
+        batch[j] = DrawProposal(current, options.seed, round, j);
+        if (!batch[j].valid) continue;
+        touched.push_back(batch[j].p1);
+        if (batch[j].is_swap) touched.push_back(batch[j].p2);
+      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      folds.Prepare(current, touched, &pool);
+      pool.ParallelFor(0, kProposalBatch, /*grain=*/8, [&](int64_t j) {
+        if (batch[j].valid) {
+          batch[j].gain = ScoreProposal(current, batch[j], &folds, nullptr);
+        }
+      });
+    } else if (parallel) {
       pool.ParallelForChunks(
           0, kProposalBatch, /*grain=*/8,
           [&](int64_t chunk_begin, int64_t chunk_end) {
             std::vector<double> gv_scratch;
             for (int64_t j = chunk_begin; j < chunk_end; ++j) {
-              batch[j] = MakeProposal(current, options.seed, round, j,
-                                      &gv_scratch);
+              batch[j] = DrawProposal(current, options.seed, round, j);
+              if (batch[j].valid) {
+                batch[j].gain = ScoreProposal(current, batch[j], nullptr,
+                                              &gv_scratch);
+              }
             }
           });
     }
@@ -184,9 +232,16 @@ Result<Assignment> RefineLocalSearch(const Instance& instance,
     bool improved = false;
     for (int j = 0;
          j < kProposalBatch && stall < options.max_stall_proposals; ++j) {
-      const Proposal proposal =
-          parallel ? batch[j]
-                   : MakeProposal(current, options.seed, round, j, &gv_serial);
+      Proposal proposal;
+      if (use_folds || parallel) {
+        proposal = batch[j];
+      } else {
+        proposal = DrawProposal(current, options.seed, round, j);
+        if (proposal.valid) {
+          proposal.gain = ScoreProposal(current, proposal, nullptr,
+                                        &gv_serial);
+        }
+      }
       if (!proposal.valid || proposal.gain <= 1e-12) {
         ++stall;
         continue;
@@ -195,6 +250,10 @@ Result<Assignment> RefineLocalSearch(const Instance& instance,
       WGRAP_RETURN_IF_ERROR(proposal.is_swap
                                 ? ApplySwap(&current, proposal, &kept)
                                 : ApplyReplace(&current, proposal, &kept));
+      // Even a rolled-back apply can permute a group, and with bids the
+      // per-paper score sums in group order — drop the folds either way.
+      folds.Invalidate(proposal.p1);
+      if (proposal.is_swap) folds.Invalidate(proposal.p2);
       if (!kept) {  // read-only estimate disagreed at the tolerance edge
         ++stall;
         continue;

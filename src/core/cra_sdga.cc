@@ -21,12 +21,14 @@
 //                  re-solves, so the returned stage assignment is the
 //                  same optimum the dense backends find.
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/cra.h"
+#include "core/gain_cache.h"
 #include "la/auction.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
@@ -82,8 +84,17 @@ Status SolveStageHungarian(const Matrix& stage_profit,
   for (int i = 0; i < rows; ++i) {
     for (int c = 0; c < cols; ++c) {
       const double v = stage_profit(i, column_owner[c]);
-      expanded(i, c) =
-          v <= la::kTransportForbidden / 2 ? la::kForbiddenProfit : v;
+      if (v <= la::kTransportForbidden / 2) {
+        expanded(i, c) = la::kForbiddenProfit;
+        continue;
+      }
+      // Quantize to the shared 1e9-scaled grid before the double-domain
+      // Hungarian runs, so every stage backend — and both gain modes,
+      // whose profits can differ below the quantum (GainCache stores the
+      // scaled integers) — solves literally the same integer program.
+      WGRAP_RETURN_IF_ERROR(la::ValidateTransportProfit(v));
+      expanded(i, c) = static_cast<double>(la::ScaleTransportProfit(v)) /
+                       la::kTransportProfitScale;
     }
   }
   auto solved = la::SolveMaxProfitAssignment(expanded);
@@ -116,13 +127,17 @@ Status SolveStageAuction(const Matrix& stage_profit,
 
 // One SDGA stage: assigns one reviewer to every paper, maximizing summed
 // marginal gain, respecting per-stage capacities. Shared with the SRA
-// completion step (cra_sra.cc) via SolveStageAssignment. Rows of the
-// profit matrix are scored on `pool` (required; a 1-thread pool runs
-// inline), which is deterministic because each row is an independent
-// function of the frozen assignment.
+// completion step (cra_sra.cc) via SolveStageAssignment. With `cache`
+// (gains=incremental) the profit matrix is delta-patched and assembled
+// from the GainCache; without it (gains=rebuild) every row is rescored
+// from scratch. Both paths run on `pool` (required; a 1-thread pool runs
+// inline) and are deterministic because each row is an independent
+// function of the frozen assignment — and they feed the LAP the same
+// integer program, so the stage outcome is identical (gain_cache.h).
 Status RunStage(const Instance& instance, const std::vector<int>& capacity,
                 const SdgaOptions& options, ThreadPool* pool,
-                StageWorkspace* workspace, Assignment* assignment) {
+                StageWorkspace* workspace, GainCache* cache,
+                Assignment* assignment) {
   const int P = instance.num_papers();
   const int R = instance.num_reviewers();
 
@@ -138,18 +153,25 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
 
   Matrix stage_profit(static_cast<int>(papers_needing.size()), R,
                       la::kTransportForbidden);
-  pool->ParallelFor(0, static_cast<int64_t>(papers_needing.size()),
-                    /*grain=*/8, [&](int64_t i) {
-                      const int p = papers_needing[i];
-                      for (int r = 0; r < R; ++r) {
-                        if (capacity[r] <= 0 || instance.IsConflict(r, p) ||
-                            assignment->Contains(p, r)) {
-                          continue;
+  if (cache != nullptr) {
+    cache->Refresh(*assignment, pool);
+    cache->AssembleStageProfit(papers_needing, capacity, *assignment, pool,
+                               &stage_profit);
+  } else {
+    pool->ParallelFor(0, static_cast<int64_t>(papers_needing.size()),
+                      /*grain=*/8, [&](int64_t i) {
+                        const int p = papers_needing[i];
+                        for (int r = 0; r < R; ++r) {
+                          if (capacity[r] <= 0 ||
+                              instance.IsConflict(r, p) ||
+                              assignment->Contains(p, r)) {
+                            continue;
+                          }
+                          stage_profit(static_cast<int>(i), r) =
+                              assignment->MarginalGain(p, r);
                         }
-                        stage_profit(static_cast<int>(i), r) =
-                            assignment->MarginalGain(p, r);
-                      }
-                    });
+                      });
+  }
 
   std::vector<int> chosen_agent;
   Status solved = Status::OK();
@@ -177,6 +199,9 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
   for (size_t i = 0; i < papers_needing.size(); ++i) {
     WGRAP_RETURN_IF_ERROR(
         assignment->Add(papers_needing[i], chosen_agent[i]));
+    if (cache != nullptr) {
+      cache->NoteAdd(papers_needing[i], chosen_agent[i]);
+    }
   }
   return Status::OK();
 }
@@ -185,14 +210,16 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
 
 // Exposed for cra_sra.cc (declared there): completes an assignment where
 // every paper is missing at most one reviewer. `lap` carries the backend
-// plus the auction pruning/ε knobs; `workspace` persists scratch across
-// calls.
+// plus the auction pruning/ε knobs; `workspace` persists stage scratch and
+// `cache` (may be null for gains=rebuild) the delta-maintained profits
+// across calls.
 Status SolveStageAssignment(const Instance& instance,
                             const std::vector<int>& capacity,
                             const SdgaOptions& lap, ThreadPool* pool,
-                            StageWorkspace* workspace,
+                            StageWorkspace* workspace, GainCache* cache,
                             Assignment* assignment) {
-  return RunStage(instance, capacity, lap, pool, workspace, assignment);
+  return RunStage(instance, capacity, lap, pool, workspace, cache,
+                  assignment);
 }
 
 Result<Assignment> SolveCraSdga(const Instance& instance,
@@ -205,6 +232,12 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
   const int stage_cap = (dr + dp - 1) / dp;  // ⌈δr/δp⌉
   ThreadPool pool(options.num_threads);
   StageWorkspace workspace;  // scratch shared by all δp stages
+  // gains=incremental: one cache lives across the δp stages — stage k
+  // patches only the entries stage k-1's commits actually changed.
+  std::unique_ptr<GainCache> cache;
+  if (options.gains == GainMode::kIncremental) {
+    cache = std::make_unique<GainCache>(&instance);
+  }
 
   for (int stage = 0; stage < dp; ++stage) {
     if (deadline.Expired()) {
@@ -218,7 +251,7 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
                         : remaining_total;
     }
     Status stage_status = RunStage(instance, capacity, options, &pool,
-                                   &workspace, &assignment);
+                                   &workspace, cache.get(), &assignment);
     if (!stage_status.ok() &&
         stage_status.code() == StatusCode::kInfeasible &&
         options.confine_stage_workload) {
@@ -226,10 +259,11 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
       // (Σ min(cap, δr - load) < P even though Σ (δr - load) >= P). The
       // general-case ratio proof (Theorem 2) already discards the last
       // stage's contribution, so relaxing the cap to the full remaining
-      // workload keeps the 1/2 guarantee intact.
+      // workload keeps the 1/2 guarantee intact. (The infeasible attempt
+      // committed nothing, so the gain cache needs no rollback.)
       for (int r = 0; r < R; ++r) capacity[r] = dr - assignment.LoadOf(r);
       stage_status = RunStage(instance, capacity, options, &pool,
-                              &workspace, &assignment);
+                              &workspace, cache.get(), &assignment);
     }
     WGRAP_RETURN_IF_ERROR(stage_status);
   }

@@ -19,6 +19,7 @@
 // code of its own.
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -26,15 +27,17 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/cra.h"
+#include "core/gain_cache.h"
 
 namespace wgrap::core {
 
 // Defined in cra_sdga.cc. `lap` carries the LAP backend plus the auction
-// pruning/ε knobs; `workspace` persists stage scratch across rounds.
+// pruning/ε knobs; `workspace` persists stage scratch and `cache` (null
+// for gains=rebuild) the delta-maintained profits across rounds.
 Status SolveStageAssignment(const Instance& instance,
                             const std::vector<int>& capacity,
                             const SdgaOptions& lap, ThreadPool* pool,
-                            StageWorkspace* workspace,
+                            StageWorkspace* workspace, GainCache* cache,
                             Assignment* assignment);
 
 Result<Assignment> RefineSra(const Instance& instance,
@@ -56,6 +59,14 @@ Result<Assignment> RefineSra(const Instance& instance,
   completion_lap.lap_topk = options.lap_topk;
   completion_lap.lap_epsilon = options.lap_epsilon;
   StageWorkspace completion_workspace;
+  // gains=incremental: one cache across all refinement rounds. A round
+  // touches each paper's group at ≤ nnz(victim) + nnz(replacement)
+  // topics, so the next completion step patches those columns instead of
+  // rebuilding the whole P×R profit matrix.
+  std::unique_ptr<GainCache> gain_cache;
+  if (options.gains == GainMode::kIncremental) {
+    gain_cache = std::make_unique<GainCache>(&instance);
+  }
 
   // Pair scores c(r→, p→) and per-reviewer totals Σ_p' c(r→, p'→) (the
   // TF-IDF-style denominator of Eq. 9). O(PR) precomputation: rows filled
@@ -126,6 +137,7 @@ Result<Assignment> RefineSra(const Instance& instance,
         });
     for (int p = 0; p < P; ++p) {
       WGRAP_RETURN_IF_ERROR(current.Remove(p, victims[p]));
+      if (gain_cache != nullptr) gain_cache->NoteRemove(p, victims[p]);
     }
     // Completion phase: one Stage-WGRAP linear assignment over the freed
     // slots (capacity = remaining workload, always feasible because every
@@ -137,7 +149,7 @@ Result<Assignment> RefineSra(const Instance& instance,
     WGRAP_RETURN_IF_ERROR(SolveStageAssignment(instance, capacity,
                                                completion_lap, &pool,
                                                &completion_workspace,
-                                               &current));
+                                               gain_cache.get(), &current));
     if (current.TotalScore() > best.TotalScore() + 1e-12) {
       best = current;
       rounds_without_improvement = 0;

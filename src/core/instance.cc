@@ -83,7 +83,7 @@ Result<Instance> Instance::FromDataset(const data::RapDataset& dataset,
     }
     instance.paper_mass_[p] = mass;
   }
-  instance.conflicts_.assign(static_cast<size_t>(P) * R, 0);
+  instance.conflicts_.assign((static_cast<size_t>(P) * R + 63) / 64, 0);
   if (params.sparse_topics || EnvForcesSparseTopics()) {
     instance.BuildSparseTopics();
   }
@@ -119,7 +119,8 @@ Status Instance::SetBids(Matrix bids, double weight) {
 void Instance::AddConflict(int reviewer, int paper) {
   WGRAP_CHECK(reviewer >= 0 && reviewer < num_reviewers());
   WGRAP_CHECK(paper >= 0 && paper < num_papers());
-  conflicts_[static_cast<size_t>(paper) * num_reviewers() + reviewer] = 1;
+  const size_t bit = static_cast<size_t>(paper) * num_reviewers() + reviewer;
+  conflicts_[bit >> 6] |= uint64_t{1} << (bit & 63);
 }
 
 }  // namespace wgrap::core

@@ -50,6 +50,10 @@ class Instance {
 
   const double* ReviewerVector(int r) const { return reviewers_.Row(r); }
   const double* PaperVector(int p) const { return papers_.Row(p); }
+  /// The dense R×T reviewer topic matrix (whole-matrix consumers like the
+  /// CSC topic-inverted index of core/gain_cache.h; per-row access is
+  /// ReviewerVector).
+  const Matrix& ReviewerMatrix() const { return reviewers_; }
   /// Σ_t p→[t], the normalization denominator of Eq. 1.
   double PaperMass(int p) const { return paper_mass_[p]; }
 
@@ -73,6 +77,10 @@ class Instance {
   }
   sparse::SparseVector PaperSparse(int p) const {
     return sparse_views_->papers.Row(p);
+  }
+  /// The whole CSR reviewer matrix; only valid when has_sparse_topics().
+  const sparse::SparseTopicMatrix& ReviewerSparseMatrix() const {
+    return sparse_views_->reviewers;
   }
 
   /// c(r→, p→) for a single reviewer (Definition 1).
@@ -113,7 +121,12 @@ class Instance {
     return PairScore(reviewer, paper) + BidBonus(reviewer, paper);
   }
   bool IsConflict(int reviewer, int paper) const {
-    return conflicts_[static_cast<size_t>(paper) * num_reviewers() + reviewer];
+    // Packed bitset (64 pairs per word, 8× smaller than the former
+    // byte-per-pair map); word/bit extraction only, no branches — this
+    // sits on every solver's profit-masking hot path.
+    const size_t bit =
+        static_cast<size_t>(paper) * num_reviewers() + reviewer;
+    return ((conflicts_[bit >> 6] >> (bit & 63)) & uint64_t{1}) != 0;
   }
 
   /// The paper's default minimum workload ⌈P·δp/R⌉ for this instance size.
@@ -136,7 +149,8 @@ class Instance {
   Matrix bids_;       // P x R when has_bids()
   double bid_weight_ = 0.0;
   std::vector<double> paper_mass_;
-  std::vector<uint8_t> conflicts_;  // P x R, row-major by paper
+  /// P×R conflict bitset, row-major by paper, 64 pairs per word.
+  std::vector<uint64_t> conflicts_;
   int group_size_ = 0;
   int reviewer_workload_ = 0;
   ScoringFunction scoring_ = ScoringFunction::kWeightedCoverage;

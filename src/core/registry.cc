@@ -66,6 +66,7 @@ struct PipelineKnobs {
   LapBackend backend = LapBackend::kMinCostFlow;
   int lap_topk = 0;
   double lap_epsilon = 0.0;
+  GainMode gains = SdgaOptions{}.gains;
   int sra_omega = SraOptions{}.convergence_window;
   double sra_lambda = SraOptions{}.decay_lambda;
   bool sparse_topics = false;  // the "topics" knob requested "sparse"
@@ -106,6 +107,15 @@ Result<PipelineKnobs> ParsePipelineKnobs(const SolverRunOptions& options) {
     return Status::InvalidArgument("option 'lap_epsilon' must be >= 0");
   }
   knobs.lap_epsilon = *lap_epsilon;
+  const std::string gains = options.ExtraString("gains", "incremental");
+  if (gains == "rebuild") {
+    knobs.gains = GainMode::kRebuild;
+  } else if (gains == "incremental") {
+    knobs.gains = GainMode::kIncremental;
+  } else {
+    return Status::InvalidArgument("option 'gains': '" + gains +
+                                   "' (use rebuild or incremental)");
+  }
   if (knobs.backend != LapBackend::kAuction &&
       (knobs.lap_topk != 0 || knobs.lap_epsilon != 0.0)) {
     return Status::InvalidArgument(
@@ -226,6 +236,7 @@ SolverRegistry BuildDefaultRegistry() {
             sdga.backend = knobs->backend;
             sdga.lap_topk = knobs->lap_topk;
             sdga.lap_epsilon = knobs->lap_epsilon;
+            sdga.gains = knobs->gains;
             return SolveCraSdga(instance, sdga);
           });
   add_cra("sdga-sra", "SDGA + SRA (Algorithms 2+3)",
@@ -239,6 +250,7 @@ SolverRegistry BuildDefaultRegistry() {
             sdga.backend = knobs->backend;
             sdga.lap_topk = knobs->lap_topk;
             sdga.lap_epsilon = knobs->lap_epsilon;
+            sdga.gains = knobs->gains;
             SraOptions sra;
             sra.time_limit_seconds = options.time_limit_seconds;
             sra.seed = options.seed;
@@ -246,6 +258,7 @@ SolverRegistry BuildDefaultRegistry() {
             sra.backend = knobs->backend;
             sra.lap_topk = knobs->lap_topk;
             sra.lap_epsilon = knobs->lap_epsilon;
+            sra.gains = knobs->gains;
             sra.convergence_window = knobs->sra_omega;
             sra.decay_lambda = knobs->sra_lambda;
             return SolveCraSdgaSra(instance, sdga, sra);
@@ -261,12 +274,14 @@ SolverRegistry BuildDefaultRegistry() {
             sdga.backend = knobs->backend;
             sdga.lap_topk = knobs->lap_topk;
             sdga.lap_epsilon = knobs->lap_epsilon;
+            sdga.gains = knobs->gains;
             auto initial = SolveCraSdga(instance, sdga);
             WGRAP_RETURN_IF_ERROR(initial.status());
             LocalSearchOptions ls;
             ls.time_limit_seconds = options.time_limit_seconds;
             ls.seed = options.seed;
             ls.num_threads = knobs->threads;
+            ls.gains = knobs->gains;
             return RefineLocalSearch(instance, *initial, ls);
           });
   add_cra("sm", "SM (stable matching)",
@@ -306,6 +321,52 @@ SolverRegistry BuildDefaultRegistry() {
           "each reviewer takes their top-dr papers; group sizes "
           "unconstrained (diagnostic baseline)",
           SolveRrapAsAssignment, /*feasible=*/false);
+
+  // --- CRA refinement-only entries (refine-from-initial hook) ------------
+  auto add_refine = [&registry](std::string name, std::string paper_name,
+                                std::string summary, CraRefineFn fn) {
+    SolverDescriptor d;
+    d.name = std::move(name);
+    d.family = SolverFamily::kCra;
+    d.paper_name = std::move(paper_name);
+    d.summary = std::move(summary);
+    d.refine = std::move(fn);
+    const Status status = registry.Register(std::move(d));
+    WGRAP_CHECK_MSG(status.ok(), "built-in solver registration failed");
+  };
+  add_refine("sra", "SRA (Algorithm 3)",
+             "stochastic refinement of an existing assignment "
+             "(requires an initial assignment; use RefineCra / --refine)",
+             [](const Instance& instance, const Assignment& initial,
+                const SolverRunOptions& options) -> Result<Assignment> {
+               auto knobs = ParsePipelineKnobs(options);
+               WGRAP_RETURN_IF_ERROR(knobs.status());
+               SraOptions sra;
+               sra.time_limit_seconds = options.time_limit_seconds;
+               sra.seed = options.seed;
+               sra.num_threads = knobs->threads;
+               sra.backend = knobs->backend;
+               sra.lap_topk = knobs->lap_topk;
+               sra.lap_epsilon = knobs->lap_epsilon;
+               sra.gains = knobs->gains;
+               sra.convergence_window = knobs->sra_omega;
+               sra.decay_lambda = knobs->sra_lambda;
+               return RefineSra(instance, initial, sra);
+             });
+  add_refine("ls", "LS (Fig. 12 baseline)",
+             "hill-climbing refinement of an existing assignment "
+             "(requires an initial assignment; use RefineCra / --refine)",
+             [](const Instance& instance, const Assignment& initial,
+                const SolverRunOptions& options) -> Result<Assignment> {
+               auto knobs = ParsePipelineKnobs(options);
+               WGRAP_RETURN_IF_ERROR(knobs.status());
+               LocalSearchOptions ls;
+               ls.time_limit_seconds = options.time_limit_seconds;
+               ls.seed = options.seed;
+               ls.num_threads = knobs->threads;
+               ls.gains = knobs->gains;
+               return RefineLocalSearch(instance, initial, ls);
+             });
 
   // --- JRA: single-paper solvers (Sec. 3 / Sec. 5.1 line-up) -------------
   add_jra("bba", "BBA (Algorithm 1)",
@@ -360,11 +421,16 @@ Status SolverRegistry::Register(SolverDescriptor descriptor) {
   if (descriptor.name.empty()) {
     return Status::InvalidArgument("solver name must be non-empty");
   }
-  const bool is_cra = descriptor.family == SolverFamily::kCra;
-  if (is_cra != static_cast<bool>(descriptor.cra) ||
-      is_cra == static_cast<bool>(descriptor.jra)) {
-    return Status::InvalidArgument(
-        "descriptor must set exactly the callable matching its family");
+  if (descriptor.family == SolverFamily::kCra) {
+    if ((!descriptor.cra && !descriptor.refine) || descriptor.jra) {
+      return Status::InvalidArgument(
+          "a CRA descriptor must set cra and/or refine, and not jra");
+    }
+  } else {
+    if (!descriptor.jra || descriptor.cra || descriptor.refine) {
+      return Status::InvalidArgument(
+          "a JRA descriptor must set exactly jra");
+    }
   }
   std::string name = descriptor.name;
   auto [it, inserted] = solvers_.emplace(std::move(name), std::move(descriptor));
@@ -417,12 +483,36 @@ Result<Assignment> SolverRegistry::SolveCra(
     return Status::InvalidArgument("'" + name +
                                    "' is a JRA solver; use SolveJra");
   }
+  if (!descriptor->cra) {
+    return Status::InvalidArgument(
+        "'" + name + "' refines an existing assignment and cannot build "
+        "one from scratch; use RefineCra (wgrap_cli: --refine)");
+  }
   // Reserved keys are validated here, uniformly, so a typo in a knob value
   // is diagnosed even by solvers that ignore the knob (greedy, sm, ...).
   auto knobs = ParsePipelineKnobs(options);
   WGRAP_RETURN_IF_ERROR(knobs.status());
   WGRAP_RETURN_IF_ERROR(CheckTopicsKnob(*knobs, instance));
   return descriptor->cra(instance, options);
+}
+
+Result<Assignment> SolverRegistry::RefineCra(
+    const std::string& name, const Instance& instance,
+    const Assignment& initial, const SolverRunOptions& options) const {
+  const SolverDescriptor* descriptor = Find(name);
+  if (descriptor == nullptr) {
+    return Status::NotFound("unknown CRA solver '" + name + "' (have: " +
+                            KeysCsv(SolverFamily::kCra) + ")");
+  }
+  if (descriptor->family != SolverFamily::kCra || !descriptor->refine) {
+    return Status::InvalidArgument(
+        "'" + name + "' has no refine-from-initial hook (refiners: sra, "
+        "ls)");
+  }
+  auto knobs = ParsePipelineKnobs(options);
+  WGRAP_RETURN_IF_ERROR(knobs.status());
+  WGRAP_RETURN_IF_ERROR(CheckTopicsKnob(*knobs, instance));
+  return descriptor->refine(instance, initial, options);
 }
 
 Result<JraResult> SolverRegistry::SolveJra(

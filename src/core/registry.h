@@ -9,8 +9,11 @@
 //
 // The default registry is populated with every solver in core/cra.h and
 // core/jra.h (greedy, brgg, sdga, sdga-sra, sdga-ls, sm, ilp, rrap; bba,
-// bfs, jra-ilp, jra-cp). Callers may register additional solvers — e.g. a
-// sharded or GPU-backed variant — under new keys at startup.
+// bfs, jra-ilp, jra-cp) plus the refinement-only entries "sra" and "ls",
+// which improve an existing assignment through the refine-from-initial
+// hook (RefineCra / `wgrap_cli solve --refine`). Callers may register
+// additional solvers — e.g. a sharded or GPU-backed variant — under new
+// keys at startup.
 //
 // Usage:
 //   const auto& registry = core::SolverRegistry::Default();
@@ -49,7 +52,12 @@ enum class SolverFamily {
 ///                  bit-identical for any value; see
 ///                  CraOptions::num_threads.
 ///   "lap"        — LAP backend for SDGA stages and the SRA completion
-///                  step: "mcf" (default) or "hungarian".
+///                  step: "mcf" (default), "hungarian" or "auction".
+///   "gains"      — stage-profit/LS-score maintenance: "incremental"
+///                  (default; delta-maintained over the topic-inverted
+///                  index of core/gain_cache.h) or "rebuild" (recompute
+///                  every entry per stage). Output is bit-identical either
+///                  way; only wall-clock changes.
 ///   "sra_omega"  — SRA convergence window ω (int > 0).
 ///   "sra_lambda" — SRA decay rate λ (double).
 ///   "topics"     — scoring-kernel selector: "dense" (default) or
@@ -93,6 +101,11 @@ using CraSolverFn =
     std::function<Result<Assignment>(const Instance&, const SolverRunOptions&)>;
 using JraSolverFn = std::function<Result<JraResult>(
     const Instance&, int paper, const SolverRunOptions&)>;
+/// Refine-from-initial hook: improves an existing complete feasible
+/// assignment instead of building one from scratch (RefineSra,
+/// RefineLocalSearch). Dispatched via SolverRegistry::RefineCra.
+using CraRefineFn = std::function<Result<Assignment>(
+    const Instance&, const Assignment& initial, const SolverRunOptions&)>;
 
 struct SolverDescriptor {
   std::string name;        // registry key, e.g. "sdga-sra"
@@ -102,9 +115,11 @@ struct SolverDescriptor {
   /// False only for diagnostic baselines (rrap) whose output deliberately
   /// violates the group-size/workload constraints.
   bool produces_feasible = true;
-  /// Exactly one of these is set, per `family`.
+  /// kCra descriptors set `cra` (build from scratch), `refine` (improve an
+  /// initial assignment), or both; kJra descriptors set exactly `jra`.
   CraSolverFn cra;
   JraSolverFn jra;
+  CraRefineFn refine;
 };
 
 /// Thread-compatible registry of solver factories. `Default()` is built
@@ -128,9 +143,17 @@ class SolverRegistry {
 
   /// Dispatches to the named CRA solver. kNotFound for unknown names with a
   /// message listing the valid keys; kInvalidArgument if `name` is a JRA
-  /// solver.
+  /// solver or a refinement-only entry (sra, ls — those need RefineCra).
   Result<Assignment> SolveCra(const std::string& name, const Instance& instance,
                               const SolverRunOptions& options = {}) const;
+
+  /// Runs the named solver's refine-from-initial hook on `initial` (which
+  /// must be complete and feasible; the result is never worse). kNotFound
+  /// for unknown names; kInvalidArgument if the solver has no refine hook.
+  Result<Assignment> RefineCra(const std::string& name,
+                               const Instance& instance,
+                               const Assignment& initial,
+                               const SolverRunOptions& options = {}) const;
 
   /// Dispatches to the named JRA solver (same error contract as SolveCra).
   Result<JraResult> SolveJra(const std::string& name, const Instance& instance,

@@ -695,9 +695,24 @@ PrunedCandidates BuildTopKCandidates(const Matrix& profit, int top_k,
       if (p <= kTransportForbidden / 2) continue;
       candidates.emplace_back(p, a);
     }
-    const auto better = [](const std::pair<double, int>& x,
-                           const std::pair<double, int>& y) {
-      if (x.first != y.first) return x.first > y.first;
+    // Rank in the 1e9-scaled integer domain the auction itself optimizes:
+    // profits that differ only below the quantum (e.g. the raw doubles of
+    // a rebuild vs. the round-tripped ints of core/gain_cache.h) must
+    // select the same top-K set, or the pruned stage graphs — and with
+    // them the tie resolution — could diverge between gain modes. Within
+    // a quantum the agent index breaks the tie, keeping the order total.
+    // The clamp keeps llround defined for out-of-range profits, which the
+    // solve itself rejects downstream; ranking them at the extremes first
+    // is fine.
+    const auto scaled_rank = [](double p) {
+      return ScaleTransportProfit(
+          std::clamp(p, -kMaxTransportProfit, kMaxTransportProfit));
+    };
+    const auto better = [&scaled_rank](const std::pair<double, int>& x,
+                                       const std::pair<double, int>& y) {
+      const int64_t sx = scaled_rank(x.first);
+      const int64_t sy = scaled_rank(y.first);
+      if (sx != sy) return sx > sy;
       return x.second < y.second;
     };
     if (static_cast<int>(candidates.size()) > keep) {

@@ -161,6 +161,14 @@ double SparseGroupAccumulator::Score(core::ScoringFunction f,
   return total / paper_mass;
 }
 
+const std::vector<int>& SparseGroupAccumulator::SortedTouched() {
+  if (!sorted_) {
+    std::sort(touched_.begin(), touched_.end());
+    sorted_ = true;
+  }
+  return touched_;
+}
+
 void SparseGroupAccumulator::ScatterInto(double* dense) const {
   for (int t : touched_) dense[t] = acc_[t];
 }

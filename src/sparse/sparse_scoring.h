@@ -89,6 +89,11 @@ class SparseGroupAccumulator {
   double ValueAt(int t) const { return acc_[t]; }
   int TouchedCount() const { return static_cast<int>(touched_.size()); }
 
+  /// The touched topic ids in ascending order (sorting lazily, like
+  /// Score). The reference is invalidated by Reset/Fold — callers that
+  /// persist the support (e.g. core::ReplacementFoldCache) must copy.
+  const std::vector<int>& SortedTouched();
+
  private:
   std::vector<double> acc_;  // dense, zeros outside touched_
   std::vector<int> touched_;  // unique touched ids; sorted lazily by Score

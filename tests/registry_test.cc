@@ -49,7 +49,11 @@ TEST(SolverRegistryTest, DescriptorsAreWellFormed) {
     EXPECT_FALSE(descriptor->paper_name.empty()) << descriptor->name;
     EXPECT_FALSE(descriptor->summary.empty()) << descriptor->name;
     const bool is_cra = descriptor->family == core::SolverFamily::kCra;
-    EXPECT_EQ(is_cra, static_cast<bool>(descriptor->cra)) << descriptor->name;
+    // CRA descriptors build from scratch and/or refine; JRA descriptors
+    // set exactly the JRA callable.
+    EXPECT_EQ(is_cra, static_cast<bool>(descriptor->cra) ||
+                          static_cast<bool>(descriptor->refine))
+        << descriptor->name;
     EXPECT_EQ(!is_cra, static_cast<bool>(descriptor->jra)) << descriptor->name;
   }
   EXPECT_EQ(registry.List().size(),
@@ -62,6 +66,16 @@ TEST(SolverRegistryTest, EveryCraSolverProducesExpectedFeasibility) {
   const core::Instance instance = TinyInstance();
   for (const auto* descriptor : registry.List(core::SolverFamily::kCra)) {
     SCOPED_TRACE(descriptor->name);
+    if (!descriptor->cra) {
+      // Refinement-only entries (sra, ls) cannot build from scratch; the
+      // dispatch error must say so and point at the refine path.
+      auto refused = registry.SolveCra(descriptor->name, instance);
+      ASSERT_FALSE(refused.ok());
+      EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_NE(refused.status().message().find("refine"),
+                std::string::npos);
+      continue;
+    }
     auto assignment = registry.SolveCra(descriptor->name, instance);
     ASSERT_TRUE(assignment.ok()) << assignment.status().ToString();
     EXPECT_GT(assignment->TotalScore(), 0.0);
@@ -114,6 +128,39 @@ TEST(SolverRegistryTest, UnknownNamesAndFamilyMismatchesAreRejected) {
   auto wrong_family_jra = registry.SolveJra("sdga", instance, 0);
   ASSERT_FALSE(wrong_family_jra.ok());
   EXPECT_EQ(wrong_family_jra.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverRegistryTest, RefineFromInitialHook) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  auto initial = registry.SolveCra("sdga", instance);
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+
+  core::SolverRunOptions options;
+  options.seed = 11;
+  auto refined = registry.RefineCra("sra", instance, *initial, options);
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_GE(refined->TotalScore(), initial->TotalScore());
+  EXPECT_TRUE(refined->ValidateComplete().ok());
+  // The hook runs the same code as a direct RefineSra call.
+  core::SraOptions direct;
+  direct.seed = 11;
+  auto reference = core::RefineSra(instance, *initial, direct);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(refined->TotalScore(), reference->TotalScore());
+
+  auto ls = registry.RefineCra("ls", instance, *initial, options);
+  ASSERT_TRUE(ls.ok()) << ls.status().ToString();
+  EXPECT_GE(ls->TotalScore(), initial->TotalScore());
+
+  // Solvers without the hook are rejected with a pointer at the refiners;
+  // unknown names keep the kNotFound contract.
+  auto no_hook = registry.RefineCra("sdga", instance, *initial);
+  ASSERT_FALSE(no_hook.ok());
+  EXPECT_EQ(no_hook.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_hook.status().message().find("sra"), std::string::npos);
+  auto unknown = registry.RefineCra("no-such-solver", instance, *initial);
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
 }
 
 TEST(SolverRegistryTest, RegisterRejectsDuplicatesAndMalformedDescriptors) {
@@ -206,6 +253,7 @@ TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
         {"sra_omega", "0"},
         {"sra_lambda", "fast"},
         {"topics", "csr"},
+        {"gains", "cached"},
         {"bba_bounding", "maybe"},
         {"bba_gain_branching", "2"}}) {
     core::SolverRunOptions options;

@@ -16,6 +16,7 @@
 #include "data/synthetic_dblp.h"
 #include "sparse/sparse_matrix.h"
 #include "sparse/sparse_scoring.h"
+#include "sparse/topic_index.h"
 
 namespace wgrap {
 namespace {
@@ -58,6 +59,29 @@ TEST(SparseTopicMatrixTest, FromMatrixCompressesAndRoundTrips) {
   EXPECT_EQ(row0.ids[1], 4);
   EXPECT_EQ(row0.values[0], 0.5);
   EXPECT_EQ(row0.dim, 5);
+
+  // The CSC inverted index is the exact transpose: same entries, reached
+  // by column, whichever representation it was built from.
+  for (const sparse::TopicIndex& index :
+       {sparse::TopicIndex::FromMatrix(dense),
+        sparse::TopicIndex::FromSparse(csr)}) {
+    EXPECT_EQ(index.num_rows(), 3);
+    EXPECT_EQ(index.num_topics(), 5);
+    EXPECT_EQ(index.nnz(), 3);
+    for (int t = 0; t < 5; ++t) {
+      const sparse::SparseVector column = index.Column(t);
+      EXPECT_EQ(column.dim, 3);
+      int expected_degree = 0;
+      for (int r = 0; r < 3; ++r) {
+        if (dense(r, t) > 0.0) ++expected_degree;
+      }
+      ASSERT_EQ(column.nnz, expected_degree) << "topic " << t;
+      for (int k = 0; k < column.nnz; ++k) {
+        if (k > 0) EXPECT_LT(column.ids[k - 1], column.ids[k]);  // sorted
+        EXPECT_EQ(column.values[k], dense(column.ids[k], t));
+      }
+    }
+  }
   const Matrix round_trip = csr.ToMatrix();
   for (int r = 0; r < 3; ++r) {
     for (int c = 0; c < 5; ++c) EXPECT_EQ(round_trip(r, c), dense(r, c));

@@ -14,7 +14,11 @@
 //                       [--threads N] [--lap mcf|hungarian|auction]
 //                       [--lap-topk K] [--lap-epsilon E]
 //                       [--sra-omega W] [--sra-lambda L]
-//                       [--topics dense|sparse] --out a.csv
+//                       [--topics dense|sparse]
+//                       [--gains incremental|rebuild]
+//                       [--refine initial.csv] --out a.csv
+//     (--refine runs the algo's refine-from-initial hook — sra or ls —
+//      on an existing assignment instead of solving from scratch)
 //   wgrap_cli jra       --dataset d.csv --paper 0 --dp 3 [--topk 5]
 //                       [--algo bba] [--topics dense|sparse]
 //                       [--bba-bounding on|off] [--bba-gain-branching on|off]
@@ -249,7 +253,11 @@ int CmdSolvers(const Flags&) {
 int CmdSolve(const Flags& flags) {
   const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
   core::Instance instance = MakeInstanceOrDie(dataset, flags);
-  const std::string algo = flags.GetString("algo", "sdga-sra");
+  // With --refine the sensible default is the paper's refiner, not the
+  // full sdga-sra pipeline (which has no refine hook).
+  const std::string refine_path = flags.GetString("refine", "");
+  const std::string algo =
+      flags.GetString("algo", refine_path.empty() ? "sdga-sra" : "sra");
 
   // No default budget: constructive solvers (greedy, brgg, sm, sdga) abort
   // with ResourceExhausted when a limit expires, so an implicit cap would
@@ -267,12 +275,21 @@ int CmdSolve(const Flags& flags) {
         {"lap-epsilon", "lap_epsilon"},
         {"sra-omega", "sra_omega"},
         {"sra-lambda", "sra_lambda"},
-        {"topics", "topics"}}) {
+        {"topics", "topics"},
+        {"gains", "gains"}}) {
     const std::string value = flags.GetString(flag, "");
     if (!value.empty()) options.extra[key] = value;
   }
   const auto& registry = core::SolverRegistry::Default();
-  auto assignment = registry.SolveCra(algo, instance, options);
+  Result<core::Assignment> assignment = Status::Internal("unset");
+  if (!refine_path.empty()) {
+    // Refine-from-initial: load the assignment and dispatch through the
+    // registry's refine hook (the refiner validates completeness).
+    core::Assignment initial = LoadAssignmentOrDie(instance, refine_path);
+    assignment = registry.RefineCra(algo, instance, initial, options);
+  } else {
+    assignment = registry.SolveCra(algo, instance, options);
+  }
   if (!assignment.ok()) Die(assignment.status(), "solve");
   const core::SolverDescriptor* descriptor = registry.Find(algo);
   if (descriptor != nullptr && !descriptor->produces_feasible) {

@@ -182,6 +182,14 @@ void Assignment::RecomputePaper(int paper) {
   total_score_ += paper_score_[paper] - old_score;
 }
 
+void Assignment::RecomputeAll() {
+  for (int p = 0; p < instance_->num_papers(); ++p) RecomputePaper(p);
+  // RecomputePaper maintains the total by delta; re-sum in paper order so
+  // the result is independent of the mutation history's accumulation order.
+  total_score_ = 0.0;
+  for (double s : paper_score_) total_score_ += s;
+}
+
 Status Assignment::ValidateComplete() const {
   for (int p = 0; p < instance_->num_papers(); ++p) {
     if (static_cast<int>(groups_[p].size()) != instance_->group_size()) {

@@ -73,7 +73,21 @@ class Assignment {
   /// COI pair is used.
   Status ValidateComplete() const;
 
+  /// Re-derives every cached group vector, paper score and the total from
+  /// the current groups, discarding whatever accumulation history produced
+  /// them. Max-folding is order-independent and the total is re-summed in
+  /// paper order, so two assignments with equal groups (per paper, in
+  /// order) are bitwise identical after this call no matter how they were
+  /// built — the normalization the update subsystem (core/update.h) relies
+  /// on for its patched-vs-fresh mechanism equivalence.
+  void RecomputeAll();
+
  private:
+  /// The online-update subsystem (core/update.h) performs id-remapping
+  /// surgery on groups_/load_ when papers or reviewers are inserted or
+  /// removed from the bound instance.
+  friend class InstanceUpdater;
+
   void RecomputePaper(int paper);
 
   const Instance* instance_;

@@ -89,8 +89,18 @@ class GainCache {
 
   bool initialized() const { return initialized_; }
 
-  /// Records a committed Add/Remove on the tracked assignment. O(1);
-  /// the work happens at the next Refresh.
+  /// Records a committed Add/Remove on the tracked assignment. O(1); the
+  /// work happens at the next Refresh.
+  ///
+  /// Both directions deliberately funnel into the same direction-less
+  /// note: Refresh never replays the operation, it diffs the paper's group
+  /// vector against the snapshot, and an add and a remove of reviewer r
+  /// can change that vector only at topics in r's support — exactly the
+  /// set the note feeds into the sparse diff scan (an add raises the max
+  /// only where r carries weight; a remove lowers it only where r held
+  /// the max). The direction adds no information, so a remove-then-re-add
+  /// epoch refreshes back to the bit-identical cache (regression test:
+  /// tests/gain_cache_test.cc NoteDirectionIsIrrelevant).
   void NoteAdd(int paper, int reviewer) { Note(paper, reviewer); }
   void NoteRemove(int paper, int reviewer) { Note(paper, reviewer); }
 
@@ -133,11 +143,57 @@ class GainCache {
 
   const sparse::TopicIndex& reviewer_index() const { return reviewer_index_; }
 
+  /// --- Online-update hooks (core/update.h) -------------------------------
+  /// Called by InstanceUpdater *after* it patches the bound Instance, so a
+  /// live cache survives instance mutations without a full rebuild. Each
+  /// hook repairs the cache geometry immediately (row/column moves of the
+  /// stored doubles, never a re-score) and schedules the minimal re-score
+  /// set for the next Refresh: a full row for a new/retopiced paper, a
+  /// full column for a new/retopiced reviewer, a single cell for a bid or
+  /// lifted-COI change. Re-scores use the same kernels as the initial
+  /// build, and moved entries are the identical doubles a fresh build
+  /// would produce, so after Refresh the cache is bit-identical to one
+  /// built from scratch against the mutated instance
+  /// (tests/update_equivalence_test.cc).
+  ///
+  /// For the remove hooks, `paper`/`reviewer` are pre-removal ids; the
+  /// add hooks apply to the id instance->num_papers()-1 /
+  /// num_reviewers()-1 that the updater just appended. Evictions from the
+  /// tracked assignment are reported separately via NoteAdd/NoteRemove as
+  /// usual (before the geometry hook, with pre-removal ids).
+  void UpdateAddPaper();
+  void UpdateRemovePaper(int paper);
+  void UpdateAddReviewer();
+  void UpdateRemoveReviewer(int reviewer);
+  /// Paper p's topic vector (and mass) changed: full-row re-score.
+  void UpdatePaperChanged(int paper);
+  /// Reviewer r's topic vector changed: rebuilds the CSC index and
+  /// schedules a full-column re-score. The updater additionally calls
+  /// UpdatePaperChanged for every paper whose group contains r — their
+  /// group vectors moved at topics of r's *old* support, which the
+  /// note-diff scan (walking the new support) could miss.
+  void UpdateReviewerChanged(int reviewer);
+  /// COI flip for (paper, reviewer). On: the entry takes the forbidden
+  /// marker immediately (what a fresh build stores). Off: the entry is
+  /// re-scored at the next Refresh.
+  void UpdateConflictChanged(int paper, int reviewer, bool conflicted);
+  /// bids(paper, reviewer) changed: single-cell re-score (the bid bonus is
+  /// per-pair, so no other entry moves).
+  void UpdateBidChanged(int paper, int reviewer);
+
  private:
   void Note(int paper, int reviewer) {
     pending_.emplace_back(paper, reviewer);
   }
   void Initialize(const Assignment& assignment, ThreadPool* pool);
+  void RebuildReviewerIndex();
+  /// Processes pending_rows_/pending_cols_/pending_cells_ (Refresh phase 1,
+  /// before the note-diff patch).
+  void ApplyStructuralPatches(const Assignment& assignment, ThreadPool* pool);
+  bool HasStructuralWork() const {
+    return !pending_rows_.empty() || !pending_cols_.empty() ||
+           !pending_cells_.empty();
+  }
 
   const Instance* instance_;
   int num_reviewers_ = 0;
@@ -147,6 +203,11 @@ class GainCache {
   std::vector<double> gains_;
   Matrix group_snapshot_;  // P×T
   std::vector<std::pair<int, int>> pending_;  // noted (paper, reviewer)
+  /// Re-score work scheduled by the online-update hooks, consumed by the
+  /// next Refresh before the note-diff patch.
+  std::vector<int> pending_rows_;   // papers needing a full-row re-score
+  std::vector<int> pending_cols_;   // reviewers needing a full-column one
+  std::vector<std::pair<int, int>> pending_cells_;  // single entries
   bool initialized_ = false;
   int64_t patched_entries_ = 0;
   int64_t full_builds_ = 0;

@@ -2,7 +2,10 @@
 // matrices, the group-size constraint δp, the reviewer workload δr, the
 // scoring function, and conflicts of interest. Instances are immutable
 // after construction apart from COI registration and the optional sparse
-// topic views (BuildSparseTopics), both setup-time calls.
+// topic views (BuildSparseTopics), both setup-time calls — and the typed
+// online-update path of core/update.h (InstanceUpdater), which patches an
+// instance in place to the exact state FromDataset would build from the
+// mutated inputs.
 #ifndef WGRAP_CORE_INSTANCE_H_
 #define WGRAP_CORE_INSTANCE_H_
 
@@ -134,6 +137,12 @@ class Instance {
                              int group_size);
 
  private:
+  /// The online-update subsystem (core/update.h) patches the private state
+  /// directly; its contract is that the patched instance is bitwise equal
+  /// to a FromDataset rebuild from the mutated ground truth
+  /// (tests/update_equivalence_test.cc).
+  friend class InstanceUpdater;
+
   Instance() = default;
 
   struct SparseViews {

@@ -144,6 +144,13 @@ Result<PipelineKnobs> ParsePipelineKnobs(const SolverRunOptions& options) {
       options.ExtraBool("bba_gain_branching", knobs.bba_gain_branching);
   if (!gain_branching.ok()) return gain_branching.status();
   knobs.bba_gain_branching = *gain_branching;
+  const std::string update_refine = options.ExtraString("update_refine", "sra");
+  if (update_refine != "sra" && update_refine != "ls" &&
+      update_refine != "none") {
+    return Status::InvalidArgument("option 'update_refine': '" +
+                                   update_refine +
+                                   "' (use sra, ls or none)");
+  }
   return knobs;
 }
 
@@ -369,19 +376,41 @@ SolverRegistry BuildDefaultRegistry() {
              });
 
   // --- JRA: single-paper solvers (Sec. 3 / Sec. 5.1 line-up) -------------
-  add_jra("bba", "BBA (Algorithm 1)",
-          "branch-and-bound with the Eq. 3 upper bound and max-gain "
-          "branching (bba_bounding / bba_gain_branching knobs)",
-          [](const Instance& instance, int paper,
-             const SolverRunOptions& options) -> Result<JraResult> {
-            auto knobs = ParsePipelineKnobs(options);
-            WGRAP_RETURN_IF_ERROR(knobs.status());
-            BbaOptions bba;
-            bba.time_limit_seconds = options.time_limit_seconds;
-            bba.use_bounding = knobs->bba_bounding;
-            bba.use_gain_branching = knobs->bba_gain_branching;
-            return SolveJraBba(instance, paper, bba);
-          });
+  {
+    SolverDescriptor d;
+    d.name = "bba";
+    d.family = SolverFamily::kJra;
+    d.paper_name = "BBA (Algorithm 1)";
+    d.summary =
+        "branch-and-bound with the Eq. 3 upper bound and max-gain "
+        "branching (bba_bounding / bba_gain_branching knobs; top-k via "
+        "SolveJraTopK)";
+    d.jra = [](const Instance& instance, int paper,
+               const SolverRunOptions& options) -> Result<JraResult> {
+      auto knobs = ParsePipelineKnobs(options);
+      WGRAP_RETURN_IF_ERROR(knobs.status());
+      BbaOptions bba;
+      bba.time_limit_seconds = options.time_limit_seconds;
+      bba.use_bounding = knobs->bba_bounding;
+      bba.use_gain_branching = knobs->bba_gain_branching;
+      return SolveJraBba(instance, paper, bba);
+    };
+    // The size-k best-so-far heap variant (Sec. 3, final remark / Fig. 15)
+    // shares the knob decoding with the single-best entry point.
+    d.jra_topk = [](const Instance& instance, int paper, int k,
+                    const SolverRunOptions& options)
+        -> Result<std::vector<JraResult>> {
+      auto knobs = ParsePipelineKnobs(options);
+      WGRAP_RETURN_IF_ERROR(knobs.status());
+      BbaOptions bba;
+      bba.time_limit_seconds = options.time_limit_seconds;
+      bba.use_bounding = knobs->bba_bounding;
+      bba.use_gain_branching = knobs->bba_gain_branching;
+      return SolveJraBbaTopK(instance, paper, k, bba);
+    };
+    const Status status = registry.Register(std::move(d));
+    WGRAP_CHECK_MSG(status.ok(), "built-in solver registration failed");
+  }
   add_jra("bfs", "BFS (brute force)",
           "enumerates all C(R, dp) groups — exact but exponential",
           [](const Instance& instance, int paper,
@@ -422,14 +451,17 @@ Status SolverRegistry::Register(SolverDescriptor descriptor) {
     return Status::InvalidArgument("solver name must be non-empty");
   }
   if (descriptor.family == SolverFamily::kCra) {
-    if ((!descriptor.cra && !descriptor.refine) || descriptor.jra) {
+    if ((!descriptor.cra && !descriptor.refine) || descriptor.jra ||
+        descriptor.jra_topk) {
       return Status::InvalidArgument(
-          "a CRA descriptor must set cra and/or refine, and not jra");
+          "a CRA descriptor must set cra and/or refine, and not "
+          "jra/jra_topk");
     }
   } else {
     if (!descriptor.jra || descriptor.cra || descriptor.refine) {
       return Status::InvalidArgument(
-          "a JRA descriptor must set exactly jra");
+          "a JRA descriptor must set jra (optionally jra_topk), and not "
+          "cra/refine");
     }
   }
   std::string name = descriptor.name;
@@ -531,6 +563,31 @@ Result<JraResult> SolverRegistry::SolveJra(
   WGRAP_RETURN_IF_ERROR(knobs.status());
   WGRAP_RETURN_IF_ERROR(CheckTopicsKnob(*knobs, instance));
   return descriptor->jra(instance, paper, options);
+}
+
+Result<std::vector<JraResult>> SolverRegistry::SolveJraTopK(
+    const std::string& name, const Instance& instance, int paper, int k,
+    const SolverRunOptions& options) const {
+  const SolverDescriptor* descriptor = Find(name);
+  if (descriptor == nullptr) {
+    return Status::NotFound("unknown JRA solver '" + name + "' (have: " +
+                            KeysCsv(SolverFamily::kJra) + ")");
+  }
+  if (descriptor->family != SolverFamily::kJra) {
+    return Status::InvalidArgument("'" + name +
+                                   "' is a CRA solver; use SolveCra");
+  }
+  if (!descriptor->jra_topk) {
+    return Status::InvalidArgument(
+        "'" + name + "' has no top-k hook (top-k solvers: bba)");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("top-k requires k >= 1");
+  }
+  auto knobs = ParsePipelineKnobs(options);
+  WGRAP_RETURN_IF_ERROR(knobs.status());
+  WGRAP_RETURN_IF_ERROR(CheckTopicsKnob(*knobs, instance));
+  return descriptor->jra_topk(instance, paper, k, options);
 }
 
 }  // namespace wgrap::core

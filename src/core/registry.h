@@ -75,6 +75,9 @@ enum class SolverFamily {
 ///   "bba_gain_branching"  — BBA: branch on the max-marginal-gain cursor
 ///                  reviewer per Definition 8 (bool, default true).
 ///                  Bools accept true/false, 1/0, on/off.
+///   "update_refine" — IncrementalResolve (core/update.h): the refiner run
+///                  after swap-repair on a mutated assignment: "sra"
+///                  (default), "ls" or "none" (repair only).
 struct SolverRunOptions {
   /// Wall-clock budget in seconds; 0 = unlimited. Anytime solvers
   /// (sdga-sra, sdga-ls) treat it as the refinement budget and still return
@@ -101,6 +104,11 @@ using CraSolverFn =
     std::function<Result<Assignment>(const Instance&, const SolverRunOptions&)>;
 using JraSolverFn = std::function<Result<JraResult>(
     const Instance&, int paper, const SolverRunOptions&)>;
+/// Top-k JRA hook: the k best groups for one paper, sorted best first
+/// (SolveJraBbaTopK, the Fig. 15 experiment). Dispatched via
+/// SolverRegistry::SolveJraTopK.
+using JraTopKSolverFn = std::function<Result<std::vector<JraResult>>(
+    const Instance&, int paper, int k, const SolverRunOptions&)>;
 /// Refine-from-initial hook: improves an existing complete feasible
 /// assignment instead of building one from scratch (RefineSra,
 /// RefineLocalSearch). Dispatched via SolverRegistry::RefineCra.
@@ -116,10 +124,12 @@ struct SolverDescriptor {
   /// violates the group-size/workload constraints.
   bool produces_feasible = true;
   /// kCra descriptors set `cra` (build from scratch), `refine` (improve an
-  /// initial assignment), or both; kJra descriptors set exactly `jra`.
+  /// initial assignment), or both; kJra descriptors set `jra` and may also
+  /// set `jra_topk` when the solver can enumerate the k best groups.
   CraSolverFn cra;
   JraSolverFn jra;
   CraRefineFn refine;
+  JraTopKSolverFn jra_topk;
 };
 
 /// Thread-compatible registry of solver factories. `Default()` is built
@@ -159,6 +169,14 @@ class SolverRegistry {
   Result<JraResult> SolveJra(const std::string& name, const Instance& instance,
                              int paper,
                              const SolverRunOptions& options = {}) const;
+
+  /// Runs the named JRA solver's top-k hook: the k best groups for `paper`,
+  /// sorted best first (`wgrap_cli jra --topk`). kNotFound for unknown
+  /// names; kInvalidArgument when k < 1 or the solver has no top-k hook
+  /// (currently only "bba" has one).
+  Result<std::vector<JraResult>> SolveJraTopK(
+      const std::string& name, const Instance& instance, int paper, int k,
+      const SolverRunOptions& options = {}) const;
 
   /// "greedy, brgg, sdga, ..." — for error messages and usage strings.
   std::string KeysCsv(SolverFamily family) const;

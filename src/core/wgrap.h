@@ -28,6 +28,7 @@
 #include "core/repair.h"       // IWYU pragma: export
 #include "core/scoring.h"      // IWYU pragma: export
 #include "core/sgrap.h"        // IWYU pragma: export
+#include "core/update.h"       // IWYU pragma: export
 #include "sparse/sparse_matrix.h"   // IWYU pragma: export
 #include "sparse/sparse_scoring.h"  // IWYU pragma: export
 

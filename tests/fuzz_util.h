@@ -1,0 +1,55 @@
+// Shared seeded instance construction for the randomized sweeps: the CRA
+// cross-solver fuzzer (cra_fuzz_test.cc) and the online-update equivalence
+// fuzzer (update_equivalence_test.cc) build their starting instances
+// through the same helper so a failure in either reproduces from one
+// config. The perturbation stream is part of the contract: COIs then bids
+// are drawn from Rng(seed ^ 0xc01), papers outer / reviewers inner, and a
+// zero conflict_rate (or with_bids=false) consumes no draws at all —
+// changing any of that silently reshuffles every case of both suites.
+#ifndef WGRAP_TESTS_FUZZ_UTIL_H_
+#define WGRAP_TESTS_FUZZ_UTIL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/instance.h"
+#include "data/dataset.h"
+
+namespace wgrap::core {
+
+struct FuzzInstanceConfig {
+  int reviewers = 10;
+  int papers = 12;
+  int num_topics = 10;
+  int group_size = 3;
+  /// 0 = the paper's tight minimal workload (dynamic δr = ⌈P·δp/R⌉);
+  /// otherwise δr = MinimalWorkload + extra_workload, fixed.
+  int extra_workload = 0;
+  ScoringFunction scoring = ScoringFunction::kWeightedCoverage;
+  /// Fraction of (r, p) pairs conflicted; 0 draws nothing from the rng.
+  double conflict_rate = 0.0;
+  bool with_bids = false;
+  double bid_weight = 0.4;
+  /// Build CSR topic views (the sparse scoring kernels).
+  bool sparse_topics = false;
+  uint64_t seed = 1;
+};
+
+/// The synthetic reviewer-pool dataset for a config (topics only; COIs and
+/// bids live on the instance).
+Result<data::RapDataset> MakeFuzzDataset(const FuzzInstanceConfig& config);
+
+/// The InstanceParams a config implies (group size, workload regime,
+/// scoring, sparse views).
+InstanceParams MakeFuzzParams(const FuzzInstanceConfig& config);
+
+/// Applies the seeded COI/bid perturbations to an instance built from
+/// MakeFuzzDataset — exactly the stream documented in the header comment.
+Status PerturbInstance(const FuzzInstanceConfig& config, Instance* instance);
+
+/// MakeFuzzDataset + FromDataset(MakeFuzzParams) + PerturbInstance.
+Result<Instance> MakeFuzzInstance(const FuzzInstanceConfig& config);
+
+}  // namespace wgrap::core
+
+#endif  // WGRAP_TESTS_FUZZ_UTIL_H_

@@ -185,6 +185,46 @@ TEST(GainCacheTest, RemovalEpochPatchesMatchFreshBuild) {
   }
 }
 
+// The Note(paper, reviewer) funnel is direction-less by design (see the
+// header doc at NoteAdd/NoteRemove): Refresh diffs the group vector
+// against its snapshot, so a remove-then-re-add epoch — whose net group
+// vectors are unchanged at some papers and changed at others — must
+// refresh back to the bit-identical cache a from-scratch build produces,
+// without a full rebuild.
+TEST(GainCacheTest, NoteDirectionIsIrrelevant) {
+  Instance instance = PoolInstance(12, 8, 3, 409, /*topic_density=*/0.3);
+  auto solved = SolveCraSdga(instance);
+  ASSERT_TRUE(solved.ok());
+  Assignment assignment = *solved;
+  ThreadPool pool(1);
+  GainCache cache(&instance);
+  cache.Refresh(assignment, &pool);
+  ASSERT_EQ(cache.full_builds(), 1);
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    const int victim = assignment.GroupFor(p).front();
+    ASSERT_TRUE(assignment.Remove(p, victim).ok());
+    cache.NoteRemove(p, victim);
+    if (p % 2 == 0) {
+      // Re-add the same reviewer: the group vector lands back exactly
+      // where it was, and the second note adds no information the first
+      // did not already carry.
+      ASSERT_TRUE(assignment.Add(p, victim).ok());
+      cache.NoteAdd(p, victim);
+    }
+  }
+  cache.Refresh(assignment, &pool);
+  EXPECT_EQ(cache.full_builds(), 1);  // patched, not rebuilt
+
+  GainCache fresh(&instance);
+  fresh.Refresh(assignment, &pool);
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    for (int r = 0; r < instance.num_reviewers(); ++r) {
+      ASSERT_EQ(cache.ScaledGain(p, r), fresh.ScaledGain(p, r))
+          << "(" << p << ", " << r << ")";
+    }
+  }
+}
+
 // COI pairs carry the sentinel and assemble as forbidden; an exhausted
 // reviewer's whole column assembles as forbidden; live entries round-trip
 // the exact scaled integer the rebuild path would hand the LAP.

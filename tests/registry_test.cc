@@ -242,6 +242,54 @@ TEST(SolverRegistryTest, BbaKnobsAreThreadedThrough) {
   EXPECT_GE(result->nodes_explored, reference->nodes_explored);
 }
 
+TEST(SolverRegistryTest, SolveJraTopKReturnsSortedExactGroups) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  const int paper = 3;
+  const int k = 4;
+  auto results = registry.SolveJraTopK("bba", instance, paper, k);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(static_cast<int>(results->size()), k);
+  // Best-first, and the head is exactly the single-group answer.
+  auto best = registry.SolveJra("bba", instance, paper);
+  ASSERT_TRUE(best.ok());
+  EXPECT_NEAR((*results)[0].score, best->score, 1e-12);
+  for (size_t i = 0; i + 1 < results->size(); ++i) {
+    EXPECT_GE((*results)[i].score, (*results)[i + 1].score) << i;
+  }
+  for (const auto& result : *results) {
+    EXPECT_EQ(static_cast<int>(result.group.size()), instance.group_size());
+    std::set<int> unique(result.group.begin(), result.group.end());
+    EXPECT_EQ(unique.size(), result.group.size());
+    EXPECT_NEAR(result.score,
+                core::ScoreGroup(instance, paper, result.group), 1e-9);
+  }
+  // Groups are distinct across ranks.
+  std::set<std::set<int>> seen;
+  for (const auto& result : *results) {
+    seen.insert(std::set<int>(result.group.begin(), result.group.end()));
+  }
+  EXPECT_EQ(seen.size(), results->size());
+}
+
+TEST(SolverRegistryTest, SolveJraTopKDispatchErrors) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  // Solvers without the hook point at the ones that have it.
+  auto no_hook = registry.SolveJraTopK("bfs", instance, 0, 3);
+  ASSERT_FALSE(no_hook.ok());
+  EXPECT_EQ(no_hook.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_hook.status().message().find("bba"), std::string::npos);
+  // Unknown names keep the kNotFound contract with the JRA menu.
+  auto unknown = registry.SolveJraTopK("no-such-solver", instance, 0, 3);
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  // Family mismatch and malformed k.
+  EXPECT_EQ(registry.SolveJraTopK("sdga", instance, 0, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.SolveJraTopK("bba", instance, 0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
   const auto& registry = core::SolverRegistry::Default();
   const core::Instance instance = TinyInstance();
@@ -255,7 +303,8 @@ TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
         {"topics", "csr"},
         {"gains", "cached"},
         {"bba_bounding", "maybe"},
-        {"bba_gain_branching", "2"}}) {
+        {"bba_gain_branching", "2"},
+        {"update_refine", "cold"}}) {
     core::SolverRunOptions options;
     options.extra[key] = value;
     auto result = registry.SolveCra("sdga-sra", instance, options);

@@ -89,6 +89,50 @@ TEST(RepairTest, InfeasibleWhenConflictsBlockEverything) {
             StatusCode::kInfeasible);
 }
 
+TEST(RepairTest, SkipsReviewerWithZeroRemainingCapacity) {
+  // 4 reviewers × δr=2 slots exactly cover 4 papers × δp=2. Exhaust r0 on
+  // papers 0 and 1 before repair: the fill must route every remaining slot
+  // around the zero-remaining-capacity reviewer and still complete.
+  data::RapDataset dataset;
+  dataset.num_topics = 2;
+  for (int r = 0; r < 4; ++r) {
+    dataset.reviewers.push_back({"r", {0.6, 0.4}, 1});
+  }
+  for (int p = 0; p < 4; ++p) {
+    dataset.papers.push_back({"p", {0.5, 0.5}, "V"});
+  }
+  InstanceParams params;
+  params.group_size = 2;
+  params.reviewer_workload = 2;
+  auto instance = Instance::FromDataset(dataset, params);
+  ASSERT_TRUE(instance.ok());
+  Assignment assignment(&*instance);
+  ASSERT_TRUE(assignment.Add(0, 0).ok());
+  ASSERT_TRUE(assignment.Add(1, 0).ok());
+  ASSERT_EQ(assignment.LoadOf(0), instance->reviewer_workload());
+  ASSERT_TRUE(CompleteWithSwapRepair(*instance, &assignment).ok());
+  EXPECT_TRUE(assignment.ValidateComplete().ok());
+  EXPECT_EQ(assignment.LoadOf(0), 2);  // untouched, not overloaded
+}
+
+TEST(RepairTest, InfeasibleAllCoiPaperLeavesPartialIntact) {
+  // An all-COI paper discovered mid-stream (the online-update scenario):
+  // repair on an otherwise healthy partial assignment must fail cleanly
+  // with kInfeasible — no crash, and the pre-existing pairs survive.
+  Instance instance = TightInstance(6, 4, 2, 6);
+  for (int r = 0; r < 6; ++r) instance.AddConflict(r, 2);
+  Assignment assignment(&instance);
+  ASSERT_TRUE(assignment.Add(0, 0).ok());
+  ASSERT_TRUE(assignment.Add(0, 1).ok());
+  ASSERT_TRUE(assignment.Add(1, 2).ok());
+  EXPECT_EQ(CompleteWithSwapRepair(instance, &assignment).code(),
+            StatusCode::kInfeasible);
+  EXPECT_TRUE(assignment.Contains(0, 0));
+  EXPECT_TRUE(assignment.Contains(0, 1));
+  EXPECT_TRUE(assignment.Contains(1, 2));
+  EXPECT_TRUE(assignment.GroupFor(2).empty());
+}
+
 TEST(RepairTest, NoOpOnCompleteAssignment) {
   Instance instance = TightInstance(8, 5, 2, 5);
   auto sdga = SolveCraSdga(instance);

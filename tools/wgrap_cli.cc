@@ -24,17 +24,30 @@
 //                       [--bba-bounding on|off] [--bba-gain-branching on|off]
 //   wgrap_cli evaluate  --dataset d.csv --assignment a.csv --dp 3 [--dr N]
 //   wgrap_cli casestudy --dataset d.csv --assignment a.csv --paper 0 --dp 3
+//   wgrap_cli update    --dataset d.csv --assignment a.csv --mutations m.txt
+//                       --dp 3 [--dr N] [--scoring c|cR|cP|cD]
+//                       [--topics dense|sparse] [--refine sra|ls|none]
+//                       [--seed S] [--budget secs] [--threads N]
+//                       [--mode patch|rebuild] [--cold] [--out a2.csv]
+//     (applies a mutation script — see core/update.h ParseMutationScript
+//      for the line grammar — to the instance and incrementally re-solves
+//      from the surviving assignment; --cold also runs a cold solve for
+//      comparison, --mode rebuild cross-checks the patch path by
+//      rebuilding the instance from scratch after the mutations)
 //
 // Note: `--topics` means the scoring-kernel selector (dense or CSR-sparse,
-// bit-identical output) on solve/jra, but the topic *count* T on generate.
+// bit-identical output) on solve/jra/update, but the topic *count* T on
+// generate.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "wgrap.h"
 
@@ -341,24 +354,10 @@ int CmdJra(const Flags& flags) {
   }
   Result<std::vector<core::JraResult>> results = Status::Internal("unset");
   if (topk > 1) {
-    // Only BBA supports top-k enumeration (Sec. 3, final remark), and the
-    // registry doesn't model top-k yet (ROADMAP "Registry gaps"), so this
-    // path decodes the BBA knobs into the direct-call options itself.
-    if (algo != "bba") {
-      std::fprintf(stderr, "--topk > 1 requires --algo bba\n");
-      return 2;
-    }
-    core::BbaOptions bba;
-    auto bounding = options.ExtraBool("bba_bounding", bba.use_bounding);
-    if (!bounding.ok()) Die(bounding.status(), "parse --bba-bounding");
-    bba.use_bounding = *bounding;
-    auto gain_branching =
-        options.ExtraBool("bba_gain_branching", bba.use_gain_branching);
-    if (!gain_branching.ok()) {
-      Die(gain_branching.status(), "parse --bba-gain-branching");
-    }
-    bba.use_gain_branching = *gain_branching;
-    results = core::SolveJraBbaTopK(*instance, paper, topk, bba);
+    // Top-k enumeration dispatches through the registry's top-k hook like
+    // every other solve; the registry diagnoses solvers without one.
+    results = core::SolverRegistry::Default().SolveJraTopK(
+        algo, *instance, paper, topk, options);
   } else {
     auto one =
         core::SolverRegistry::Default().SolveJra(algo, *instance, paper,
@@ -402,6 +401,126 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+int CmdUpdate(const Flags& flags) {
+  const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
+  core::Instance instance = MakeInstanceOrDie(dataset, flags);
+  core::Assignment assignment =
+      LoadAssignmentOrDie(instance, flags.Require("assignment"));
+
+  const std::string mutations_path = flags.Require("mutations");
+  std::ifstream mutations_file(mutations_path);
+  if (!mutations_file) {
+    std::fprintf(stderr, "cannot open %s\n", mutations_path.c_str());
+    return 1;
+  }
+  std::string script((std::istreambuf_iterator<char>(mutations_file)),
+                     std::istreambuf_iterator<char>());
+  auto updates = core::ParseMutationScript(script);
+  if (!updates.ok()) Die(updates.status(), "parse mutations");
+
+  core::InstanceParams params;
+  params.group_size = flags.GetInt("dp", 3);
+  params.reviewer_workload = flags.GetInt("dr", 0);
+  params.scoring = ParseScoring(flags.GetString("scoring", "c"));
+  core::InstanceUpdater updater(&instance, params);
+  updater.TrackAssignment(&assignment);
+  auto report = updater.ApplyAll(*updates);
+  if (!report.ok()) Die(report.status(), "apply mutations");
+  std::printf("applied %d updates (%zu evictions)\n", report->applied,
+              report->evicted.size());
+  std::printf("instance: P=%d R=%d dp=%d dr=%d\n", instance.num_papers(),
+              instance.num_reviewers(), instance.group_size(),
+              instance.reviewer_workload());
+
+  core::SolverRunOptions options;
+  options.time_limit_seconds = flags.GetDouble("budget", 0.0);
+  options.seed = flags.GetUint64("seed", 20150531);
+  for (const auto& [flag, key] :
+       {std::pair<const char*, const char*>{"threads", "threads"},
+        {"lap", "lap"},
+        {"gains", "gains"},
+        {"sra-omega", "sra_omega"},
+        {"sra-lambda", "sra_lambda"},
+        {"refine", "update_refine"}}) {
+    const std::string value = flags.GetString(flag, "");
+    if (!value.empty()) options.extra[key] = value;
+  }
+
+  // --mode rebuild cross-checks the patch path: export the patched
+  // instance back to a dataset, rebuild it from scratch, replay COIs and
+  // the surviving groups, and resolve on that. The update subsystem's
+  // contract (core/update.h) makes the two modes' output bitwise equal —
+  // CI diffs them.
+  const std::string mode = flags.GetString("mode", "patch");
+  if (mode != "patch" && mode != "rebuild") {
+    std::fprintf(stderr, "unknown --mode '%s' (use patch or rebuild)\n",
+                 mode.c_str());
+    return 2;
+  }
+  core::Instance* live = &instance;
+  core::Assignment* survivors = &assignment;
+  std::optional<core::Instance> rebuilt;
+  std::optional<core::Assignment> rebuilt_assignment;
+  if (mode == "rebuild") {
+    core::InstanceParams rebuild_params = params;
+    rebuild_params.sparse_topics = ParseTopicsMode(flags);
+    auto fresh = core::Instance::FromDataset(core::SnapshotDataset(instance),
+                                             rebuild_params);
+    if (!fresh.ok()) Die(fresh.status(), "rebuild instance");
+    rebuilt = std::move(fresh).value();
+    for (int p = 0; p < instance.num_papers(); ++p) {
+      for (int r = 0; r < instance.num_reviewers(); ++r) {
+        if (instance.IsConflict(r, p)) rebuilt->AddConflict(r, p);
+      }
+    }
+    rebuilt_assignment.emplace(&*rebuilt);
+    for (int p = 0; p < instance.num_papers(); ++p) {
+      for (int r : assignment.GroupFor(p)) {
+        Status st = rebuilt_assignment->AddUnchecked(p, r);
+        if (!st.ok()) Die(st, "replay surviving pair");
+      }
+    }
+    live = &*rebuilt;
+    survivors = &*rebuilt_assignment;
+  }
+
+  auto resolve = core::IncrementalResolve(*live, survivors, options);
+  if (!resolve.ok()) Die(resolve.status(), "incremental resolve");
+  std::printf("incremental: score %.6f -> %.6f, repaired %d papers, "
+              "added %lld pairs\n",
+              resolve->score_before, resolve->score_after,
+              resolve->repaired_papers,
+              static_cast<long long>(resolve->added_pairs));
+  const Status valid = survivors->ValidateComplete();
+  std::printf("feasible: %s\n", valid.ok() ? "yes" : valid.ToString().c_str());
+  // Timing goes to stderr so stdout stays byte-stable for the CI diff of
+  // patch vs rebuild mode.
+  std::fprintf(stderr, "incremental resolve: %.3fs\n", resolve->seconds);
+
+  if (!flags.GetString("cold", "").empty()) {
+    Stopwatch cold_watch;
+    auto cold = core::SolverRegistry::Default().SolveCra("sdga-sra", *live,
+                                                         options);
+    if (!cold.ok()) Die(cold.status(), "cold solve");
+    const double cold_seconds = cold_watch.ElapsedSeconds();
+    std::printf("cold: score %.6f\n", cold->TotalScore());
+    std::fprintf(stderr, "cold solve: %.3fs (%.1fx the incremental resolve)\n",
+                 cold_seconds,
+                 resolve->seconds > 0.0 ? cold_seconds / resolve->seconds
+                                        : 0.0);
+  }
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    std::vector<std::pair<int, int>> pairs;
+    for (int p = 0; p < live->num_papers(); ++p) {
+      for (int r : survivors->GroupFor(p)) pairs.emplace_back(p, r);
+    }
+    WriteFileOrDie(out, data::AssignmentPairsToCsv(pairs));
+  }
+  return 0;
+}
+
 int CmdCaseStudy(const Flags& flags) {
   const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
   core::Instance instance = MakeInstanceOrDie(dataset, flags);
@@ -416,8 +535,8 @@ int CmdCaseStudy(const Flags& flags) {
 
 void Usage() {
   std::fputs(
-      "usage: wgrap_cli <solvers|generate|solve|jra|evaluate|casestudy> "
-      "[flags]\n"
+      "usage: wgrap_cli "
+      "<solvers|generate|solve|jra|evaluate|casestudy|update> [flags]\n"
       "run `wgrap_cli solvers` for the algorithm menu and see the header of "
       "tools/wgrap_cli.cc for the flag list\n",
       stderr);
@@ -438,6 +557,7 @@ int main(int argc, char** argv) {
   if (command == "jra") return CmdJra(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "casestudy") return CmdCaseStudy(flags);
+  if (command == "update") return CmdUpdate(flags);
   Usage();
   return 2;
 }

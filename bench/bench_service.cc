@@ -1,0 +1,218 @@
+// Mixed-traffic driver for the service layer: one ServiceApi under a
+// program-chair-shaped workload — interactive reads (evaluate, jra
+// queries), background solves, and bursts of mutations followed by
+// incremental resolves — measuring end-to-end request latency (p50/p99
+// per request class) and sustained job throughput.
+//
+// Usage: bench_service [--reviewers N] [--papers N] [--workers W]
+//                      [--rounds R] [--seed S]
+//
+// Latency is measured at the ServiceApi boundary (submit → result
+// available), so it includes queueing — the number a client of the server
+// actually experiences. Recorded in bench/BASELINES.md.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "data/io.h"
+#include "service/api.h"
+
+namespace wgrap::bench {
+namespace {
+
+struct Args {
+  int reviewers = 189;  // DB08 scale (Table 3)
+  int papers = 146;
+  int workers = 4;
+  int rounds = 20;
+  uint64_t seed = 20150531;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      std::exit(2);
+    }
+    const int value = std::atoi(argv[i + 1]);
+    if (flag == "--reviewers") {
+      args.reviewers = value;
+    } else if (flag == "--papers") {
+      args.papers = value;
+    } else if (flag == "--workers") {
+      args.workers = value;
+    } else if (flag == "--rounds") {
+      args.rounds = value;
+    } else if (flag == "--seed") {
+      args.seed = static_cast<uint64_t>(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct LatencyTrack {
+  std::vector<double> seconds;
+
+  void Add(double s) { seconds.push_back(s); }
+
+  double Percentile(double p) {
+    if (seconds.empty()) return 0.0;
+    std::sort(seconds.begin(), seconds.end());
+    const size_t index = static_cast<size_t>(
+        p * static_cast<double>(seconds.size() - 1) + 0.5);
+    return seconds[std::min(index, seconds.size() - 1)];
+  }
+};
+
+void PrintRow(const char* name, LatencyTrack& track) {
+  std::printf("  %-22s %6zu reqs   p50 %8.3f ms   p99 %8.3f ms\n", name,
+              track.seconds.size(), 1e3 * track.Percentile(0.50),
+              1e3 * track.Percentile(0.99));
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  data::SyntheticDblpConfig config;
+  config.seed = static_cast<int>(args.seed);
+  config.num_topics = 30;
+  auto dataset =
+      data::GenerateReviewerPool(args.reviewers, args.papers, config);
+  DieOnError(dataset.status(), "generate dataset");
+  const std::string csv = data::DatasetToCsv(*dataset);
+
+  service::ServiceOptions options;
+  options.job_workers = args.workers;
+  options.max_results = 256;
+  service::ServiceApi api(options);
+
+  service::OpenRequest open;
+  open.session = "bench";
+  open.dataset_csv = csv;
+  open.params.group_size = 3;
+  DieOnError(api.Open(open).status(), "open session");
+
+  // Seed assignment so evaluate/refine/resolve traffic has a target.
+  service::SubmitRequest warm;
+  warm.session = "bench";
+  warm.solver = "sdga-sra";
+  warm.seed = args.seed;
+  auto warm_job = api.Submit(warm);
+  DieOnError(warm_job.status(), "warm solve submit");
+  auto warm_result = api.WaitJob(warm_job->job);
+  DieOnError(warm_result.status(), "warm solve wait");
+  DieOnError(warm_result->status, "warm solve");
+
+  std::printf("bench_service: P=%d R=%d workers=%d rounds=%d\n", args.papers,
+              args.reviewers, args.workers, args.rounds);
+
+  LatencyTrack solve_track;    // submit → result (sdga-sra, async)
+  LatencyTrack jra_track;      // submit → result (bba top-3)
+  LatencyTrack mutate_track;   // synchronous mutate call
+  LatencyTrack resolve_track;  // submit → result (incremental resolve)
+  LatencyTrack read_track;     // synchronous evaluate
+
+  Stopwatch total;
+  int jobs_completed = 0;
+  for (int round = 0; round < args.rounds; ++round) {
+    // A background solve plus a burst of JRA lookups in flight together.
+    service::SubmitRequest solve;
+    solve.session = "bench";
+    solve.solver = "sdga-sra";
+    solve.seed = args.seed + static_cast<uint64_t>(round);
+    Stopwatch solve_watch;
+    auto solve_job = api.Submit(solve);
+    DieOnError(solve_job.status(), "solve submit");
+
+    std::vector<std::pair<int64_t, Stopwatch>> jra_jobs;
+    for (int q = 0; q < 4; ++q) {
+      service::SubmitRequest jra;
+      jra.session = "bench";
+      jra.solver = "bba";
+      jra.kind = core::SolverRequest::Kind::kSolveJraTopK;
+      jra.paper = (round * 4 + q) % args.papers;
+      jra.k = 3;
+      Stopwatch watch;
+      auto job = api.Submit(jra);
+      DieOnError(job.status(), "jra submit");
+      jra_jobs.emplace_back(job->job, watch);
+    }
+
+    // Interactive reads race the jobs.
+    {
+      Stopwatch watch;
+      DieOnError(api.Evaluate("bench").status(), "evaluate");
+      read_track.Add(watch.ElapsedSeconds());
+    }
+
+    for (auto& [id, watch] : jra_jobs) {
+      auto result = api.WaitJob(id);
+      DieOnError(result.status(), "jra wait");
+      DieOnError(result->status, "jra job");
+      jra_track.Add(watch.ElapsedSeconds());
+      ++jobs_completed;
+    }
+    {
+      auto result = api.WaitJob(solve_job->job);
+      DieOnError(result.status(), "solve wait");
+      DieOnError(result->status, "solve job");
+      solve_track.Add(solve_watch.ElapsedSeconds());
+      ++jobs_completed;
+    }
+
+    // Mutation burst: flip two COIs, then incrementally resolve.
+    {
+      service::MutateRequest mutate;
+      mutate.session = "bench";
+      const int r = round % args.reviewers;
+      const int p = round % args.papers;
+      mutate.script = "set_coi " + std::to_string(r) + " " +
+                      std::to_string(p) + " on\nset_coi " +
+                      std::to_string((r + 7) % args.reviewers) + " " +
+                      std::to_string((p + 3) % args.papers) + " on\n";
+      Stopwatch watch;
+      DieOnError(api.Mutate(mutate).status(), "mutate");
+      mutate_track.Add(watch.ElapsedSeconds());
+    }
+    {
+      service::ResolveRequest resolve;
+      resolve.session = "bench";
+      resolve.seed = args.seed;
+      Stopwatch watch;
+      auto job = api.Resolve(resolve);
+      DieOnError(job.status(), "resolve submit");
+      auto result = api.WaitJob(job->job);
+      DieOnError(result.status(), "resolve wait");
+      DieOnError(result->status, "resolve job");
+      resolve_track.Add(watch.ElapsedSeconds());
+      ++jobs_completed;
+    }
+  }
+  const double elapsed = total.ElapsedSeconds();
+
+  std::printf("request latency (submit -> result where async):\n");
+  PrintRow("solve sdga-sra", solve_track);
+  PrintRow("jra bba top-3", jra_track);
+  PrintRow("mutate (sync)", mutate_track);
+  PrintRow("incremental resolve", resolve_track);
+  PrintRow("evaluate (sync)", read_track);
+  std::printf("throughput: %d jobs in %.2f s = %.1f jobs/s\n", jobs_completed,
+              elapsed, jobs_completed / elapsed);
+  return 0;
+}
+
+}  // namespace wgrap::bench
+
+int main(int argc, char** argv) { return wgrap::bench::Main(argc, argv); }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kResourceExhausted,   // e.g. time / iteration budget exceeded
+  kCancelled,           // cooperative cancellation (service job cancel)
   kInfeasible,          // optimization model has no feasible solution
   kUnbounded,           // optimization model is unbounded
   kNumericalError,      // solver lost numerical precision
@@ -53,6 +54,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));

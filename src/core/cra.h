@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/assignment.h"
 #include "core/instance.h"
@@ -36,6 +37,10 @@ struct CraOptions {
   /// reductions happen in index order. greedy/sm/ilp/rrap are sequential
   /// and ignore it.
   int num_threads = 1;
+  /// Cooperative cancellation (common/cancel.h), polled at the same coarse
+  /// boundaries as the time limit; solvers abort with kCancelled. Null =
+  /// never cancelled.
+  CancelToken cancel;
 };
 
 /// How the per-stage profit matrix (SDGA stages, the SRA completion step)
@@ -219,8 +224,11 @@ struct RrapResult {
 
 /// Retrieval-based RAP: each reviewer takes their top-δr papers
 /// independently. The historical baseline whose imbalance (Fig. 1(a))
-/// motivates the group-size constraint.
-RrapResult SolveCraRrap(const Instance& instance);
+/// motivates the group-size constraint. Honors options.time_limit_seconds
+/// (kResourceExhausted) and options.cancel (kCancelled); num_threads is
+/// ignored (the scan is sequential).
+Result<RrapResult> SolveCraRrap(const Instance& instance,
+                                const CraOptions& options = {});
 
 }  // namespace wgrap::core
 

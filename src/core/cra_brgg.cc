@@ -104,6 +104,7 @@ Result<Assignment> SolveCraBrgg(const Instance& instance,
     if (deadline.Expired()) {
       return Status::ResourceExhausted("BRGG time limit");
     }
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "BRGG"));
     // Rebuild stale groups in parallel: BuildGreedyGroup reads only the
     // frozen capacities, and each paper writes its own cache slot — the
     // JRA-style subproblems of a round are independent.

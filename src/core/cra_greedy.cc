@@ -51,6 +51,7 @@ Result<Assignment> SolveCraGreedy(const Instance& instance,
     if (deadline.Expired()) {
       return Status::ResourceExhausted("greedy time limit");
     }
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "greedy"));
     if (heap.empty()) {
       // Tight-capacity corner: the remaining papers only have spare
       // capacity on reviewers already in their groups. Swap repair

@@ -24,9 +24,16 @@ Result<Assignment> SolveCraIlpArap(const Instance& instance,
                                    const IlpArapOptions& options) {
   const int P = instance.num_papers();
   const int R = instance.num_reviewers();
+  const Deadline deadline(options.time_limit_seconds);
 
   Matrix profit(P, R);
   for (int p = 0; p < P; ++p) {
+    // Per-paper-row poll: the profit build is O(P·R) and can dominate on
+    // wide instances, so the budget must cover it, not just the flow solve.
+    if (deadline.Expired()) {
+      return Status::ResourceExhausted("ILP-ARAP time limit exceeded");
+    }
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "ILP-ARAP"));
     for (int r = 0; r < R; ++r) {
       profit(p, r) = instance.IsConflict(r, p) ? la::kTransportForbidden
                                                : instance.PairUtility(r, p);
@@ -44,6 +51,8 @@ Result<Assignment> SolveCraIlpArap(const Instance& instance,
       transport.pool = pool.get();
     }
   }
+  if (deadline.HasLimit()) transport.deadline = &deadline;
+  transport.cancel = options.cancel;
   auto solved = la::SolveTransportationWithDemand(
       profit, capacity, instance.group_size(), transport);
   if (!solved.ok()) return solved.status();

@@ -194,6 +194,9 @@ Result<Assignment> RefineLocalSearch(const Instance& instance,
   const bool parallel = pool.num_threads() > 1;
   for (int64_t round = 0;
        stall < options.max_stall_proposals && !deadline.Expired(); ++round) {
+    // Deadline expiry returns the best assignment so far (anytime contract);
+    // cancellation means the caller no longer wants any result.
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "local search"));
     if (use_folds) {
       // Draw first (RNG only), freshen the folds the batch needs, then
       // score against the frozen cache.

@@ -13,14 +13,22 @@
 
 namespace wgrap::core {
 
-RrapResult SolveCraRrap(const Instance& instance) {
+Result<RrapResult> SolveCraRrap(const Instance& instance,
+                                const CraOptions& options) {
   const int P = instance.num_papers();
   const int R = instance.num_reviewers();
+  const Deadline deadline(options.time_limit_seconds);
   RrapResult result;
   result.reviewers_of_paper.assign(P, {});
 
   std::vector<int> order(P);
   for (int r = 0; r < R; ++r) {
+    // Each reviewer's retrieval is one O(P log δr) partial sort — the
+    // natural poll granularity for the budget and cancellation.
+    if (deadline.Expired()) {
+      return Status::ResourceExhausted("RRAP time limit exceeded");
+    }
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "RRAP"));
     std::iota(order.begin(), order.end(), 0);
     const int take = std::min(P, instance.reviewer_workload());
     std::partial_sort(order.begin(), order.begin() + take, order.end(),

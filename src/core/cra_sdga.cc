@@ -243,6 +243,7 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
     if (deadline.Expired()) {
       return Status::ResourceExhausted("SDGA time limit");
     }
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "SDGA"));
     std::vector<int> capacity(R);
     for (int r = 0; r < R; ++r) {
       const int remaining_total = dr - assignment.LoadOf(r);

@@ -96,6 +96,9 @@ Result<Assignment> RefineSra(const Instance& instance,
        rounds_without_improvement < options.convergence_window &&
        !deadline.Expired();
        ++iteration) {
+    // Deadline expiry returns the best assignment so far (anytime contract);
+    // cancellation means the caller no longer wants any result.
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "SRA"));
     const double decay = std::exp(-options.decay_lambda * iteration);
     // Removal phase: drop one reviewer per paper, favouring low P(r|p).
     // Victim choice per paper reads only the frozen `current`, so papers

@@ -63,6 +63,8 @@ Result<Assignment> SolveCraStableMatching(const Instance& instance,
     if (deadline.Expired()) {
       return Status::ResourceExhausted("stable matching time limit");
     }
+    WGRAP_RETURN_IF_ERROR(
+        CheckNotCancelled(options.cancel, "stable matching"));
     const int p = free_slots.front();
     free_slots.pop_front();
     while (next_choice[p] < static_cast<int>(preference[p].size())) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/instance.h"
 
@@ -21,6 +22,9 @@ namespace wgrap::core {
 struct JraOptions {
   double time_limit_seconds = 0.0;  // 0 = unlimited
   int64_t max_nodes = 0;            // 0 = unlimited (BFS: group evaluations)
+  /// Cooperative cancellation, polled alongside the time/node budget;
+  /// solvers abort with kCancelled. Null = never cancelled.
+  CancelToken cancel;
 };
 
 struct JraResult {

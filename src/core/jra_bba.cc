@@ -59,6 +59,7 @@ class BbaSearch {
 
     int s = 0;  // 0-based stage: the group currently has s members
     while (s >= 0) {
+      WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options_.cancel, "BBA"));
       if (deadline_.Expired() ||
           (options_.max_nodes > 0 && nodes_ >= options_.max_nodes)) {
         aborted_ = true;

@@ -93,7 +93,7 @@ Result<JraResult> SolveJraBruteForce(const Instance& instance, int paper,
           for (int i : combo) best.group.push_back(candidates[i]);
         }
         if ((nodes & 0xfff) == 0 &&
-            (deadline.Expired() ||
+            (deadline.Expired() || IsCancelled(options.cancel) ||
              (options.max_nodes > 0 && nodes >= options.max_nodes))) {
           aborted = true;
         }
@@ -115,6 +115,9 @@ Result<JraResult> SolveJraBruteForce(const Instance& instance, int paper,
                         k,        n,          T,         combo,
                         prefix_max, best,     deadline,  options};
   enumerator.Recurse(0, 0);
+  // A cancelled caller wants no result at all, unlike a budget abort which
+  // still reports the (non-proven) best-so-far group.
+  WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "BFS"));
 
   best.nodes_explored = enumerator.nodes;
   best.proven_optimal = !enumerator.aborted;

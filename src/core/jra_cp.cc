@@ -73,10 +73,14 @@ Result<JraResult> SolveJraCp(const Instance& instance, int paper,
   cp::SelectKOptions cp_options;
   cp_options.time_limit_seconds = options.time_limit_seconds;
   cp_options.max_nodes = options.max_nodes;
+  // The cp/ substrate has no cancellation hook; check before committing to
+  // the search (coarse, but a cancelled job never starts it).
+  WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "JRA CP"));
   auto solved = cp::SolveSelectK(static_cast<int>(candidates.size()),
                                  instance.group_size(), objective,
                                  /*forbidden_pairs=*/{}, cp_options);
   if (!solved.ok()) return solved.status();
+  WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "JRA CP"));
 
   JraResult result;
   for (int i : solved->chosen) result.group.push_back(candidates[i]);

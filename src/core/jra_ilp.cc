@@ -74,8 +74,12 @@ Result<JraResult> SolveJraIlp(const Instance& instance, int paper,
   lp::IlpOptions ilp_options;
   ilp_options.time_limit_seconds = options.time_limit_seconds;
   ilp_options.max_nodes = options.max_nodes;
+  // The lp/ substrate has no cancellation hook; check before committing to
+  // the B&B search (coarse, but a cancelled job never starts it).
+  WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "JRA ILP"));
   auto solved = lp::SolveIlp(model, ilp_options);
   if (!solved.ok()) return solved.status();
+  WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "JRA ILP"));
 
   JraResult result;
   for (int i = 0; i < n; ++i) {

@@ -1,6 +1,6 @@
 // String-keyed solver registry: every CRA and JRA algorithm in the repo
-// behind one factory API, so front ends (wgrap_cli, examples, benches,
-// services) dispatch by name instead of hard-coding call sites.
+// behind one factory API, so front ends (wgrap_cli, examples, benches, the
+// service layer) dispatch by name instead of hard-coding call sites.
 //
 // Two solver families mirror the paper's two problems:
 //   kCra — whole-conference solvers: Instance → Assignment (Definition 3).
@@ -15,6 +15,16 @@
 // additional solvers — e.g. a sharded or GPU-backed variant — under new
 // keys at startup.
 //
+// Solver-specific switches ride in SolverRunOptions::extra, but the map is
+// no longer a free-form blob: every descriptor declares the knobs it
+// accepts as a list of KnobSpec (name, type, default, doc, legal values /
+// range), and dispatch validates the whole map against that schema before
+// the factory runs. Unknown keys and ill-typed values are rejected with
+// kInvalidArgument naming the offending key and listing the solver's
+// declared knobs, so clients — including remote ones talking to the
+// service API — discover capabilities from DescribeSolvers /
+// `wgrap_cli solvers --verbose` instead of reading headers.
+//
 // Usage:
 //   const auto& registry = core::SolverRegistry::Default();
 //   auto assignment = registry.SolveCra("sdga-sra", instance, {});
@@ -24,9 +34,11 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/assignment.h"
 #include "core/cra.h"
@@ -40,54 +52,69 @@ enum class SolverFamily {
   kJra,  // journal: best δp-group for one paper
 };
 
-/// Family-agnostic knobs threaded to whichever options struct the concrete
-/// solver takes, plus a string→string `extra` map for solver-specific
-/// switches so front ends never need direct calls.
-///
-/// Keys understood by the built-in solvers (unknown keys are ignored so
-/// custom registrations can define their own):
-///   "threads"    — worker threads for the parallel hot paths (SDGA stage
-///                  scoring, SRA sampling, LS neighbourhood evaluation,
-///                  BRGG group construction), in [1, 256]. Output is
-///                  bit-identical for any value; see
-///                  CraOptions::num_threads.
-///   "lap"        — LAP backend for SDGA stages and the SRA completion
-///                  step: "mcf" (default), "hungarian" or "auction".
-///   "gains"      — stage-profit/LS-score maintenance: "incremental"
-///                  (default; delta-maintained over the topic-inverted
-///                  index of core/gain_cache.h) or "rebuild" (recompute
-///                  every entry per stage). Output is bit-identical either
-///                  way; only wall-clock changes.
-///   "sra_omega"  — SRA convergence window ω (int > 0).
-///   "sra_lambda" — SRA decay rate λ (double).
-///   "topics"     — scoring-kernel selector: "dense" (default) or
-///                  "sparse". "sparse" requires an instance that carries
-///                  CSR topic views (Instance::BuildSparseTopics or
-///                  InstanceParams::sparse_topics) and is rejected with
-///                  kInvalidArgument otherwise. Output is bit-identical to
-///                  dense; only wall-clock changes. Note the dispatch
-///                  itself is instance-driven: an instance that already
-///                  carries sparse views uses the sparse kernels even
-///                  under "dense" (same bits either way) — the knob is the
-///                  front-end contract check.
-///   "bba_bounding"        — BBA: prune with the Eq. 3 cursor upper bound
-///                  (bool, default true; the ablation of Fig. 10).
-///   "bba_gain_branching"  — BBA: branch on the max-marginal-gain cursor
-///                  reviewer per Definition 8 (bool, default true).
-///                  Bools accept true/false, 1/0, on/off.
-///   "update_refine" — IncrementalResolve (core/update.h): the refiner run
-///                  after swap-repair on a mutated assignment: "sra"
-///                  (default), "ls" or "none" (repair only).
+/// Value type of a declared knob.
+enum class KnobType {
+  kInt,
+  kDouble,
+  kBool,    // accepts true/false, 1/0, on/off
+  kEnum,    // one of KnobSpec::enum_values
+  kString,  // free-form
+};
+
+/// Human-readable type name ("int", "double", "bool", "enum", "string").
+const char* KnobTypeToString(KnobType type);
+
+/// Declared schema of one `extra` knob: the contract a solver exposes to
+/// front ends. Validation (ValidateKnobValue) enforces the type, the enum
+/// value list, and the numeric range; DescribeSolvers renders the rest.
+struct KnobSpec {
+  std::string name;
+  KnobType type = KnobType::kString;
+  /// Rendered default (what the solver uses when the key is absent).
+  std::string default_value;
+  /// One-line doc for `wgrap_cli solvers --verbose` / DescribeSolvers.
+  std::string doc;
+  /// kEnum: the closed set of legal values.
+  std::vector<std::string> enum_values;
+  /// kInt/kDouble: optional inclusive bounds.
+  std::optional<double> min_value;
+  std::optional<double> max_value;
+};
+
+/// "name (type, default X) — doc", with the enum values / range inlined.
+std::string FormatKnobSpec(const KnobSpec& spec);
+
+/// OK iff `value` parses as spec.type and satisfies the enum/range
+/// constraints; kInvalidArgument naming the knob otherwise.
+Status ValidateKnobValue(const KnobSpec& spec, const std::string& value);
+
+/// Validates every key of options.extra against `specs`: unknown keys are
+/// kInvalidArgument listing the declared knobs (`owner` names the solver in
+/// the message), known keys are checked with ValidateKnobValue.
+Status ValidateKnobs(const std::string& owner,
+                     const std::vector<KnobSpec>& specs,
+                     const std::map<std::string, std::string>& extra);
+
+/// Family-agnostic run parameters threaded to whichever options struct the
+/// concrete solver takes, plus the string→string `extra` map of
+/// solver-specific knobs. The legal keys per solver are the descriptor's
+/// declared KnobSpec list (see `wgrap_cli solvers --verbose`); dispatch
+/// rejects unknown or ill-typed keys with kInvalidArgument before the
+/// solver runs.
 struct SolverRunOptions {
   /// Wall-clock budget in seconds; 0 = unlimited. Anytime solvers
   /// (sdga-sra, sdga-ls) treat it as the refinement budget and still return
   /// their best assignment; constructive/exact solvers (greedy, brgg, sm,
-  /// sdga, bba, bfs, jra-ilp, jra-cp) abort with kResourceExhausted when it
-  /// expires. The "ilp" (ARAP) and "rrap" baselines currently ignore it.
+  /// sdga, ilp, rrap, bba, bfs, jra-ilp, jra-cp) abort with
+  /// kResourceExhausted when it expires.
   double time_limit_seconds = 0.0;
   /// Seed for the randomized refiners (sra, local search).
   uint64_t seed = 20150531;
-  /// Solver-specific knobs; see the key list above.
+  /// Cooperative cancellation (common/cancel.h): polled at the same coarse
+  /// boundaries as the deadline; solvers abort with kCancelled. Null =
+  /// never cancelled.
+  CancelToken cancel;
+  /// Solver-specific knobs; validated against the solver's KnobSpec list.
   std::map<std::string, std::string> extra;
 
   /// Typed accessors over `extra`: the fallback when the key is absent,
@@ -98,6 +125,11 @@ struct SolverRunOptions {
   Result<bool> ExtraBool(const std::string& key, bool fallback) const;
   std::string ExtraString(const std::string& key,
                           const std::string& fallback) const;
+
+  /// Copy with `extra` filtered down to the keys `specs` declares — how a
+  /// composite caller (IncrementalResolve, the service) forwards its own
+  /// validated knob set to an inner solver with a narrower schema.
+  SolverRunOptions RestrictedTo(const std::vector<KnobSpec>& specs) const;
 };
 
 using CraSolverFn =
@@ -123,6 +155,10 @@ struct SolverDescriptor {
   /// False only for diagnostic baselines (rrap) whose output deliberately
   /// violates the group-size/workload constraints.
   bool produces_feasible = true;
+  /// The `extra` keys this solver accepts. Dispatch validates the whole
+  /// map against this schema; an empty list means the solver takes no
+  /// knobs and any `extra` key is rejected.
+  std::vector<KnobSpec> knobs;
   /// kCra descriptors set `cra` (build from scratch), `refine` (improve an
   /// initial assignment), or both; kJra descriptors set `jra` and may also
   /// set `jra_topk` when the solver can enumerate the k best groups.
@@ -130,6 +166,40 @@ struct SolverDescriptor {
   JraSolverFn jra;
   CraRefineFn refine;
   JraTopKSolverFn jra_topk;
+
+  /// nullptr when the descriptor doesn't declare `name`.
+  const KnobSpec* FindKnob(const std::string& name) const;
+};
+
+/// One dispatch, any family — the single entry point the CLI and the
+/// service API share. The four legacy methods (SolveCra, RefineCra,
+/// SolveJra, SolveJraTopK) are thin wrappers over Run().
+struct SolverRequest {
+  enum class Kind {
+    kSolveCra,     // solver, options
+    kRefineCra,    // solver, initial, options
+    kSolveJra,     // solver, paper, options
+    kSolveJraTopK, // solver, paper, k, options
+  };
+  Kind kind = Kind::kSolveCra;
+  std::string solver;
+  /// kSolveJra/kSolveJraTopK: the paper to assign.
+  int paper = 0;
+  /// kSolveJraTopK: how many groups (>= 1).
+  int k = 1;
+  /// kRefineCra: the assignment to improve (borrowed; must be bound to the
+  /// instance passed to Run and outlive the call).
+  const Assignment* initial = nullptr;
+  SolverRunOptions options;
+};
+
+struct SolverResponse {
+  /// Set for kSolveCra/kRefineCra.
+  std::optional<Assignment> assignment;
+  /// Set for kSolveJra (size 1) and kSolveJraTopK (size k, best first).
+  std::vector<JraResult> jra;
+  /// Wall-clock of the dispatch, for job accounting.
+  double seconds = 0.0;
 };
 
 /// Thread-compatible registry of solver factories. `Default()` is built
@@ -150,6 +220,14 @@ class SolverRegistry {
   /// Descriptors in key order, optionally restricted to one family.
   std::vector<const SolverDescriptor*> List() const;
   std::vector<const SolverDescriptor*> List(SolverFamily family) const;
+
+  /// Validates and dispatches `request` against the named solver:
+  /// kNotFound for unknown names (listing the family's keys), then the
+  /// knob schema check, then the family/kind/argument checks the legacy
+  /// wrappers document. On success the response carries the assignment or
+  /// JRA results plus the elapsed wall-clock.
+  Result<SolverResponse> Run(const SolverRequest& request,
+                             const Instance& instance) const;
 
   /// Dispatches to the named CRA solver. kNotFound for unknown names with a
   /// message listing the valid keys; kInvalidArgument if `name` is a JRA
@@ -184,6 +262,12 @@ class SolverRegistry {
  private:
   std::map<std::string, SolverDescriptor> solvers_;
 };
+
+/// The knob schema of the IncrementalResolve path (core/update.h): the
+/// union of the refiner pipeline knobs plus "update_refine". Shared here so
+/// the CLI `update` subcommand and the service mutation endpoint validate
+/// against the same contract the registry solvers use.
+const std::vector<KnobSpec>& IncrementalResolveKnobSpecs();
 
 }  // namespace wgrap::core
 

@@ -536,11 +536,12 @@ Result<ResolveReport> IncrementalResolve(const Instance& instance,
                                          Assignment* assignment,
                                          const SolverRunOptions& options) {
   Stopwatch watch;
+  // The resolve path declares its own schema (refiner pipeline knobs +
+  // update_refine) and validates eagerly — same contract as registry
+  // dispatch, so a typo fails before any mutation-repair work.
+  WGRAP_RETURN_IF_ERROR(ValidateKnobs("update", IncrementalResolveKnobSpecs(),
+                                      options.extra));
   const std::string refine = options.ExtraString("update_refine", "sra");
-  if (refine != "sra" && refine != "ls" && refine != "none") {
-    return Status::InvalidArgument("option 'update_refine': '" + refine +
-                                   "' (use sra, ls or none)");
-  }
   ResolveReport report;
   // Normalize first: re-derive every cached score from the groups so the
   // numeric state is independent of the mutation history — this is what
@@ -558,9 +559,14 @@ Result<ResolveReport> IncrementalResolve(const Instance& instance,
   WGRAP_RETURN_IF_ERROR(CompleteWithSwapRepair(instance, assignment));
   report.added_pairs = assignment->size() - pairs_before;
   if (refine != "none") {
-    auto refined =
-        SolverRegistry::Default().RefineCra(refine, instance, *assignment,
-                                            options);
+    const SolverRegistry& registry = SolverRegistry::Default();
+    const SolverDescriptor* refiner = registry.Find(refine);
+    WGRAP_CHECK_MSG(refiner != nullptr, "built-in refiner missing");
+    // Forward only the knobs the refiner declares: this path's own keys
+    // (update_refine; sra_* when refine=ls) would otherwise be rejected by
+    // the refiner's stricter schema.
+    auto refined = registry.RefineCra(refine, instance, *assignment,
+                                      options.RestrictedTo(refiner->knobs));
     WGRAP_RETURN_IF_ERROR(refined.status());
     *assignment = *std::move(refined);
   }

@@ -69,6 +69,12 @@ Result<FlowResult> MinCostFlow::Solve(int source, int sink, int64_t max_flow) {
   std::vector<int> prev_node(n), prev_edge(n);
 
   while (result.flow < max_flow) {
+    // One augmenting path per iteration — the natural poll granularity for
+    // the time budget and cooperative cancellation.
+    if (deadline_ != nullptr && deadline_->Expired()) {
+      return Status::ResourceExhausted("min-cost flow time limit exceeded");
+    }
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(cancel_, "min-cost flow"));
     // Dijkstra on reduced costs.
     using QItem = std::pair<int64_t, int>;
     std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;

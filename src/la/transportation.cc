@@ -22,8 +22,11 @@ Status ValidateTransportProfit(double profit) {
   return Status::OK();
 }
 
-Result<MultiTransportationResult> SolveTransportationWithDemand(
-    const Matrix& profit, const std::vector<int>& capacity, int demand) {
+namespace {
+
+Result<MultiTransportationResult> SolveWithMinCostFlow(
+    const Matrix& profit, const std::vector<int>& capacity, int demand,
+    const Deadline* deadline, const CancelToken& cancel) {
   const int tasks = profit.rows();
   const int agents = profit.cols();
   if (static_cast<int>(capacity.size()) != agents) {
@@ -64,6 +67,7 @@ Result<MultiTransportationResult> SolveTransportationWithDemand(
     flow.AddEdge(1 + tasks + a, sink, capacity[a], 0);
   }
 
+  flow.SetInterrupt(deadline, cancel);
   auto solved = flow.Solve(source, sink);
   if (!solved.ok()) return solved.status();
   if (solved->flow != total_demand) {
@@ -85,10 +89,24 @@ Result<MultiTransportationResult> SolveTransportationWithDemand(
   return result;
 }
 
+}  // namespace
+
+Result<MultiTransportationResult> SolveTransportationWithDemand(
+    const Matrix& profit, const std::vector<int>& capacity, int demand) {
+  return SolveWithMinCostFlow(profit, capacity, demand, /*deadline=*/nullptr,
+                              /*cancel=*/nullptr);
+}
+
 Result<MultiTransportationResult> SolveTransportationWithDemand(
     const Matrix& profit, const std::vector<int>& capacity, int demand,
     const TransportationOptions& options) {
   if (options.backend == TransportationBackend::kAuction && demand >= 1) {
+    // The auction's bidding rounds don't poll the budget yet, so check it
+    // at least on entry instead of starting a solve that is already late.
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      return Status::ResourceExhausted("transportation time limit exceeded");
+    }
+    WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "transportation"));
     AuctionOptions auction;
     auction.pool = options.pool;
     auction.initial_epsilon = options.initial_epsilon;
@@ -102,7 +120,8 @@ Result<MultiTransportationResult> SolveTransportationWithDemand(
       return solved;
     }
   }
-  return SolveTransportationWithDemand(profit, capacity, demand);
+  return SolveWithMinCostFlow(profit, capacity, demand, options.deadline,
+                              options.cancel);
 }
 
 Result<TransportationResult> SolveTransportation(

@@ -8,8 +8,10 @@
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/matrix.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 
 namespace wgrap {
 class ThreadPool;
@@ -82,6 +84,12 @@ struct TransportationOptions {
   wgrap::ThreadPool* pool = nullptr;
   /// Auction initial ε (profit units); 0 = auto. Ignored by min-cost flow.
   double initial_epsilon = 0.0;
+  /// Time budget (borrowed; may be null): the min-cost-flow backend polls it
+  /// per augmenting path and returns kResourceExhausted on expiry; the
+  /// auction backend is checked around the solve (coarser).
+  const Deadline* deadline = nullptr;
+  /// Cooperative cancellation, polled at the same sites (kCancelled).
+  CancelToken cancel;
 };
 
 /// Options overload: routes to the selected backend. The auction path is

@@ -1,0 +1,263 @@
+#include "service/api.h"
+
+#include <utility>
+
+#include "core/update.h"
+#include "data/io.h"
+#include "service/reports.h"
+
+namespace wgrap::service {
+
+namespace {
+
+JobQueue::Options QueueOptions(const ServiceOptions& options) {
+  JobQueue::Options queue;
+  queue.workers = options.job_workers;
+  queue.max_results = options.max_results;
+  return queue;
+}
+
+std::vector<std::pair<int, int>> PairsOf(const core::Assignment& assignment) {
+  std::vector<std::pair<int, int>> pairs;
+  const core::Instance& instance = assignment.instance();
+  for (int p = 0; p < instance.num_papers(); ++p) {
+    for (int r : assignment.GroupFor(p)) pairs.emplace_back(p, r);
+  }
+  return pairs;
+}
+
+const char* KindLabel(core::SolverRequest::Kind kind) {
+  switch (kind) {
+    case core::SolverRequest::Kind::kSolveCra:
+      return "solve";
+    case core::SolverRequest::Kind::kRefineCra:
+      return "refine";
+    case core::SolverRequest::Kind::kSolveJra:
+      return "jra";
+    case core::SolverRequest::Kind::kSolveJraTopK:
+      return "topk";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ServiceApi::ServiceApi(const ServiceOptions& options)
+    : store_(options.cache_threads), jobs_(QueueOptions(options)) {}
+
+Result<SessionResponse> ServiceApi::Open(const OpenRequest& request) {
+  auto dataset = data::DatasetFromCsv(request.dataset_csv);
+  if (!dataset.ok()) return dataset.status();
+  auto snapshot = store_.Open(request.session, *dataset, request.params);
+  if (!snapshot.ok()) return snapshot.status();
+  SessionResponse response;
+  response.info.name = snapshot->name;
+  response.info.version = snapshot->version;
+  response.info.papers = snapshot->instance->num_papers();
+  response.info.reviewers = snapshot->instance->num_reviewers();
+  response.info.topics = snapshot->instance->num_topics();
+  response.info.has_assignment = snapshot->assignment != nullptr;
+  return response;
+}
+
+std::vector<SessionInfo> ServiceApi::ListSessions() const {
+  return store_.List();
+}
+
+Status ServiceApi::CloseSession(const std::string& session) {
+  return store_.Close(session);
+}
+
+Result<SessionResponse> ServiceApi::PutAssignment(const std::string& session,
+                                                  const std::string& csv) {
+  auto pairs = data::AssignmentPairsFromCsv(csv);
+  if (!pairs.ok()) return pairs.status();
+  auto snapshot = store_.InstallAssignment(session, *pairs);
+  if (!snapshot.ok()) return snapshot.status();
+  SessionResponse response;
+  response.info.name = snapshot->name;
+  response.info.version = snapshot->version;
+  response.info.papers = snapshot->instance->num_papers();
+  response.info.reviewers = snapshot->instance->num_reviewers();
+  response.info.topics = snapshot->instance->num_topics();
+  response.info.has_assignment = snapshot->assignment != nullptr;
+  return response;
+}
+
+Result<TextResponse> ServiceApi::GetAssignment(
+    const std::string& session) const {
+  auto snapshot = store_.Get(session);
+  if (!snapshot.ok()) return snapshot.status();
+  if (snapshot->assignment == nullptr) {
+    return Status::FailedPrecondition("session '" + session +
+                                      "' has no assignment");
+  }
+  TextResponse response;
+  response.text = AssignmentCsv(*snapshot->assignment);
+  return response;
+}
+
+Result<TextResponse> ServiceApi::Evaluate(const std::string& session) const {
+  auto snapshot = store_.Get(session);
+  if (!snapshot.ok()) return snapshot.status();
+  if (snapshot->assignment == nullptr) {
+    return Status::FailedPrecondition("session '" + session +
+                                      "' has no assignment");
+  }
+  TextResponse response;
+  response.text = EvaluationReport(*snapshot->instance, *snapshot->assignment);
+  return response;
+}
+
+Result<TextResponse> ServiceApi::DescribeSolvers(
+    const DescribeSolversRequest& request) const {
+  TextResponse response;
+  response.text =
+      SolversReport(core::SolverRegistry::Default(), request.verbose);
+  return response;
+}
+
+Result<SubmitResponse> ServiceApi::Submit(const SubmitRequest& request) {
+  const auto& registry = core::SolverRegistry::Default();
+  // Fail fast at submit time: unknown solvers and bad knobs are caught
+  // here (with the schema in the message), before a job id is handed out.
+  const core::SolverDescriptor* descriptor = registry.Find(request.solver);
+  if (descriptor == nullptr) {
+    return Status::NotFound("unknown solver '" + request.solver + "'");
+  }
+  WGRAP_RETURN_IF_ERROR(core::ValidateKnobs(descriptor->name,
+                                            descriptor->knobs, request.knobs));
+  auto snapshot = store_.Get(request.session);
+  if (!snapshot.ok()) return snapshot.status();
+  const bool is_refine =
+      request.kind == core::SolverRequest::Kind::kRefineCra;
+  if (is_refine && snapshot->assignment == nullptr) {
+    return Status::FailedPrecondition("session '" + request.session +
+                                      "' has no assignment to refine");
+  }
+
+  SubmitRequest job_request = request;
+  SessionSnapshot snap = *std::move(snapshot);
+  const int64_t id = jobs_.Submit(
+      std::string(KindLabel(request.kind)) + ":" + request.solver,
+      [this, job_request = std::move(job_request),
+       snap = std::move(snap)](const CancelToken& cancel) {
+        JobResult result;
+        core::SolverRequest solver_request;
+        solver_request.kind = job_request.kind;
+        solver_request.solver = job_request.solver;
+        solver_request.paper = job_request.paper;
+        solver_request.k = job_request.k;
+        solver_request.initial = snap.assignment.get();
+        solver_request.options.time_limit_seconds =
+            job_request.time_limit_seconds;
+        solver_request.options.seed = job_request.seed;
+        solver_request.options.cancel = cancel;
+        solver_request.options.extra = job_request.knobs;
+        auto response =
+            core::SolverRegistry::Default().Run(solver_request,
+                                                *snap.instance);
+        if (!response.ok()) {
+          result.status = response.status();
+          return result;
+        }
+        if (response->assignment.has_value()) {
+          result.report = SolveReportLine(job_request.solver, *snap.instance,
+                                          *response->assignment, "");
+          result.assignment_csv = AssignmentCsv(*response->assignment);
+          if (job_request.install) {
+            // CAS install: only when no mutation superseded the snapshot
+            // this solve ran on. A lost race is not a job failure — the
+            // result stays fetchable either way.
+            (void)store_.InstallAssignmentIfCurrent(
+                snap.name, snap.version, PairsOf(*response->assignment));
+          }
+        } else {
+          result.report = JraReport(response->jra);
+        }
+        return result;
+      });
+  SubmitResponse response;
+  response.job = id;
+  return response;
+}
+
+Result<MutateResponse> ServiceApi::Mutate(const MutateRequest& request) {
+  auto updates = core::ParseMutationScript(request.script);
+  if (!updates.ok()) return updates.status();
+  auto outcome = store_.Mutate(request.session, *updates);
+  if (!outcome.ok()) return outcome.status();
+  MutateResponse response;
+  response.info.name = outcome->snapshot.name;
+  response.info.version = outcome->snapshot.version;
+  response.info.papers = outcome->snapshot.instance->num_papers();
+  response.info.reviewers = outcome->snapshot.instance->num_reviewers();
+  response.info.topics = outcome->snapshot.instance->num_topics();
+  response.info.has_assignment = outcome->snapshot.assignment != nullptr;
+  response.text =
+      MutationReport(outcome->report, *outcome->snapshot.instance);
+  return response;
+}
+
+Result<SubmitResponse> ServiceApi::Resolve(const ResolveRequest& request) {
+  WGRAP_RETURN_IF_ERROR(core::ValidateKnobs(
+      "update", core::IncrementalResolveKnobSpecs(), request.knobs));
+  auto snapshot = store_.Get(request.session);
+  if (!snapshot.ok()) return snapshot.status();
+  if (snapshot->assignment == nullptr) {
+    return Status::FailedPrecondition("session '" + request.session +
+                                      "' has no assignment to resolve");
+  }
+
+  ResolveRequest job_request = request;
+  SessionSnapshot snap = *std::move(snapshot);
+  const int64_t id = jobs_.Submit(
+      "resolve:" + request.session,
+      [this, job_request = std::move(job_request),
+       snap = std::move(snap)](const CancelToken& cancel) {
+        JobResult result;
+        // Work on a private rebind of the snapshot's assignment — the
+        // snapshot itself stays immutable for other readers.
+        core::Assignment working(snap.instance.get());
+        for (const auto& [p, r] : PairsOf(*snap.assignment)) {
+          const Status added = working.AddUnchecked(p, r);
+          if (!added.ok()) {
+            result.status = added;
+            return result;
+          }
+        }
+        core::SolverRunOptions options;
+        options.time_limit_seconds = job_request.time_limit_seconds;
+        options.seed = job_request.seed;
+        options.cancel = cancel;
+        options.extra = job_request.knobs;
+        auto report = core::IncrementalResolve(*snap.instance, &working,
+                                               options);
+        if (!report.ok()) {
+          result.status = report.status();
+          return result;
+        }
+        result.report = ResolveReport(*report, working);
+        result.assignment_csv = AssignmentCsv(working);
+        (void)store_.InstallAssignmentIfCurrent(snap.name, snap.version,
+                                                PairsOf(working));
+        return result;
+      });
+  SubmitResponse response;
+  response.job = id;
+  return response;
+}
+
+Result<JobStatus> ServiceApi::GetJobStatus(int64_t job) const {
+  return jobs_.GetStatus(job);
+}
+
+Result<JobResult> ServiceApi::GetJobResult(int64_t job) const {
+  return jobs_.GetResult(job);
+}
+
+Result<JobResult> ServiceApi::WaitJob(int64_t job) { return jobs_.Wait(job); }
+
+Status ServiceApi::CancelJob(int64_t job) { return jobs_.Cancel(job); }
+
+}  // namespace wgrap::service

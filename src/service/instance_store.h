@@ -1,0 +1,154 @@
+// Named-session store: the resident-state half of the service layer. Each
+// session owns a live Instance (with its CSR sparse views), an optional
+// tracked Assignment and a warm GainCache, all kept consistent through
+// typed mutations by the core/update.h machinery — the regime the
+// incremental engines of the last two PRs were built for, where the server
+// stays up and instances never get re-parsed.
+//
+// Concurrency model — snapshots with copy-on-mutate:
+//   - The master lineage (Instance + Assignment + GainCache + the
+//     InstanceUpdater tracking them) is mutable and guarded by the store
+//     mutex. Mutations patch it in place, which is exactly what keeps the
+//     GainCache warm (InstanceUpdater::TrackGainCache hooks).
+//   - Readers never touch the master. Every accessor returns the current
+//     SessionSnapshot: shared_ptr<const ...> copies published after each
+//     change. An in-flight solve holds its snapshot for the whole run, so
+//     a concurrent mutation can never race it — the solve sees the exact
+//     version it started from, bit for bit (snapshot isolation; pinned by
+//     tests/service_test.cc against a sequential run).
+//   - Versions are monotonic per session. Installing a solve result uses
+//     compare-and-set on the version, so a result computed against a
+//     snapshot that a mutation has since superseded is kept as a job
+//     result but not installed over newer state.
+#ifndef WGRAP_SERVICE_INSTANCE_STORE_H_
+#define WGRAP_SERVICE_INSTANCE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/assignment.h"
+#include "core/gain_cache.h"
+#include "core/instance.h"
+#include "core/update.h"
+#include "data/dataset.h"
+
+namespace wgrap::service {
+
+/// Immutable view of one session at one version. `instance` is always
+/// set; `assignment` is null until one is installed (by PutAssignment or
+/// a completed solve job) and is bound to exactly this `instance`.
+struct SessionSnapshot {
+  std::string name;
+  int64_t version = 0;
+  core::InstanceParams params;
+  std::shared_ptr<const core::Instance> instance;
+  std::shared_ptr<const core::Assignment> assignment;
+};
+
+/// Summary row for listings (`sessions` command).
+struct SessionInfo {
+  std::string name;
+  int64_t version = 0;
+  int papers = 0;
+  int reviewers = 0;
+  int topics = 0;
+  bool has_assignment = false;
+};
+
+/// What a Mutate did: the new snapshot plus the update report (applied op
+/// count, evicted pairs) the response text is rendered from.
+struct MutateOutcome {
+  SessionSnapshot snapshot;
+  core::UpdateReport report;
+};
+
+/// Thread-safe session store. All methods may be called concurrently.
+class InstanceStore {
+ public:
+  /// `cache_threads` sizes the internal pool GainCache refreshes fan over
+  /// (results are bit-identical at any value; 1 = fully inline).
+  explicit InstanceStore(int cache_threads = 1);
+  ~InstanceStore();
+
+  InstanceStore(const InstanceStore&) = delete;
+  InstanceStore& operator=(const InstanceStore&) = delete;
+
+  /// Builds an Instance from the dataset and opens a session under `name`.
+  /// kFailedPrecondition if the name is taken; construction errors pass
+  /// through.
+  Result<SessionSnapshot> Open(const std::string& name,
+                               const data::RapDataset& dataset,
+                               const core::InstanceParams& params);
+
+  /// Current snapshot. kNotFound for unknown sessions.
+  Result<SessionSnapshot> Get(const std::string& name) const;
+
+  std::vector<SessionInfo> List() const;
+
+  Status Close(const std::string& name);
+
+  /// Installs (replacing any previous) the tracked assignment from
+  /// (paper, reviewer) pairs, builds the warm GainCache over it, and
+  /// publishes a new snapshot. Pairs are applied AddUnchecked in the
+  /// given order; invalid pairs (COI, duplicate, out of range) reject the
+  /// whole install and leave the session unchanged.
+  Result<SessionSnapshot> InstallAssignment(
+      const std::string& name, const std::vector<std::pair<int, int>>& pairs);
+
+  /// Compare-and-set variant for async solve results: installs only when
+  /// the session is still at `expected_version` (i.e. no mutation landed
+  /// while the solve ran). Returns kFailedPrecondition with the current
+  /// version otherwise; the caller keeps its result, the session keeps
+  /// newer state.
+  Result<SessionSnapshot> InstallAssignmentIfCurrent(
+      const std::string& name, int64_t expected_version,
+      const std::vector<std::pair<int, int>>& pairs);
+
+  /// Applies the updates to the master lineage (assignment evictions and
+  /// GainCache patches included, via InstanceUpdater) and publishes a new
+  /// snapshot. Atomic at the snapshot level: on a mid-batch failure the
+  /// already-applied prefix is rolled back by rebuilding the master from
+  /// the last published snapshot, so readers and the master never see a
+  /// half-applied batch.
+  Result<MutateOutcome> Mutate(const std::string& name,
+                               const std::vector<core::InstanceUpdate>& updates);
+
+ private:
+  struct Session {
+    core::InstanceParams params;
+    // Master lineage — mutable, guarded by mutex_.
+    std::unique_ptr<core::Instance> instance;
+    std::unique_ptr<core::Assignment> assignment;  // null until installed
+    std::unique_ptr<core::GainCache> cache;        // null until installed
+    std::unique_ptr<core::InstanceUpdater> updater;
+    int64_t version = 0;
+    // Published copy (readers take shared_ptr copies of this).
+    SessionSnapshot snapshot;
+  };
+
+  /// Copies the master into session.snapshot (bumping the version). The
+  /// assignment copy replays pairs in (paper asc, group order) onto the
+  /// copied instance and normalizes with RecomputeAll, so snapshot scores
+  /// are bitwise equal to any other assignment with the same groups.
+  void Publish(Session* session);
+  Status InstallLocked(Session* session,
+                       const std::vector<std::pair<int, int>>& pairs);
+  /// Rebuilds the master lineage from the published snapshot (mutation
+  /// rollback path).
+  void RestoreFromSnapshot(Session* session);
+
+  mutable std::mutex mutex_;
+  ThreadPool cache_pool_;
+  std::map<std::string, Session> sessions_;
+};
+
+}  // namespace wgrap::service
+
+#endif  // WGRAP_SERVICE_INSTANCE_STORE_H_

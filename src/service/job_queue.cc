@@ -1,0 +1,178 @@
+#include "service/job_queue.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace wgrap::service {
+
+const char* JobStateToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+JobQueue::JobQueue(const Options& options)
+    : max_results_(options.max_results < 1 ? 1 : options.max_results) {
+  const int workers = options.workers < 1 ? 1 : options.workers;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobQueue::~JobQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Queued jobs never run; mark them cancelled so Wait()ers unblock.
+    for (int64_t id : queue_) {
+      Job& job = jobs_[id];
+      job.state = JobState::kDone;
+      job.result.status = Status::Cancelled("job queue shut down");
+    }
+    queue_.clear();
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  job_done_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+int64_t JobQueue::Submit(std::string label, JobFn fn) {
+  int64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    Job& job = jobs_[id];
+    job.id = id;
+    job.label = std::move(label);
+    job.cancel = MakeCancelSource();
+    job.fn = std::move(fn);
+    queue_.push_back(id);
+  }
+  work_ready_.notify_one();
+  return id;
+}
+
+void JobQueue::WorkerLoop() {
+  for (;;) {
+    Job* job = nullptr;
+    JobFn fn;
+    CancelToken cancel;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown
+      const int64_t id = queue_.front();
+      queue_.pop_front();
+      job = &jobs_[id];
+      job->state = JobState::kRunning;
+      ++in_flight_;
+      fn = std::move(job->fn);
+      job->fn = nullptr;
+      cancel = job->cancel;
+    }
+    JobResult result;
+    if (IsCancelled(cancel)) {
+      // Cancelled while queued: never run the body.
+      result.status = Status::Cancelled("job cancelled before start");
+    } else {
+      Stopwatch watch;
+      result = fn(cancel);
+      result.seconds = watch.ElapsedSeconds();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->result = std::move(result);
+      job->state = JobState::kDone;
+      --in_flight_;
+      done_order_.push_back(job->id);
+      while (static_cast<int>(done_order_.size()) > max_results_) {
+        Job& victim = jobs_[done_order_.front()];
+        done_order_.pop_front();
+        victim.evicted = true;
+        victim.result.report.clear();
+        victim.result.assignment_csv.clear();
+      }
+    }
+    job_done_.notify_all();
+  }
+}
+
+Result<JobStatus> JobQueue::GetStatus(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  JobStatus status;
+  status.id = id;
+  status.label = it->second.label;
+  status.state = it->second.state;
+  status.result_available =
+      it->second.state == JobState::kDone && !it->second.evicted;
+  return status;
+}
+
+Result<JobResult> JobQueue::GetResult(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  const Job& job = it->second;
+  if (job.state != JobState::kDone) {
+    return Status::FailedPrecondition("job " + std::to_string(id) +
+                                      " is still " +
+                                      JobStateToString(job.state) +
+                                      "; use wait");
+  }
+  if (job.evicted) {
+    return Status::ResourceExhausted("job " + std::to_string(id) +
+                                     " result was evicted");
+  }
+  return job.result;
+}
+
+Result<JobResult> JobQueue::Wait(int64_t id) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job " + std::to_string(id));
+    }
+    job_done_.wait(lock, [&] {
+      return jobs_[id].state == JobState::kDone;
+    });
+  }
+  return GetResult(id);
+}
+
+Status JobQueue::Cancel(int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  if (it->second.state == JobState::kDone) {
+    return Status::FailedPrecondition("job " + std::to_string(id) +
+                                      " already finished");
+  }
+  it->second.cancel->store(true);
+  return Status::OK();
+}
+
+void JobQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [this] {
+    return queue_.empty() && in_flight_ == 0;
+  });
+}
+
+}  // namespace wgrap::service

@@ -1,0 +1,136 @@
+// Async job execution for the service layer: submit returns immediately
+// with a monotonically increasing id (1, 2, ... — deterministic, so a
+// fully scripted session can predict them), a fixed set of workers drains
+// the FIFO queue, and results are kept in a bounded store with
+// oldest-first eviction.
+//
+// Cancellation is cooperative, end to end: every job gets a fresh cancel
+// source (common/cancel.h) that Cancel() flips. A queued job is skipped
+// (its result is Status::Cancelled without the body ever running); a
+// running job sees the flag through SolverRunOptions::cancel at the
+// solvers' deadline-poll sites and aborts with kCancelled mid-search.
+//
+// Relationship to wgrap::ThreadPool: the pool is a fork-join parallel-for
+// substrate, intentionally without a task queue, so job-level concurrency
+// lives here on dedicated worker threads — while the data-parallel work
+// *inside* a job (SDGA stages, cache refreshes) keeps riding the pool via
+// the `threads` knob. One job = one solver run; nesting stays sane.
+#ifndef WGRAP_SERVICE_JOB_QUEUE_H_
+#define WGRAP_SERVICE_JOB_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+
+namespace wgrap::service {
+
+enum class JobState { kQueued, kRunning, kDone };
+
+const char* JobStateToString(JobState state);
+
+/// What a job produced. `status` is the solver outcome (kCancelled for a
+/// cancelled job, kResourceExhausted for a blown budget, ...); `report`
+/// and `assignment_csv` are the response payloads when ok.
+struct JobResult {
+  Status status = Status::OK();
+  std::string report;
+  std::string assignment_csv;
+  /// Wall-clock of the job body (accounting only — never rendered into
+  /// `report`, which must stay byte-deterministic).
+  double seconds = 0.0;
+};
+
+struct JobStatus {
+  int64_t id = 0;
+  std::string label;
+  JobState state = JobState::kQueued;
+  /// False once the bounded store evicted the payload (the status row
+  /// itself survives).
+  bool result_available = false;
+};
+
+class JobQueue {
+ public:
+  struct Options {
+    /// Concurrent jobs. Results are independent of this (each job is
+    /// deterministic on its own inputs); only completion order varies.
+    int workers = 2;
+    /// Completed results retained; beyond this the oldest completed job's
+    /// payload is dropped and GetResult reports the eviction.
+    int max_results = 64;
+  };
+
+  explicit JobQueue(const Options& options);
+  /// Cancels everything still queued and joins the workers.
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// The job body: runs on a worker with the job's cancel token; expected
+  /// to poll it (solvers do, through SolverRunOptions::cancel).
+  using JobFn = std::function<JobResult(const CancelToken&)>;
+
+  /// Enqueues and returns the job id (ids start at 1).
+  int64_t Submit(std::string label, JobFn fn);
+
+  /// kNotFound for unknown ids.
+  Result<JobStatus> GetStatus(int64_t id) const;
+
+  /// The result of a finished job. kFailedPrecondition while queued or
+  /// running ("use wait"), kResourceExhausted once evicted, kNotFound for
+  /// unknown ids. A failed job's result is returned with its status
+  /// inside (the caller renders it as an error reply).
+  Result<JobResult> GetResult(int64_t id) const;
+
+  /// Blocks until the job finishes, then behaves like GetResult.
+  Result<JobResult> Wait(int64_t id);
+
+  /// Flips the job's cancel flag. Queued jobs finish as kCancelled without
+  /// running; running jobs abort at the solver's next poll site.
+  /// kFailedPrecondition if the job already finished; kNotFound otherwise.
+  Status Cancel(int64_t id);
+
+  /// Waits for every submitted job to finish (test/bench barrier).
+  void Drain();
+
+ private:
+  struct Job {
+    int64_t id = 0;
+    std::string label;
+    JobState state = JobState::kQueued;
+    bool evicted = false;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    JobFn fn;
+    JobResult result;
+  };
+
+  void WorkerLoop();
+
+  const int max_results_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;  // workers wait for queue_
+  std::condition_variable job_done_;    // Wait()/Drain() wait on this
+  std::deque<int64_t> queue_;
+  std::map<int64_t, Job> jobs_;
+  std::deque<int64_t> done_order_;  // completed ids, oldest first
+  int64_t next_id_ = 1;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wgrap::service
+
+#endif  // WGRAP_SERVICE_JOB_QUEUE_H_

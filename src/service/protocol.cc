@@ -1,0 +1,447 @@
+#include "service/protocol.h"
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wgrap::service {
+
+namespace {
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Reply Ok(std::string payload) {
+  Reply reply;
+  reply.payload = std::move(payload);
+  return reply;
+}
+
+Reply Err(Status status) {
+  Reply reply;
+  reply.status = std::move(status);
+  return reply;
+}
+
+Reply BadArgs(const std::string& message) {
+  return Err(Status::InvalidArgument(message));
+}
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    *out = std::stoll(text, &pos);
+  } catch (...) {
+    return false;
+  }
+  return pos == text.size();
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  int64_t wide = 0;
+  if (!ParseInt64(text, &wide)) return false;
+  *out = static_cast<int>(wide);
+  return *out == wide;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    *out = std::stod(text, &pos);
+  } catch (...) {
+    return false;
+  }
+  return pos == text.size();
+}
+
+/// Splits "key=value" tokens (everything after the fixed positional args)
+/// into a map; a token without '=' is an error.
+Status ParseKeyValues(const std::vector<std::string>& tokens,
+                      std::size_t first,
+                      std::map<std::string, std::string>* out) {
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected key=value, got '" + token +
+                                     "'");
+    }
+    (*out)[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return Status::OK();
+}
+
+/// Pops `key` from `kv` into the typed slot; absent keys leave the
+/// default. Type errors surface with the key name.
+Status TakeInt(std::map<std::string, std::string>* kv, const std::string& key,
+               int* out) {
+  auto it = kv->find(key);
+  if (it == kv->end()) return Status::OK();
+  if (!ParseInt(it->second, out)) {
+    return Status::InvalidArgument("'" + key + "' must be an integer, got '" +
+                                   it->second + "'");
+  }
+  kv->erase(it);
+  return Status::OK();
+}
+
+Status TakeDouble(std::map<std::string, std::string>* kv,
+                  const std::string& key, double* out) {
+  auto it = kv->find(key);
+  if (it == kv->end()) return Status::OK();
+  if (!ParseDouble(it->second, out)) {
+    return Status::InvalidArgument("'" + key + "' must be a number, got '" +
+                                   it->second + "'");
+  }
+  kv->erase(it);
+  return Status::OK();
+}
+
+Status TakeUint64(std::map<std::string, std::string>* kv,
+                  const std::string& key, uint64_t* out) {
+  auto it = kv->find(key);
+  if (it == kv->end()) return Status::OK();
+  int64_t value = 0;
+  if (!ParseInt64(it->second, &value) || value < 0) {
+    return Status::InvalidArgument("'" + key +
+                                   "' must be a non-negative integer, got '" +
+                                   it->second + "'");
+  }
+  *out = static_cast<uint64_t>(value);
+  kv->erase(it);
+  return Status::OK();
+}
+
+Status TakeBool(std::map<std::string, std::string>* kv, const std::string& key,
+                bool* out) {
+  auto it = kv->find(key);
+  if (it == kv->end()) return Status::OK();
+  if (it->second == "true") {
+    *out = true;
+  } else if (it->second == "false") {
+    *out = false;
+  } else {
+    return Status::InvalidArgument("'" + key + "' must be true or false, got '" +
+                                   it->second + "'");
+  }
+  kv->erase(it);
+  return Status::OK();
+}
+
+Status TakeString(std::map<std::string, std::string>* kv,
+                  const std::string& key, std::string* out) {
+  auto it = kv->find(key);
+  if (it == kv->end()) return Status::OK();
+  *out = it->second;
+  kv->erase(it);
+  return Status::OK();
+}
+
+std::string SessionLine(const SessionInfo& info) {
+  return "session " + info.name + " v" + std::to_string(info.version) + " P=" +
+         std::to_string(info.papers) + " R=" + std::to_string(info.reviewers) +
+         " T=" + std::to_string(info.topics) +
+         (info.has_assignment ? " assigned" : " unassigned") + "\n";
+}
+
+Reply RenderJobResult(const Result<JobResult>& result) {
+  if (!result.ok()) return Err(result.status());
+  // A finished-but-failed job (cancelled, budget blown, infeasible): its
+  // stored status becomes the error frame.
+  if (!result->status.ok()) return Err(result->status);
+  return Ok(result->report);
+}
+
+Reply HandleOpen(ServiceApi& api, const std::vector<std::string>& tokens,
+                 const std::string& payload) {
+  if (tokens.size() < 2) return BadArgs("usage: open <session> [k=v...] <<N");
+  OpenRequest request;
+  request.session = tokens[1];
+  request.dataset_csv = payload;
+  std::map<std::string, std::string> kv;
+  if (Status parsed = ParseKeyValues(tokens, 2, &kv); !parsed.ok()) {
+    return Err(parsed);
+  }
+  if (Status taken = TakeInt(&kv, "dp", &request.params.group_size);
+      !taken.ok()) {
+    return Err(taken);
+  }
+  if (Status taken = TakeInt(&kv, "dr", &request.params.reviewer_workload);
+      !taken.ok()) {
+    return Err(taken);
+  }
+  std::string scoring = "c";
+  if (Status taken = TakeString(&kv, "scoring", &scoring); !taken.ok()) {
+    return Err(taken);
+  }
+  if (scoring == "c") {
+    request.params.scoring = core::ScoringFunction::kWeightedCoverage;
+  } else if (scoring == "cR") {
+    request.params.scoring = core::ScoringFunction::kReviewerCoverage;
+  } else if (scoring == "cP") {
+    request.params.scoring = core::ScoringFunction::kPaperCoverage;
+  } else if (scoring == "cD") {
+    request.params.scoring = core::ScoringFunction::kDotProduct;
+  } else {
+    return BadArgs("unknown scoring '" + scoring + "' (use c, cR, cP, cD)");
+  }
+  std::string topics = "dense";
+  if (Status taken = TakeString(&kv, "topics", &topics); !taken.ok()) {
+    return Err(taken);
+  }
+  if (topics == "sparse") {
+    request.params.sparse_topics = true;
+  } else if (topics == "dense") {
+    request.params.sparse_topics = false;
+  } else {
+    return BadArgs("unknown topics mode '" + topics +
+                   "' (use dense or sparse)");
+  }
+  if (!kv.empty()) {
+    return BadArgs("unknown open option '" + kv.begin()->first + "'");
+  }
+  auto response = api.Open(request);
+  if (!response.ok()) return Err(response.status());
+  return Ok(SessionLine(response->info));
+}
+
+Reply HandleSubmit(ServiceApi& api, const std::vector<std::string>& tokens) {
+  if (tokens.size() < 4) {
+    return BadArgs(
+        "usage: submit <session> solve|refine|jra <algo> [k=v...]");
+  }
+  SubmitRequest request;
+  request.session = tokens[1];
+  const std::string& kind = tokens[2];
+  request.solver = tokens[3];
+  std::map<std::string, std::string> kv;
+  if (Status parsed = ParseKeyValues(tokens, 4, &kv); !parsed.ok()) {
+    return Err(parsed);
+  }
+  if (Status taken = TakeDouble(&kv, "budget", &request.time_limit_seconds);
+      !taken.ok()) {
+    return Err(taken);
+  }
+  if (Status taken = TakeUint64(&kv, "seed", &request.seed); !taken.ok()) {
+    return Err(taken);
+  }
+  if (Status taken = TakeBool(&kv, "install", &request.install); !taken.ok()) {
+    return Err(taken);
+  }
+  if (kind == "solve") {
+    request.kind = core::SolverRequest::Kind::kSolveCra;
+  } else if (kind == "refine") {
+    request.kind = core::SolverRequest::Kind::kRefineCra;
+  } else if (kind == "jra") {
+    bool has_paper = kv.count("paper") != 0;
+    if (!has_paper) return BadArgs("jra requires paper=<id>");
+    if (Status taken = TakeInt(&kv, "paper", &request.paper); !taken.ok()) {
+      return Err(taken);
+    }
+    if (kv.count("topk") != 0) {
+      request.kind = core::SolverRequest::Kind::kSolveJraTopK;
+      if (Status taken = TakeInt(&kv, "topk", &request.k); !taken.ok()) {
+        return Err(taken);
+      }
+    } else {
+      request.kind = core::SolverRequest::Kind::kSolveJra;
+    }
+  } else {
+    return BadArgs("unknown submit kind '" + kind +
+                   "' (use solve, refine or jra)");
+  }
+  // Everything left is a solver knob; Submit validates it against the
+  // solver's declared schema.
+  request.knobs = std::move(kv);
+  auto response = api.Submit(request);
+  if (!response.ok()) return Err(response.status());
+  return Ok("job " + std::to_string(response->job) + "\n");
+}
+
+Reply HandleResolve(ServiceApi& api, const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) return BadArgs("usage: resolve <session> [k=v...]");
+  ResolveRequest request;
+  request.session = tokens[1];
+  std::map<std::string, std::string> kv;
+  if (Status parsed = ParseKeyValues(tokens, 2, &kv); !parsed.ok()) {
+    return Err(parsed);
+  }
+  if (Status taken = TakeDouble(&kv, "budget", &request.time_limit_seconds);
+      !taken.ok()) {
+    return Err(taken);
+  }
+  if (Status taken = TakeUint64(&kv, "seed", &request.seed); !taken.ok()) {
+    return Err(taken);
+  }
+  // Protocol sugar: `refine=sra` reads better on the wire than the
+  // pipeline-level knob name it maps to.
+  auto refine = kv.find("refine");
+  if (refine != kv.end()) {
+    kv["update_refine"] = refine->second;
+    kv.erase(refine);
+  }
+  request.knobs = std::move(kv);
+  auto response = api.Resolve(request);
+  if (!response.ok()) return Err(response.status());
+  return Ok("job " + std::to_string(response->job) + "\n");
+}
+
+Reply HandleJobCommand(ServiceApi& api, const std::vector<std::string>& tokens) {
+  int64_t id = 0;
+  if (tokens.size() != 2 || !ParseInt64(tokens[1], &id)) {
+    return BadArgs("usage: " + tokens[0] + " <job-id>");
+  }
+  const std::string& command = tokens[0];
+  if (command == "status") {
+    auto status = api.GetJobStatus(id);
+    if (!status.ok()) return Err(status.status());
+    return Ok("job " + std::to_string(status->id) + " " + status->label + " " +
+              JobStateToString(status->state) + "\n");
+  }
+  if (command == "wait") return RenderJobResult(api.WaitJob(id));
+  if (command == "result") return RenderJobResult(api.GetJobResult(id));
+  // cancel
+  if (Status cancelled = api.CancelJob(id); !cancelled.ok()) {
+    return Err(cancelled);
+  }
+  return Ok("cancelled\n");
+}
+
+}  // namespace
+
+Reply HandleCommand(ServiceApi& api, const std::string& line,
+                    const std::string& payload) {
+  const std::vector<std::string> tokens = SplitTokens(line);
+  if (tokens.empty()) return BadArgs("empty command");
+  const std::string& command = tokens[0];
+
+  if (command == "ping") return Ok("pong\n");
+  if (command == "quit") {
+    Reply reply = Ok("bye\n");
+    reply.quit = true;
+    return reply;
+  }
+  if (command == "solvers") {
+    DescribeSolversRequest request;
+    if (tokens.size() > 1) {
+      if (tokens.size() != 2 || tokens[1] != "verbose") {
+        return BadArgs("usage: solvers [verbose]");
+      }
+      request.verbose = true;
+    }
+    auto response = api.DescribeSolvers(request);
+    if (!response.ok()) return Err(response.status());
+    return Ok(response->text);
+  }
+  if (command == "open") return HandleOpen(api, tokens, payload);
+  if (command == "sessions") {
+    std::string payload_text;
+    for (const SessionInfo& info : api.ListSessions()) {
+      payload_text += SessionLine(info);
+    }
+    return Ok(std::move(payload_text));
+  }
+  if (command == "close") {
+    if (tokens.size() != 2) return BadArgs("usage: close <session>");
+    if (Status closed = api.CloseSession(tokens[1]); !closed.ok()) {
+      return Err(closed);
+    }
+    return Ok("closed\n");
+  }
+  if (command == "put-assignment") {
+    if (tokens.size() != 2) {
+      return BadArgs("usage: put-assignment <session> <<N");
+    }
+    auto response = api.PutAssignment(tokens[1], payload);
+    if (!response.ok()) return Err(response.status());
+    return Ok(SessionLine(response->info));
+  }
+  if (command == "assignment") {
+    if (tokens.size() != 2) return BadArgs("usage: assignment <session>");
+    auto response = api.GetAssignment(tokens[1]);
+    if (!response.ok()) return Err(response.status());
+    return Ok(response->text);
+  }
+  if (command == "evaluate") {
+    if (tokens.size() != 2) return BadArgs("usage: evaluate <session>");
+    auto response = api.Evaluate(tokens[1]);
+    if (!response.ok()) return Err(response.status());
+    return Ok(response->text);
+  }
+  if (command == "submit") return HandleSubmit(api, tokens);
+  if (command == "mutate") {
+    if (tokens.size() != 2) return BadArgs("usage: mutate <session> <<N");
+    MutateRequest request;
+    request.session = tokens[1];
+    request.script = payload;
+    auto response = api.Mutate(request);
+    if (!response.ok()) return Err(response.status());
+    return Ok(response->text + SessionLine(response->info));
+  }
+  if (command == "resolve") return HandleResolve(api, tokens);
+  if (command == "status" || command == "wait" || command == "result" ||
+      command == "cancel") {
+    return HandleJobCommand(api, tokens);
+  }
+  return BadArgs("unknown command '" + command + "'");
+}
+
+std::string EncodeReply(const Reply& reply) {
+  if (reply.status.ok()) {
+    return "ok " + std::to_string(reply.payload.size()) + "\n" + reply.payload;
+  }
+  const std::string& message = reply.status.message();
+  return std::string("err ") + StatusCodeToString(reply.status.code()) + " " +
+         std::to_string(message.size()) + "\n" + message;
+}
+
+void ServeStream(std::istream& in, std::ostream& out, ServiceApi& api) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank lines between commands are fine
+
+    // `... <<N` marks N payload bytes following the newline.
+    std::string payload;
+    Reply reply;
+    bool framed_ok = true;
+    const std::size_t marker = line.rfind(" <<");
+    if (marker != std::string::npos &&
+        line.find_first_not_of("0123456789", marker + 3) ==
+            std::string::npos &&
+        marker + 3 < line.size()) {
+      int64_t size = 0;
+      if (!ParseInt64(line.substr(marker + 3), &size) || size < 0) {
+        reply = BadArgs("bad payload size in '" + line + "'");
+        framed_ok = false;
+      } else {
+        payload.resize(static_cast<std::size_t>(size));
+        if (size > 0 && !in.read(payload.data(), size)) {
+          reply = BadArgs("truncated payload: expected " +
+                          std::to_string(size) + " bytes");
+          framed_ok = false;
+        }
+        line.erase(marker);
+      }
+    }
+    if (framed_ok) reply = HandleCommand(api, line, payload);
+    out << EncodeReply(reply);
+    out.flush();
+    if (reply.quit) break;
+  }
+}
+
+}  // namespace wgrap::service

@@ -1,0 +1,72 @@
+// The wgrap service line protocol: a newline-framed, length-prefixed text
+// protocol designed so CI can drive a server with nothing but a shell.
+//
+// Request framing — one command per line:
+//   <command> [args...]          no payload
+//   <command> [args...] <<N     N payload bytes follow the newline
+// Response framing — one status line, then the payload:
+//   ok <N>\n<N bytes>
+//   err <StatusCode> <N>\n<N message bytes>
+//
+// Commands (args in [] optional; key=value args order-free):
+//   ping
+//   solvers [verbose]                         solver table [+ knob schemas]
+//   open <session> [dp=3] [dr=0] [scoring=c] [topics=dense] <<N  dataset CSV
+//   sessions                                  one line per open session
+//   close <session>
+//   put-assignment <session> <<N              assignment CSV
+//   assignment <session>                      current assignment as CSV
+//   evaluate <session>                        `wgrap_cli evaluate` block
+//   submit <session> solve <algo> [budget=S] [seed=N] [install=true]
+//          [<knob>=<value>...]                -> "job <id>"
+//   submit <session> refine <algo> [...]      refines current assignment
+//   submit <session> jra <algo> paper=P [topk=K] [...]
+//   mutate <session> <<N                      mutation script; sync
+//   resolve <session> [budget=S] [seed=N] [refine=sra] [<knob>=<value>...]
+//                                             incremental re-solve job
+//   status <job>                              "job <id> queued|running|done"
+//   wait <job>                                blocks, then like `result`
+//   result <job>                              the job's report payload
+//   cancel <job>
+//   quit
+//
+// Determinism: job ids count up from 1 and every payload is rendered by
+// service/reports.h without wall-clock numbers, so a scripted session
+// produces a byte-identical response stream on every run — the property
+// the CI smoke diffs against one-shot CLI output.
+#ifndef WGRAP_SERVICE_PROTOCOL_H_
+#define WGRAP_SERVICE_PROTOCOL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "service/api.h"
+
+namespace wgrap::service {
+
+/// Outcome of one command. `payload` is sent on ok; a non-ok status
+/// becomes an `err` frame carrying the status message.
+struct Reply {
+  Status status = Status::OK();
+  std::string payload;
+  bool quit = false;
+};
+
+/// Executes one already-deframed command (line without the `<<N` marker,
+/// plus its payload) against the api. Unknown commands and malformed
+/// arguments come back as kInvalidArgument replies, never exceptions.
+Reply HandleCommand(ServiceApi& api, const std::string& line,
+                    const std::string& payload);
+
+/// "ok <N>\n<payload>" or "err <Code> <N>\n<message>".
+std::string EncodeReply(const Reply& reply);
+
+/// Reads framed commands from `in` and writes framed replies to `out`
+/// until EOF or `quit`. The stdio transport is exactly this on
+/// std::cin/std::cout; the TCP transport runs it per connection.
+void ServeStream(std::istream& in, std::ostream& out, ServiceApi& api);
+
+}  // namespace wgrap::service
+
+#endif  // WGRAP_SERVICE_PROTOCOL_H_

@@ -1,0 +1,141 @@
+#include "service/tcp.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <utility>
+
+#include "service/protocol.h"
+
+namespace wgrap::service {
+
+namespace {
+
+/// std::streambuf over a connected socket fd, buffered both ways, so
+/// ServeStream can run unchanged on a TCP connection.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t got = ::read(fd_, in_, sizeof(in_));
+    if (got <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + got);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (Flush() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return Flush(); }
+
+ private:
+  int Flush() {
+    const char* data = pbase();
+    std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+    while (left > 0) {
+      const ssize_t wrote = ::write(fd_, data, left);
+      if (wrote <= 0) return -1;
+      data += wrote;
+      left -= static_cast<std::size_t>(wrote);
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+TcpServer::TcpServer(ServiceApi* api) : api_(api) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status failed =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status failed =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const Status failed =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;  // Stop() already ran
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed by Stop()
+    connections_.emplace_back([this, fd] {
+      FdStreambuf buf(fd);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      ServeStream(in, out, *api_);
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    });
+  }
+}
+
+void TcpServer::Stop() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() wakes the blocked accept(); close alone does not on all
+    // platforms.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& connection : connections_) connection.join();
+  connections_.clear();
+}
+
+}  // namespace wgrap::service

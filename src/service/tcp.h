@@ -1,0 +1,57 @@
+// Minimal TCP front end for the line protocol: one acceptor thread, one
+// thread per connection, each connection running ServeStream over an
+// iostream wrapped around the socket fd. No external dependencies — raw
+// POSIX sockets — and no protocol logic of its own: everything on the
+// wire is service/protocol.h, so the stdio transport, the TCP transport
+// and the in-process tests all speak identical bytes.
+//
+// All connections share the one ServiceApi, so sessions opened over one
+// connection are visible to every other (that is the point of the
+// resident store); the api's own locking makes this safe.
+#ifndef WGRAP_SERVICE_TCP_H_
+#define WGRAP_SERVICE_TCP_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/api.h"
+
+namespace wgrap::service {
+
+class TcpServer {
+ public:
+  /// Does not take ownership; `api` must outlive the server.
+  explicit TcpServer(ServiceApi* api);
+  /// Stops and joins if still running.
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — tests use this),
+  /// starts listening and spawns the acceptor thread.
+  Status Start(int port);
+
+  /// The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  /// Closes the listener, waits for the acceptor and every connection
+  /// thread to finish. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  ServiceApi* api_;
+  // Written by Start()/Stop(), read by the acceptor thread.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace wgrap::service
+
+#endif  // WGRAP_SERVICE_TCP_H_

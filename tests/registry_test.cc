@@ -197,9 +197,23 @@ TEST(SolverRegistryTest, ExtraKnobsAreThreadedThrough) {
   auto assignment = registry.SolveCra("sdga-sra", instance, options);
   ASSERT_TRUE(assignment.ok()) << assignment.status().ToString();
   EXPECT_TRUE(assignment->ValidateComplete().ok());
-  // Unknown keys are ignored so custom registrations can define their own.
+  // Undeclared keys are rejected at dispatch — the error names the key and
+  // lists the solver's declared knobs so the caller can self-correct.
   options.extra["custom_knob"] = "whatever";
-  EXPECT_TRUE(registry.SolveCra("sdga", instance, options).ok());
+  auto rejected = registry.SolveCra("sdga-sra", instance, options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("custom_knob"),
+            std::string::npos);
+  EXPECT_NE(rejected.status().message().find("sra_omega"), std::string::npos);
+  // A knob another solver declares is still unknown here: greedy takes no
+  // threads knob (it is single-threaded), so the typo'd intent surfaces.
+  core::SolverRunOptions wrong_solver;
+  wrong_solver.extra["threads"] = "4";
+  auto wrong = registry.SolveCra("greedy", instance, wrong_solver);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(wrong.status().message().find("threads"), std::string::npos);
 }
 
 TEST(SolverRegistryTest, TopicsKnobSelectsSparseKernels) {
@@ -293,6 +307,8 @@ TEST(SolverRegistryTest, SolveJraTopKDispatchErrors) {
 TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
   const auto& registry = core::SolverRegistry::Default();
   const core::Instance instance = TinyInstance();
+  // Each key below is declared by sdga-sra, so the failure is a value-level
+  // schema violation (bad type, out-of-range, or illegal enum member).
   for (const auto& [key, value] :
        {std::pair<const char*, const char*>{"threads", "many"},
         {"threads", "0"},
@@ -301,10 +317,7 @@ TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
         {"sra_omega", "0"},
         {"sra_lambda", "fast"},
         {"topics", "csr"},
-        {"gains", "cached"},
-        {"bba_bounding", "maybe"},
-        {"bba_gain_branching", "2"},
-        {"update_refine", "cold"}}) {
+        {"gains", "cached"}}) {
     core::SolverRunOptions options;
     options.extra[key] = value;
     auto result = registry.SolveCra("sdga-sra", instance, options);
@@ -312,10 +325,125 @@ TEST(SolverRegistryTest, MalformedExtraValuesAreRejected) {
     EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << key;
     // The error names the offending key.
     EXPECT_NE(result.status().message().find(key), std::string::npos) << key;
-    // Reserved keys are validated at dispatch, so even solvers that ignore
-    // the knob diagnose a typo instead of silently running.
-    EXPECT_FALSE(registry.SolveCra("greedy", instance, options).ok()) << key;
   }
+  // Bool knobs on the JRA side follow the same contract.
+  for (const auto& [key, value] :
+       {std::pair<const char*, const char*>{"bba_bounding", "maybe"},
+        {"bba_gain_branching", "2"}}) {
+    core::SolverRunOptions options;
+    options.extra[key] = value;
+    auto result = registry.SolveJra("bba", instance, 1, options);
+    ASSERT_FALSE(result.ok()) << key;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << key;
+    EXPECT_NE(result.status().message().find(key), std::string::npos) << key;
+  }
+}
+
+TEST(SolverRegistryTest, DescriptorsDeclareWellFormedKnobSchemas) {
+  const auto& registry = core::SolverRegistry::Default();
+  for (const auto* descriptor : registry.List()) {
+    // Every solver can pick its topic representation — the one knob that is
+    // cross-cutting by design (sparse_test exercises it on all of them).
+    const core::KnobSpec* topics = descriptor->FindKnob("topics");
+    ASSERT_NE(topics, nullptr) << descriptor->name;
+    EXPECT_EQ(topics->type, core::KnobType::kEnum) << descriptor->name;
+    EXPECT_EQ(descriptor->FindKnob("no_such_knob"), nullptr)
+        << descriptor->name;
+    for (const auto& knob : descriptor->knobs) {
+      SCOPED_TRACE(descriptor->name + std::string("/") + knob.name);
+      EXPECT_FALSE(knob.name.empty());
+      EXPECT_FALSE(knob.doc.empty());
+      // The rendered line carries the name and the default so
+      // `solvers --verbose` / DescribeSolvers are self-describing.
+      const std::string line = core::FormatKnobSpec(knob);
+      EXPECT_NE(line.find(knob.name), std::string::npos);
+      EXPECT_NE(line.find(core::KnobTypeToString(knob.type)),
+                std::string::npos);
+      // Declared defaults must satisfy their own spec.
+      if (!knob.default_value.empty()) {
+        EXPECT_TRUE(
+            core::ValidateKnobValue(knob, knob.default_value).ok());
+      }
+    }
+  }
+  // The update pipeline shares the same schema machinery.
+  const auto& update_knobs = core::IncrementalResolveKnobSpecs();
+  EXPECT_FALSE(update_knobs.empty());
+  bool has_refine = false;
+  for (const auto& knob : update_knobs) {
+    if (knob.name == "update_refine") has_refine = true;
+  }
+  EXPECT_TRUE(has_refine);
+  EXPECT_EQ(core::ValidateKnobs("update", update_knobs,
+                                {{"update_refine", "cold"}})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SolverRegistryTest, RunUnifiedDispatchMatchesLegacyWrappers) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+
+  core::SolverRequest solve;
+  solve.kind = core::SolverRequest::Kind::kSolveCra;
+  solve.solver = "sdga";
+  auto response = registry.Run(solve, instance);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->assignment.has_value());
+  EXPECT_GE(response->seconds, 0.0);
+  auto legacy = registry.SolveCra("sdga", instance);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(response->assignment->TotalScore(), legacy->TotalScore());
+
+  core::SolverRequest refine;
+  refine.kind = core::SolverRequest::Kind::kRefineCra;
+  refine.solver = "sra";
+  refine.initial = &*response->assignment;
+  auto refined = registry.Run(refine, instance);
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  ASSERT_TRUE(refined->assignment.has_value());
+  EXPECT_GE(refined->assignment->TotalScore(), legacy->TotalScore());
+  // A refine request without an initial assignment is a caller bug.
+  refine.initial = nullptr;
+  EXPECT_EQ(registry.Run(refine, instance).status().code(),
+            StatusCode::kInvalidArgument);
+
+  core::SolverRequest topk;
+  topk.kind = core::SolverRequest::Kind::kSolveJraTopK;
+  topk.solver = "bba";
+  topk.paper = 2;
+  topk.k = 3;
+  auto groups = registry.Run(topk, instance);
+  ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+  EXPECT_EQ(groups->jra.size(), 3u);
+  EXPECT_FALSE(groups->assignment.has_value());
+
+  core::SolverRequest jra;
+  jra.kind = core::SolverRequest::Kind::kSolveJra;
+  jra.solver = "bfs";
+  jra.paper = 2;
+  auto single = registry.Run(jra, instance);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  ASSERT_EQ(single->jra.size(), 1u);
+  EXPECT_NEAR(single->jra[0].score, groups->jra[0].score, 1e-9);
+}
+
+TEST(SolverRunOptionsTest, RestrictedToFiltersUndeclaredKeys) {
+  core::SolverRunOptions options;
+  options.time_limit_seconds = 2.5;
+  options.seed = 99;
+  options.extra["sra_omega"] = "4";
+  options.extra["update_refine"] = "sra";
+  std::vector<core::KnobSpec> specs;
+  core::KnobSpec omega;
+  omega.name = "sra_omega";
+  specs.push_back(omega);
+  const core::SolverRunOptions narrowed = options.RestrictedTo(specs);
+  EXPECT_EQ(narrowed.time_limit_seconds, 2.5);
+  EXPECT_EQ(narrowed.seed, 99u);
+  EXPECT_EQ(narrowed.extra.size(), 1u);
+  EXPECT_EQ(narrowed.extra.count("sra_omega"), 1u);
+  EXPECT_EQ(narrowed.extra.count("update_refine"), 0u);
 }
 
 TEST(SolverRunOptionsTest, TypedExtraAccessors) {
@@ -359,6 +487,53 @@ TEST(SolverRegistryTest, TimeLimitIsThreadedThrough) {
   auto assignment = registry.SolveCra("sdga-sra", instance, options);
   ASSERT_TRUE(assignment.ok()) << assignment.status().ToString();
   EXPECT_TRUE(assignment->ValidateComplete().ok());
+}
+
+TEST(SolverRegistryTest, ConstructiveSolversHonorTinyTimeLimits) {
+  // Pins the once-missing contract: ilp (transportation substrate) and rrap
+  // (per-reviewer knapsacks) abort with kResourceExhausted instead of
+  // running to completion when the budget is already spent.
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  core::SolverRunOptions options;
+  options.time_limit_seconds = 1e-9;  // expired by the first poll
+  for (const char* name : {"ilp", "rrap", "sdga", "greedy"}) {
+    SCOPED_TRACE(name);
+    auto result = registry.SolveCra(name, instance, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(SolverRegistryTest, PreCancelledTokenAbortsEverySolver) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  auto source = MakeCancelSource();
+  source->store(true);
+  core::SolverRunOptions options;
+  options.cancel = source;
+  for (const char* name : {"greedy", "brgg", "sdga", "sm", "ilp", "rrap"}) {
+    SCOPED_TRACE(name);
+    auto result = registry.SolveCra(name, instance, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  for (const char* name : {"bba", "bfs", "jra-ilp", "jra-cp"}) {
+    SCOPED_TRACE(name);
+    auto result = registry.SolveJra(name, instance, 0, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  // Refiners follow the anytime contract for deadlines but still abort on
+  // an explicit cancel — the caller said the result is no longer wanted.
+  auto initial = registry.SolveCra("sdga", instance);
+  ASSERT_TRUE(initial.ok());
+  for (const char* name : {"sra", "ls"}) {
+    SCOPED_TRACE(name);
+    auto result = registry.RefineCra(name, instance, *initial, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
 }
 
 }  // namespace

@@ -21,7 +21,9 @@ TEST(RrapTest, EveryReviewerTakesTopWorkloadPapers) {
   params.reviewer_workload = 2;
   auto instance = Instance::FromDataset(dataset, params);
   ASSERT_TRUE(instance.ok());
-  const RrapResult result = SolveCraRrap(*instance);
+  auto solved = SolveCraRrap(*instance);
+  ASSERT_TRUE(solved.ok());
+  const RrapResult& result = *solved;
   // r0 retrieves pa and pb; r1 retrieves pc and (tied low) one more.
   ASSERT_EQ(result.reviewers_of_paper.size(), 3u);
   EXPECT_EQ(result.reviewers_of_paper[0], (std::vector<int>{0}));
@@ -44,7 +46,9 @@ TEST(RrapTest, ProducesImbalanceThatWgrapAvoids) {
   auto instance = Instance::FromDataset(*dataset, params);
   ASSERT_TRUE(instance.ok());
 
-  const RrapResult rrap = SolveCraRrap(*instance);
+  auto solved = SolveCraRrap(*instance);
+  ASSERT_TRUE(solved.ok());
+  const RrapResult& rrap = *solved;
   auto sdga = SolveCraSdga(*instance);
   ASSERT_TRUE(sdga.ok());
   // RRAP is imbalanced on this data; SDGA satisfies the constraint exactly.
@@ -66,7 +70,9 @@ TEST(RrapTest, RespectsConflicts) {
   auto instance = Instance::FromDataset(*dataset, params);
   ASSERT_TRUE(instance.ok());
   for (int p = 0; p < 8; ++p) instance->AddConflict(0, p);
-  const RrapResult result = SolveCraRrap(*instance);
+  auto solved = SolveCraRrap(*instance);
+  ASSERT_TRUE(solved.ok());
+  const RrapResult& result = *solved;
   for (const auto& reviewers : result.reviewers_of_paper) {
     for (int r : reviewers) EXPECT_NE(r, 0);
   }
@@ -82,7 +88,9 @@ TEST(RrapTest, PairwiseScoreMatchesManualSum) {
   params.group_size = 1;
   auto instance = Instance::FromDataset(*dataset, params);
   ASSERT_TRUE(instance.ok());
-  const RrapResult result = SolveCraRrap(*instance);
+  auto solved = SolveCraRrap(*instance);
+  ASSERT_TRUE(solved.ok());
+  const RrapResult& result = *solved;
   double manual = 0.0;
   for (int p = 0; p < instance->num_papers(); ++p) {
     for (int r : result.reviewers_of_paper[p]) {

@@ -1,0 +1,215 @@
+// The line protocol, pinned byte for byte: a scripted ServeStream session
+// on stringstreams must produce exactly the frames predicted from the
+// shared report formatters — the same property the CI serve smoke checks
+// from bash against one-shot CLI output — plus the error-frame contract
+// and a TCP round-trip through the socket transport.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "data/io.h"
+#include "fuzz_util.h"
+#include "service/api.h"
+#include "service/protocol.h"
+#include "service/reports.h"
+#include "service/tcp.h"
+
+namespace wgrap::service {
+namespace {
+
+core::FuzzInstanceConfig Config() {
+  core::FuzzInstanceConfig config;
+  config.reviewers = 12;
+  config.papers = 8;
+  config.num_topics = 10;
+  config.group_size = 3;
+  config.seed = 99;
+  return config;
+}
+
+std::string Ok(const std::string& payload) {
+  return "ok " + std::to_string(payload.size()) + "\n" + payload;
+}
+
+std::string Err(StatusCode code, const std::string& message) {
+  return std::string("err ") + StatusCodeToString(code) + " " +
+         std::to_string(message.size()) + "\n" + message;
+}
+
+/// Appends `command <<N\npayload` framing.
+void Send(std::string* script, const std::string& command,
+          const std::string& payload) {
+  *script += command + " <<" + std::to_string(payload.size()) + "\n" + payload;
+}
+
+TEST(ProtocolTest, ScriptedSessionIsByteExact) {
+  auto dataset = core::MakeFuzzDataset(Config());
+  ASSERT_TRUE(dataset.ok());
+  const std::string csv = data::DatasetToCsv(*dataset);
+
+  // Predict every payload with the same formatters the server uses; the
+  // instance the server builds from the CSV must match this one exactly.
+  auto instance =
+      core::Instance::FromDataset(*dataset, core::MakeFuzzParams(Config()));
+  ASSERT_TRUE(instance.ok());
+  core::SolverRunOptions options;
+  options.seed = 7;
+  auto solved =
+      core::SolverRegistry::Default().SolveCra("sdga-sra", *instance, options);
+  ASSERT_TRUE(solved.ok());
+
+  std::string script;
+  script += "ping\n";
+  script += "\n";  // blank lines between commands are ignored
+  Send(&script, "open conf dp=3", csv);
+  script += "sessions\n";
+  script += "submit conf solve sdga-sra seed=7\n";
+  script += "wait 1\n";
+  script += "status 1\n";
+  script += "result 1\n";
+  script += "evaluate conf\n";
+  script += "assignment conf\n";
+  script += "close conf\n";
+  script += "quit\n";
+  script += "ping\n";  // never reached: quit ends the stream
+
+  std::string expected;
+  expected += Ok("pong\n");
+  const std::string session_line =
+      "session conf v1 P=8 R=12 T=10 unassigned\n";
+  expected += Ok(session_line);
+  expected += Ok(session_line);
+  expected += Ok("job 1\n");
+  const std::string report =
+      SolveReportLine("sdga-sra", *instance, *solved, "");
+  expected += Ok(report);
+  expected += Ok("job 1 solve:sdga-sra done\n");
+  expected += Ok(report);
+  expected += Ok(EvaluationReport(*instance, *solved));
+  expected += Ok(AssignmentCsv(*solved));
+  expected += Ok("closed\n");
+  expected += Ok("bye\n");
+
+  ServiceApi api;
+  std::istringstream in(script);
+  std::ostringstream out;
+  ServeStream(in, out, api);
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ProtocolTest, MutateAndResolveRoundTrip) {
+  auto dataset = core::MakeFuzzDataset(Config());
+  ASSERT_TRUE(dataset.ok());
+
+  std::string script;
+  Send(&script, "open conf dp=3", data::DatasetToCsv(*dataset));
+  script += "submit conf solve greedy\n";
+  script += "wait 1\n";
+  Send(&script, "mutate conf", "remove_reviewer 0\n");
+  script += "resolve conf refine=sra\n";
+  script += "wait 2\n";
+  script += "quit\n";
+
+  ServiceApi api;
+  std::istringstream in(script);
+  std::ostringstream out;
+  ServeStream(in, out, api);
+  const std::string output = out.str();
+  // Mutate reports the applied batch and the bumped session line; the
+  // resolve job repairs to feasibility.
+  EXPECT_NE(output.find("applied 1 updates"), std::string::npos) << output;
+  EXPECT_NE(output.find("session conf v"), std::string::npos) << output;
+  EXPECT_NE(output.find("incremental: score"), std::string::npos) << output;
+  EXPECT_NE(output.find("feasible: yes"), std::string::npos) << output;
+}
+
+TEST(ProtocolTest, ErrorFramesCarryStatusCodes) {
+  ServiceApi api;
+  std::string script;
+  script += "bogus\n";
+  script += "evaluate nowhere\n";
+  script += "submit nowhere solve sdga-sra\n";
+  script += "open x <<trailing\n";  // malformed size suffix → treated as args
+  script += "result 7\n";
+  script += "status notanumber\n";
+  script += "solvers verbose extra\n";
+  script += "quit\n";
+
+  std::string expected;
+  expected += Err(StatusCode::kInvalidArgument, "unknown command 'bogus'");
+  expected += Err(StatusCode::kNotFound, "no session 'nowhere'");
+  expected += Err(StatusCode::kNotFound, "no session 'nowhere'");
+  // `<<trailing` is not a byte count, so it parses as a stray argument.
+  expected += Err(StatusCode::kInvalidArgument,
+                  "expected key=value, got '<<trailing'");
+  expected += Err(StatusCode::kNotFound, "no job 7");
+  expected += Err(StatusCode::kInvalidArgument, "usage: status <job-id>");
+  expected += Err(StatusCode::kInvalidArgument, "usage: solvers [verbose]");
+  expected += Ok("bye\n");
+
+  std::istringstream in(script);
+  std::ostringstream out;
+  ServeStream(in, out, api);
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ProtocolTest, SolversVerboseRendersKnobSchemas) {
+  ServiceApi api;
+  std::istringstream in("solvers verbose\nquit\n");
+  std::ostringstream out;
+  ServeStream(in, out, api);
+  const std::string expected =
+      Ok(SolversReport(core::SolverRegistry::Default(), true)) + Ok("bye\n");
+  EXPECT_EQ(out.str(), expected);
+  // The self-describing part: schemas mention the knob grammar.
+  EXPECT_NE(out.str().find("sdga-sra knobs:"), std::string::npos);
+  EXPECT_NE(out.str().find("sra_omega"), std::string::npos);
+}
+
+TEST(ProtocolTest, TruncatedPayloadIsAnError) {
+  ServiceApi api;
+  std::istringstream in("open conf <<100\nshort");
+  std::ostringstream out;
+  ServeStream(in, out, api);
+  EXPECT_EQ(out.str(), Err(StatusCode::kInvalidArgument,
+                           "truncated payload: expected 100 bytes"));
+}
+
+TEST(TcpServerTest, RoundTripOverASocket) {
+  ServiceApi api;
+  TcpServer server(&api);
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "ping\nquit\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string received;
+  char buffer[256];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    received.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  EXPECT_EQ(received, Ok("pong\n") + Ok("bye\n"));
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace wgrap::service

@@ -448,8 +448,15 @@ TEST_P(UpdateEquivalenceTest, PatchedStateMatchesFreshBuild) {
       last_resolved_score = ExpectResolveMechanismEqual(
           instance, assignment, fresh, fresh_clone,
           ResolveOptions(c.threads, "sra"));
-      auto cold = SolverRegistry::Default().SolveCra(
-          "sdga-sra", instance, ResolveOptions(c.threads, "sra"));
+      // The cold solver only sees the knobs it declares; update_refine is
+      // an IncrementalResolve-level knob, so narrow the map before handing
+      // the options to the registry (the same move IncrementalResolve makes
+      // when forwarding to its refiner).
+      const auto& registry = SolverRegistry::Default();
+      auto cold = registry.SolveCra(
+          "sdga-sra", instance,
+          ResolveOptions(c.threads, "sra")
+              .RestrictedTo(registry.Find("sdga-sra")->knobs));
       ASSERT_TRUE(cold.ok()) << cold.status().ToString();
       EXPECT_GE(last_resolved_score, 0.85 * cold->TotalScore());
     }

@@ -6,7 +6,9 @@
 // solver registered at startup is immediately usable via --algo; run
 // `wgrap_cli solvers` for the live menu.
 //
-//   wgrap_cli solvers
+//   wgrap_cli solvers   [--verbose]   (--verbose appends each solver's
+//                       declared knob schema — the same payload the
+//                       service's `solvers verbose` command returns)
 //   wgrap_cli generate  --area DB --year 2008 [--density 0.1] --out d.csv
 //   wgrap_cli generate  --pool 300 --papers 50 --out pool.csv
 //   wgrap_cli solve     --dataset d.csv --dp 3 [--dr N] [--algo sdga-sra]
@@ -34,6 +36,15 @@
 //      from the surviving assignment; --cold also runs a cold solve for
 //      comparison, --mode rebuild cross-checks the patch path by
 //      rebuilding the instance from scratch after the mutations)
+//   wgrap_cli serve     [--port P] [--jobs W] [--results M]
+//                       [--cache-threads N]
+//     (the WGRAP service: named sessions, async solver jobs, incremental
+//      mutations — the line protocol of service/protocol.h on stdin/stdout,
+//      or on 127.0.0.1:P with --port; --port 0 picks an ephemeral port,
+//      printed to stderr. Solve/evaluate/update responses are rendered by
+//      the same service/reports.h formatters the subcommands below print
+//      with, so they are byte-identical to one-shot CLI output — CI diffs
+//      them.)
 //
 // Note: `--topics` means the scoring-kernel selector (dense or CSR-sparse,
 // bit-identical output) on solve/jra/update, but the topic *count* T on
@@ -43,12 +54,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <string>
 
 #include "common/stopwatch.h"
-#include "common/table_printer.h"
+#include "service/api.h"
+#include "service/protocol.h"
+#include "service/reports.h"
+#include "service/tcp.h"
 #include "wgrap.h"
 
 namespace {
@@ -249,17 +264,11 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
-int CmdSolvers(const Flags&) {
-  const auto& registry = core::SolverRegistry::Default();
-  TablePrinter table({"name", "family", "paper name", "summary"});
-  for (const auto* s : registry.List()) {
-    table.AddRow({s->name,
-                  s->family == core::SolverFamily::kCra ? "CRA" : "JRA",
-                  s->paper_name,
-                  s->produces_feasible ? s->summary
-                                       : s->summary + " [infeasible output]"});
-  }
-  std::printf("%s", table.ToString().c_str());
+int CmdSolvers(const Flags& flags) {
+  const bool verbose = !flags.GetString("verbose", "").empty();
+  std::printf("%s",
+              service::SolversReport(core::SolverRegistry::Default(), verbose)
+                  .c_str());
   return 0;
 }
 
@@ -313,20 +322,11 @@ int CmdSolve(const Flags& flags) {
                  algo.c_str());
   }
 
-  std::vector<std::pair<int, int>> pairs;
-  for (int p = 0; p < instance.num_papers(); ++p) {
-    for (int r : assignment->GroupFor(p)) pairs.emplace_back(p, r);
-  }
   const std::string out = flags.GetString("out", "");
-  if (!out.empty()) WriteFileOrDie(out, data::AssignmentPairsToCsv(pairs));
-  auto ideal = core::BuildIdealAssignment(instance);
-  std::printf("%s: coverage %.3f (optimality %.1f%%), lowest paper %.3f%s\n",
-              algo.c_str(), assignment->TotalScore(),
-              ideal.ok()
-                  ? 100.0 * core::OptimalityRatio(*assignment, *ideal)
-                  : 0.0,
-              core::LowestCoverage(*assignment),
-              out.empty() ? "" : (", wrote " + out).c_str());
+  if (!out.empty()) WriteFileOrDie(out, service::AssignmentCsv(*assignment));
+  std::printf("%s",
+              service::SolveReportLine(algo, instance, *assignment, out)
+                  .c_str());
   return 0;
 }
 
@@ -386,18 +386,7 @@ int CmdEvaluate(const Flags& flags) {
   core::Instance instance = MakeInstanceOrDie(dataset, flags);
   core::Assignment assignment =
       LoadAssignmentOrDie(instance, flags.Require("assignment"));
-  Status valid = assignment.ValidateComplete();
-  auto ideal = core::BuildIdealAssignment(instance);
-  std::printf("pairs: %lld\n", static_cast<long long>(assignment.size()));
-  std::printf("feasible: %s\n",
-              valid.ok() ? "yes" : valid.ToString().c_str());
-  std::printf("coverage score: %.4f\n", assignment.TotalScore());
-  if (ideal.ok()) {
-    std::printf("optimality ratio: %.2f%%\n",
-                100.0 * core::OptimalityRatio(assignment, *ideal));
-  }
-  std::printf("lowest paper coverage: %.4f\n",
-              core::LowestCoverage(assignment));
+  std::printf("%s", service::EvaluationReport(instance, assignment).c_str());
   return 0;
 }
 
@@ -426,11 +415,7 @@ int CmdUpdate(const Flags& flags) {
   updater.TrackAssignment(&assignment);
   auto report = updater.ApplyAll(*updates);
   if (!report.ok()) Die(report.status(), "apply mutations");
-  std::printf("applied %d updates (%zu evictions)\n", report->applied,
-              report->evicted.size());
-  std::printf("instance: P=%d R=%d dp=%d dr=%d\n", instance.num_papers(),
-              instance.num_reviewers(), instance.group_size(),
-              instance.reviewer_workload());
+  std::printf("%s", service::MutationReport(*report, instance).c_str());
 
   core::SolverRunOptions options;
   options.time_limit_seconds = flags.GetDouble("budget", 0.0);
@@ -486,13 +471,7 @@ int CmdUpdate(const Flags& flags) {
 
   auto resolve = core::IncrementalResolve(*live, survivors, options);
   if (!resolve.ok()) Die(resolve.status(), "incremental resolve");
-  std::printf("incremental: score %.6f -> %.6f, repaired %d papers, "
-              "added %lld pairs\n",
-              resolve->score_before, resolve->score_after,
-              resolve->repaired_papers,
-              static_cast<long long>(resolve->added_pairs));
-  const Status valid = survivors->ValidateComplete();
-  std::printf("feasible: %s\n", valid.ok() ? "yes" : valid.ToString().c_str());
+  std::printf("%s", service::ResolveReport(*resolve, *survivors).c_str());
   // Timing goes to stderr so stdout stays byte-stable for the CI diff of
   // patch vs rebuild mode.
   std::fprintf(stderr, "incremental resolve: %.3fs\n", resolve->seconds);
@@ -511,13 +490,34 @@ int CmdUpdate(const Flags& flags) {
   }
 
   const std::string out = flags.GetString("out", "");
-  if (!out.empty()) {
-    std::vector<std::pair<int, int>> pairs;
-    for (int p = 0; p < live->num_papers(); ++p) {
-      for (int r : survivors->GroupFor(p)) pairs.emplace_back(p, r);
+  if (!out.empty()) WriteFileOrDie(out, service::AssignmentCsv(*survivors));
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  service::ServiceOptions options;
+  options.job_workers = flags.GetInt("jobs", 2);
+  options.max_results = flags.GetInt("results", 64);
+  options.cache_threads = flags.GetInt("cache-threads", 1);
+  service::ServiceApi api(options);
+  const int port = flags.GetInt("port", -1);
+  if (port >= 0) {
+    service::TcpServer server(&api);
+    Status started = server.Start(port);
+    if (!started.ok()) Die(started, "serve");
+    std::fprintf(stderr, "serving on 127.0.0.1:%d (EOF on stdin stops)\n",
+                 server.port());
+    std::string line;
+    while (std::getline(std::cin, line)) {
     }
-    WriteFileOrDie(out, data::AssignmentPairsToCsv(pairs));
+    api.jobs().Drain();
+    server.Stop();
+    return 0;
   }
+  // stdio mode: the protocol on stdin/stdout, one session per process —
+  // what the CI smoke and `printf ... | wgrap_cli serve` scripting use.
+  service::ServeStream(std::cin, std::cout, api);
+  api.jobs().Drain();
   return 0;
 }
 
@@ -536,7 +536,7 @@ int CmdCaseStudy(const Flags& flags) {
 void Usage() {
   std::fputs(
       "usage: wgrap_cli "
-      "<solvers|generate|solve|jra|evaluate|casestudy|update> [flags]\n"
+      "<solvers|generate|solve|jra|evaluate|casestudy|update|serve> [flags]\n"
       "run `wgrap_cli solvers` for the algorithm menu and see the header of "
       "tools/wgrap_cli.cc for the flag list\n",
       stderr);
@@ -558,6 +558,7 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "casestudy") return CmdCaseStudy(flags);
   if (command == "update") return CmdUpdate(flags);
+  if (command == "serve") return CmdServe(flags);
   Usage();
   return 2;
 }

@@ -10,16 +10,17 @@
 // Latency is measured at the ServiceApi boundary (submit → result
 // available), so it includes queueing — the number a client of the server
 // actually experiences. Recorded in bench/BASELINES.md.
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "data/io.h"
+#include "obs/metrics.h"
 #include "service/api.h"
 
 namespace wgrap::bench {
@@ -60,24 +61,24 @@ Args ParseArgs(int argc, char** argv) {
   return args;
 }
 
+// Latency tracks ride the obs histograms (the same machinery the service
+// exports through `stats`), constructed directly so the bench measures
+// even under WGRAP_OBS=0. Quantiles are bucket-interpolated; the ×1.25
+// grid keeps the p50/p99 estimate within one bucket (~25% relative) of
+// the exact order statistic the old sort-based track reported.
 struct LatencyTrack {
-  std::vector<double> seconds;
+  LatencyTrack() : histogram(obs::ExponentialBounds(1e-5, 1.25, 72)) {}
 
-  void Add(double s) { seconds.push_back(s); }
+  void Add(double s) { histogram.Observe(s); }
 
-  double Percentile(double p) {
-    if (seconds.empty()) return 0.0;
-    std::sort(seconds.begin(), seconds.end());
-    const size_t index = static_cast<size_t>(
-        p * static_cast<double>(seconds.size() - 1) + 0.5);
-    return seconds[std::min(index, seconds.size() - 1)];
-  }
+  obs::Histogram histogram;
 };
 
-void PrintRow(const char* name, LatencyTrack& track) {
-  std::printf("  %-22s %6zu reqs   p50 %8.3f ms   p99 %8.3f ms\n", name,
-              track.seconds.size(), 1e3 * track.Percentile(0.50),
-              1e3 * track.Percentile(0.99));
+void PrintRow(const char* name, const LatencyTrack& track) {
+  std::printf("  %-22s %6lld reqs   p50 %8.3f ms   p99 %8.3f ms\n", name,
+              static_cast<long long>(track.histogram.Count()),
+              1e3 * track.histogram.Quantile(0.50),
+              1e3 * track.histogram.Quantile(0.99));
 }
 
 }  // namespace

@@ -27,6 +27,26 @@
 
 namespace wgrap::core {
 
+/// One frame of anytime-solver progress. Frames are deterministic for a
+/// fixed (instance, seed, knobs): the emission sites are round/stage
+/// boundaries, never wall-clock ticks, and `best_score` is monotone
+/// non-decreasing within a solve — which is what lets the service retain
+/// and replay them byte-identically (`watch <job>`).
+struct ProgressFrame {
+  /// Emitting phase: "sdga" (stage commits), "sra" (improving rounds),
+  /// "ls" (improving batches), "ilp" (incumbents).
+  const char* phase = "";
+  /// 1-based round/stage index; 0 marks the initial score of a refiner.
+  int64_t round = 0;
+  /// Best objective value found so far.
+  double best_score = 0.0;
+};
+
+/// Progress callback, invoked from the solver's driving thread at the
+/// same coarse boundaries as the deadline/cancel polls. Must be cheap and
+/// must not throw; null = no progress reporting.
+using ProgressFn = std::function<void(const ProgressFrame&)>;
+
 struct CraOptions {
   double time_limit_seconds = 0.0;  // 0 = unlimited
   /// Worker threads for the parallelized hot paths (SDGA stage scoring,
@@ -41,6 +61,10 @@ struct CraOptions {
   /// boundaries as the time limit; solvers abort with kCancelled. Null =
   /// never cancelled.
   CancelToken cancel;
+  /// Anytime progress frames (SDGA stages, SRA rounds, LS batches, ILP
+  /// incumbents). Purely observational: emitting does not change a single
+  /// bit of the returned assignment.
+  ProgressFn progress;
 };
 
 /// How the per-stage profit matrix (SDGA stages, the SRA completion step)

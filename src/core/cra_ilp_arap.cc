@@ -17,11 +17,13 @@
 #include "common/thread_pool.h"
 #include "core/cra.h"
 #include "la/transportation.h"
+#include "obs/trace.h"
 
 namespace wgrap::core {
 
 Result<Assignment> SolveCraIlpArap(const Instance& instance,
                                    const IlpArapOptions& options) {
+  obs::ScopedSpan solve_span("ilp_arap");
   const int P = instance.num_papers();
   const int R = instance.num_reviewers();
   const Deadline deadline(options.time_limit_seconds);
@@ -64,6 +66,11 @@ Result<Assignment> SolveCraIlpArap(const Instance& instance,
     }
   }
   WGRAP_RETURN_IF_ERROR(assignment.ValidateComplete());
+  // One exact solve = one incumbent; emitted for watch-stream parity with
+  // the anytime solvers.
+  if (options.progress) {
+    options.progress(ProgressFrame{"ilp", 1, assignment.TotalScore()});
+  }
   return assignment;
 }
 

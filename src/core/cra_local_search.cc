@@ -178,6 +178,9 @@ Result<Assignment> RefineLocalSearch(const Instance& instance,
   if (options.trace) {
     options.trace(watch.ElapsedSeconds(), current.TotalScore());
   }
+  if (options.progress) {
+    options.progress(ProgressFrame{"ls", 0, current.TotalScore()});
+  }
   int64_t stall = 0;
   std::vector<Proposal> batch(kProposalBatch);
   std::vector<double> gv_serial;
@@ -267,6 +270,11 @@ Result<Assignment> RefineLocalSearch(const Instance& instance,
     }
     if (improved && options.trace) {
       options.trace(watch.ElapsedSeconds(), current.TotalScore());
+    }
+    // Only improving proposals are ever kept, so the score is monotone.
+    if (improved && options.progress) {
+      options.progress(ProgressFrame{"ls", round + 1,
+                                     current.TotalScore()});
     }
   }
   WGRAP_RETURN_IF_ERROR(current.ValidateComplete());

@@ -29,6 +29,8 @@
 #include "common/thread_pool.h"
 #include "core/cra.h"
 #include "core/gain_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "la/auction.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
@@ -171,6 +173,11 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
                               assignment->MarginalGain(p, r);
                         }
                       });
+    static obs::Counter* const rebuilt = obs::Registry::Global().GetCounter(
+        "wgrap_gain_cache_rebuilt_cells_total");
+    if (rebuilt) {
+      rebuilt->Add(static_cast<int64_t>(papers_needing.size()) * R);
+    }
   }
 
   std::vector<int> chosen_agent;
@@ -189,7 +196,13 @@ Status RunStage(const Instance& instance, const std::vector<int>& capacity,
       if (!solved.ok() &&
           solved.code() == StatusCode::kFailedPrecondition) {
         // Outside the auction's integer price domain — same optimum via
-        // the flow backend.
+        // the flow backend. The fallback is counted: it used to be fully
+        // silent, which hid auction-budget exhaustion from benchmarks
+        // (`wgrap_cli solve --verbose` surfaces the count).
+        static obs::Counter* const fallbacks =
+            obs::Registry::Global().GetCounter(
+                "wgrap_lap_auction_fallbacks_total");
+        if (fallbacks) fallbacks->Add();
         solved =
             SolveStageMinCostFlow(stage_profit, capacity, &chosen_agent);
       }
@@ -224,6 +237,7 @@ Status SolveStageAssignment(const Instance& instance,
 
 Result<Assignment> SolveCraSdga(const Instance& instance,
                                 const SdgaOptions& options) {
+  obs::ScopedSpan solve_span("sdga");
   Deadline deadline(options.time_limit_seconds);
   Assignment assignment(&instance);
   const int R = instance.num_reviewers();
@@ -244,6 +258,8 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
       return Status::ResourceExhausted("SDGA time limit");
     }
     WGRAP_RETURN_IF_ERROR(CheckNotCancelled(options.cancel, "SDGA"));
+    obs::ScopedSpan stage_span("sdga_stage");
+    Stopwatch stage_watch;
     std::vector<int> capacity(R);
     for (int r = 0; r < R; ++r) {
       const int remaining_total = dr - assignment.LoadOf(r);
@@ -267,6 +283,23 @@ Result<Assignment> SolveCraSdga(const Instance& instance,
                               &workspace, cache.get(), &assignment);
     }
     WGRAP_RETURN_IF_ERROR(stage_status);
+    static obs::Histogram* const stage_seconds =
+        obs::Registry::Global().GetHistogram("wgrap_sdga_stage_seconds");
+    if (stage_seconds) stage_seconds->Observe(stage_watch.ElapsedSeconds());
+    // Stage commits only add pairs (marginal gains are >= 0 under the
+    // monotone coverage objective), so the partial score is monotone.
+    if (options.progress) {
+      options.progress(ProgressFrame{"sdga", stage + 1,
+                                     assignment.TotalScore()});
+    }
+  }
+  if (cache != nullptr) {
+    static obs::Counter* const patched = obs::Registry::Global().GetCounter(
+        "wgrap_gain_cache_patched_cells_total");
+    if (patched) patched->Add(cache->patched_entries());
+    static obs::Counter* const builds = obs::Registry::Global().GetCounter(
+        "wgrap_gain_cache_full_builds_total");
+    if (builds) builds->Add(cache->full_builds());
   }
   WGRAP_RETURN_IF_ERROR(assignment.ValidateComplete());
   return assignment;

@@ -28,6 +28,8 @@
 #include "common/thread_pool.h"
 #include "core/cra.h"
 #include "core/gain_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wgrap::core {
 
@@ -43,6 +45,7 @@ Status SolveStageAssignment(const Instance& instance,
 Result<Assignment> RefineSra(const Instance& instance,
                              const Assignment& initial,
                              const SraOptions& options) {
+  obs::ScopedSpan solve_span("sra");
   if (options.convergence_window <= 0) {
     return Status::InvalidArgument("convergence_window must be > 0");
   }
@@ -88,8 +91,12 @@ Result<Assignment> RefineSra(const Instance& instance,
   Assignment current = initial;
   Assignment best = initial;
   if (options.trace) options.trace(watch.ElapsedSeconds(), best.TotalScore());
+  if (options.progress) {
+    options.progress(ProgressFrame{"sra", 0, best.TotalScore()});
+  }
 
   int rounds_without_improvement = 0;
+  int64_t rounds_run = 0;
   std::vector<int> victims(P);  // reviewer removed from each paper
   for (int iteration = 0;
        iteration < options.max_iterations &&
@@ -156,12 +163,30 @@ Result<Assignment> RefineSra(const Instance& instance,
     if (current.TotalScore() > best.TotalScore() + 1e-12) {
       best = current;
       rounds_without_improvement = 0;
+      // Improvement frames only: the frame count stays deterministic (a
+      // pure function of the seeded trajectory) and the stream monotone.
+      if (options.progress) {
+        options.progress(ProgressFrame{"sra", iteration + 1,
+                                       best.TotalScore()});
+      }
     } else {
       ++rounds_without_improvement;
     }
     if (options.trace) {
       options.trace(watch.ElapsedSeconds(), best.TotalScore());
     }
+    ++rounds_run;
+  }
+  static obs::Counter* const rounds_total =
+      obs::Registry::Global().GetCounter("wgrap_sra_rounds_total");
+  if (rounds_total && rounds_run > 0) rounds_total->Add(rounds_run);
+  if (gain_cache != nullptr) {
+    static obs::Counter* const patched = obs::Registry::Global().GetCounter(
+        "wgrap_gain_cache_patched_cells_total");
+    if (patched) patched->Add(gain_cache->patched_entries());
+    static obs::Counter* const builds = obs::Registry::Global().GetCounter(
+        "wgrap_gain_cache_full_builds_total");
+    if (builds) builds->Add(gain_cache->full_builds());
   }
   WGRAP_RETURN_IF_ERROR(best.ValidateComplete());
   return best;

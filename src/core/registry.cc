@@ -587,6 +587,7 @@ SolverRegistry BuildDefaultRegistry() {
             sdga.lap_epsilon = knobs->lap_epsilon;
             sdga.gains = knobs->gains;
             sdga.cancel = options.cancel;
+            sdga.progress = options.progress;
             return SolveCraSdga(instance, sdga);
           });
   add_cra("sdga-sra", "SDGA + SRA (Algorithms 2+3)",
@@ -603,6 +604,7 @@ SolverRegistry BuildDefaultRegistry() {
             sdga.lap_epsilon = knobs->lap_epsilon;
             sdga.gains = knobs->gains;
             sdga.cancel = options.cancel;
+            sdga.progress = options.progress;
             SraOptions sra;
             sra.time_limit_seconds = options.time_limit_seconds;
             sra.seed = options.seed;
@@ -614,6 +616,7 @@ SolverRegistry BuildDefaultRegistry() {
             sra.convergence_window = knobs->sra_omega;
             sra.decay_lambda = knobs->sra_lambda;
             sra.cancel = options.cancel;
+            sra.progress = options.progress;
             return SolveCraSdgaSra(instance, sdga, sra);
           });
   add_cra("sdga-ls", "SDGA + LS (Fig. 12 baseline)",
@@ -630,6 +633,7 @@ SolverRegistry BuildDefaultRegistry() {
             sdga.lap_epsilon = knobs->lap_epsilon;
             sdga.gains = knobs->gains;
             sdga.cancel = options.cancel;
+            sdga.progress = options.progress;
             auto initial = SolveCraSdga(instance, sdga);
             WGRAP_RETURN_IF_ERROR(initial.status());
             LocalSearchOptions ls;
@@ -638,6 +642,7 @@ SolverRegistry BuildDefaultRegistry() {
             ls.num_threads = knobs->threads;
             ls.gains = knobs->gains;
             ls.cancel = options.cancel;
+            ls.progress = options.progress;
             return RefineLocalSearch(instance, *initial, ls);
           });
   add_cra("sm", "SM (stable matching)",
@@ -671,6 +676,7 @@ SolverRegistry BuildDefaultRegistry() {
             ilp.backend = knobs->backend;
             ilp.lap_epsilon = knobs->lap_epsilon;
             ilp.cancel = options.cancel;
+            ilp.progress = options.progress;
             return SolveCraIlpArap(instance, ilp);
           });
   add_cra("rrap", "RRAP (Definition 4, retrieval baseline)",
@@ -711,6 +717,7 @@ SolverRegistry BuildDefaultRegistry() {
                sra.convergence_window = knobs->sra_omega;
                sra.decay_lambda = knobs->sra_lambda;
                sra.cancel = options.cancel;
+               sra.progress = options.progress;
                return RefineSra(instance, initial, sra);
              });
   add_refine("ls", "LS (Fig. 12 baseline)",
@@ -727,6 +734,7 @@ SolverRegistry BuildDefaultRegistry() {
                ls.num_threads = knobs->threads;
                ls.gains = knobs->gains;
                ls.cancel = options.cancel;
+               ls.progress = options.progress;
                return RefineLocalSearch(instance, initial, ls);
              });
 

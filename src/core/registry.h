@@ -114,6 +114,11 @@ struct SolverRunOptions {
   /// boundaries as the deadline; solvers abort with kCancelled. Null =
   /// never cancelled.
   CancelToken cancel;
+  /// Anytime progress frames (core/cra.h): the anytime solvers (sdga's
+  /// stage commits, sra rounds, ls batches, ilp incumbents) emit monotone
+  /// best-score frames through this. Null = no reporting. Observational
+  /// only — results are bit-identical with or without a callback.
+  ProgressFn progress;
   /// Solver-specific knobs; validated against the solver's KnobSpec list.
   std::map<std::string, std::string> extra;
 

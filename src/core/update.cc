@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "common/string_util.h"
 #include "core/jra.h"
 #include "core/repair.h"
@@ -213,6 +215,9 @@ Status InstanceUpdater::ValidateTopics(const std::vector<double>& topics,
 
 void InstanceUpdater::RebuildSparseViews() {
   if (instance_->sparse_views_ == nullptr) return;
+  static obs::Counter* const rebuilds = obs::Registry::Global().GetCounter(
+      "wgrap_update_view_rebuilds_total");
+  if (rebuilds) rebuilds->Add();
   auto views = std::make_shared<Instance::SparseViews>();
   views->reviewers =
       sparse::SparseTopicMatrix::FromMatrix(instance_->reviewers_);
@@ -529,6 +534,12 @@ Result<UpdateReport> InstanceUpdater::ApplyAll(
     WGRAP_RETURN_IF_ERROR(ApplyOne(u, &report));
     ++report.applied;
   }
+  static obs::Counter* const batches = obs::Registry::Global().GetCounter(
+      "wgrap_update_batches_total");
+  static obs::Histogram* const batch_ops = obs::Registry::Global().GetHistogram(
+      "wgrap_update_batch_ops", obs::ExponentialBounds(1.0, 2.0, 12));
+  if (batches) batches->Add();
+  if (batch_ops) batch_ops->Observe(static_cast<double>(report.applied));
   return report;
 }
 
@@ -536,6 +547,7 @@ Result<ResolveReport> IncrementalResolve(const Instance& instance,
                                          Assignment* assignment,
                                          const SolverRunOptions& options) {
   Stopwatch watch;
+  obs::ScopedSpan resolve_span("incremental_resolve");
   // The resolve path declares its own schema (refiner pipeline knobs +
   // update_refine) and validates eagerly — same contract as registry
   // dispatch, so a typo fails before any mutation-repair work.
@@ -558,6 +570,9 @@ Result<ResolveReport> IncrementalResolve(const Instance& instance,
   }
   WGRAP_RETURN_IF_ERROR(CompleteWithSwapRepair(instance, assignment));
   report.added_pairs = assignment->size() - pairs_before;
+  static obs::Histogram* const repaired = obs::Registry::Global().GetHistogram(
+      "wgrap_update_repaired_papers", obs::ExponentialBounds(1.0, 2.0, 12));
+  if (repaired) repaired->Observe(static_cast<double>(report.repaired_papers));
   if (refine != "none") {
     const SolverRegistry& registry = SolverRegistry::Default();
     const SolverDescriptor* refiner = registry.Find(refine);

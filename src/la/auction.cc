@@ -58,6 +58,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "la/min_cost_flow.h"
+#include "obs/metrics.h"
 
 namespace wgrap::la {
 
@@ -519,6 +520,17 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
   result.value_unit = unit_value;
   result.rounds = rounds;
   result.bids = bids;
+  {
+    static obs::Counter* const phase_count = obs::Registry::Global().GetCounter(
+        "wgrap_lap_auction_phases_total");
+    static obs::Counter* const round_count = obs::Registry::Global().GetCounter(
+        "wgrap_lap_auction_rounds_total");
+    static obs::Counter* const bid_count = obs::Registry::Global().GetCounter(
+        "wgrap_lap_auction_bids_total");
+    if (phase_count) phase_count->Add(num_phases);
+    if (round_count) round_count->Add(rounds);
+    if (bid_count) bid_count->Add(bids);
+  }
   result.task_value.assign(tasks, std::numeric_limits<int64_t>::max());
   // Every agent's cheapest slot price lower-bounds what a pruned edge
   // would have to pay — on tight instances where every agent got bid up,
@@ -805,6 +817,9 @@ Result<AuctionResult> SolveAuctionTopK(const Matrix& profit,
     }
     k = std::min(agents, k * 2);
     if (widen_count != nullptr) ++*widen_count;
+    static obs::Counter* const widen_events = obs::Registry::Global().GetCounter(
+        "wgrap_lap_auction_widen_total");
+    if (widen_events) widen_events->Add();
   }
 }
 

@@ -1,4 +1,5 @@
 #include "la/transportation.h"
+#include "obs/metrics.h"
 
 #include <cmath>
 #include <cstdint>
@@ -119,6 +120,9 @@ Result<MultiTransportationResult> SolveTransportationWithDemand(
         solved.status().code() != StatusCode::kFailedPrecondition) {
       return solved;
     }
+    static obs::Counter* const fallbacks = obs::Registry::Global().GetCounter(
+        "wgrap_lap_auction_fallbacks_total");
+    if (fallbacks) fallbacks->Add();
   }
   return SolveWithMinCostFlow(profit, capacity, demand, options.deadline,
                               options.cancel);

@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace wgrap::obs {
+
+namespace {
+
+thread_local Tracer* g_ambient_tracer = nullptr;
+
+int64_t NanosSince(std::chrono::steady_clock::time_point epoch) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+int Tracer::BeginSpan(std::string name) {
+  SpanRecord span;
+  span.name = std::move(name);
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  span.start_ns = NanosSince(epoch_);
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(id);
+  return id;
+}
+
+void Tracer::EndSpan(int id) {
+  if (open_.empty() || open_.back() != id) return;
+  open_.pop_back();
+  SpanRecord& span = spans_[id];
+  span.duration_ns = NanosSince(epoch_) - span.start_ns;
+}
+
+Tracer* AmbientTracer() { return g_ambient_tracer; }
+
+ScopedTracerAttach::ScopedTracerAttach(Tracer* tracer)
+    : previous_(g_ambient_tracer), attached_(Enabled()) {
+  if (attached_) g_ambient_tracer = tracer;
+}
+
+ScopedTracerAttach::~ScopedTracerAttach() {
+  if (attached_) g_ambient_tracer = previous_;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : tracer_(g_ambient_tracer) {
+  if (tracer_ != nullptr) id_ = tracer_->BeginSpan(name);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ != nullptr) tracer_->EndSpan(id_);
+}
+
+std::string TraceToChromeJson(const Tracer& tracer) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[160];
+  for (const SpanRecord& span : tracer.spans()) {
+    if (!first) out += ",";
+    first = false;
+    // µs with sub-µs precision; pid/tid fixed (one tracer = one thread).
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%lld.%03lld,"
+                  "\"dur\":%lld.%03lld}",
+                  static_cast<long long>(span.start_ns / 1000),
+                  static_cast<long long>(span.start_ns % 1000),
+                  static_cast<long long>(span.duration_ns / 1000),
+                  static_cast<long long>(span.duration_ns % 1000));
+    out += "{\"name\":\"" + span.name + buffer;
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace wgrap::obs

@@ -1,0 +1,103 @@
+// Scoped trace spans: a deterministic span tree with wall-clock
+// durations, recorded by the thread that drives a solve and exported as
+// chrome://tracing JSON (`wgrap_cli solve --trace out.json`).
+//
+// Determinism contract: the *shape* of the tree — span names, nesting,
+// and order — is a pure function of the solve (same instance, seed and
+// knobs ⇒ same tree, pinned by tests/obs_test.cc); only the start/dur
+// timestamps vary run to run. That split is what lets tracing coexist
+// with the repo's byte-determinism CI: timestamps live in the trace file,
+// never in any diffed output.
+//
+// Threading model: a Tracer is single-threaded by design. It is attached
+// to the driving thread as ambient state (ScopedTracerAttach); ScopedSpan
+// picks the ambient tracer up, and code running on ThreadPool workers
+// sees no ambient tracer and records nothing — so the instrumented
+// solver hot paths never synchronize on trace state. With no tracer
+// attached (the default, and always when telemetry is killed via
+// WGRAP_OBS=0) a ScopedSpan is one thread-local load and a branch.
+#ifndef WGRAP_OBS_TRACE_H_
+#define WGRAP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wgrap::obs {
+
+struct SpanRecord {
+  std::string name;
+  /// Index of the enclosing span in Tracer::spans(); -1 for roots.
+  int parent = -1;
+  /// Root = 0; children one deeper than their parent.
+  int depth = 0;
+  /// Nanoseconds since the tracer's construction.
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;  // 0 while the span is still open
+};
+
+/// Records a span tree. Spans appear in spans() in begin order, which —
+/// with single-threaded use — is a deterministic DFS preorder of the
+/// tree. Not thread-safe; attach to exactly one thread at a time.
+class Tracer {
+ public:
+  Tracer();
+
+  /// Opens a span nested under the innermost open one; returns its index.
+  int BeginSpan(std::string name);
+  /// Closes span `id` (must be the innermost open span — RAII via
+  /// ScopedSpan guarantees this; mismatched ids are ignored).
+  void EndSpan(int id);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::vector<int> open_;  // stack of open span indices
+};
+
+/// The tracer attached to the calling thread, or nullptr.
+Tracer* AmbientTracer();
+
+/// Attaches `tracer` as the calling thread's ambient tracer for the
+/// scope; restores the previous one on destruction. Attach is a no-op
+/// when telemetry is killed (obs::Enabled() == false), which turns every
+/// downstream ScopedSpan into its null-tracer branch.
+class ScopedTracerAttach {
+ public:
+  explicit ScopedTracerAttach(Tracer* tracer);
+  ~ScopedTracerAttach();
+
+  ScopedTracerAttach(const ScopedTracerAttach&) = delete;
+  ScopedTracerAttach& operator=(const ScopedTracerAttach&) = delete;
+
+ private:
+  Tracer* previous_;
+  bool attached_;
+};
+
+/// RAII span on the ambient tracer; a no-op (one branch) when none is
+/// attached. `name` must outlive the span (string literals at every call
+/// site in this repo).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  int id_ = -1;
+};
+
+/// chrome://tracing "traceEvents" JSON (complete "X" events, µs units).
+/// Load via chrome://tracing or https://ui.perfetto.dev.
+std::string TraceToChromeJson(const Tracer& tracer);
+
+}  // namespace wgrap::obs
+
+#endif  // WGRAP_OBS_TRACE_H_

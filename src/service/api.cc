@@ -1,9 +1,12 @@
 #include "service/api.h"
 
+#include <cstdio>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "core/update.h"
 #include "data/io.h"
+#include "obs/metrics.h"
 #include "service/reports.h"
 
 namespace wgrap::service {
@@ -40,12 +43,53 @@ const char* KindLabel(core::SolverRequest::Kind kind) {
   return "?";
 }
 
+/// Observes the wall-clock of one endpoint call on scope exit — success
+/// and error paths alike, so error-heavy traffic still shows up in the
+/// latency page.
+class ScopedEndpointTimer {
+ public:
+  explicit ScopedEndpointTimer(obs::Histogram* histogram)
+      : histogram_(histogram) {}
+  ~ScopedEndpointTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(watch_.ElapsedSeconds());
+  }
+  ScopedEndpointTimer(const ScopedEndpointTimer&) = delete;
+  ScopedEndpointTimer& operator=(const ScopedEndpointTimer&) = delete;
+
+ private:
+  obs::Histogram* const histogram_;
+  Stopwatch watch_;
+};
+
+/// Fixed wire format for solver progress frames. %.6f (not shortest
+/// round-trip) keeps a `watch` replay byte-deterministic for a fixed seed
+/// across libc float printers.
+std::string RenderProgressFrame(const core::ProgressFrame& frame) {
+  char line[128];
+  std::snprintf(line, sizeof(line), "progress %s round %lld best %.6f\n",
+                frame.phase, static_cast<long long>(frame.round),
+                frame.best_score);
+  return line;
+}
+
+void CountCasConflict(const Status& install) {
+  if (install.ok() || install.code() != StatusCode::kFailedPrecondition) {
+    return;
+  }
+  static obs::Counter* const conflicts = obs::Registry::Global().GetCounter(
+      "wgrap_service_cas_conflicts_total");
+  if (conflicts) conflicts->Add();
+}
+
 }  // namespace
 
 ServiceApi::ServiceApi(const ServiceOptions& options)
     : store_(options.cache_threads), jobs_(QueueOptions(options)) {}
 
 Result<SessionResponse> ServiceApi::Open(const OpenRequest& request) {
+  static obs::Histogram* const latency =
+      obs::Registry::Global().GetHistogram("wgrap_service_open_seconds");
+  ScopedEndpointTimer timer(latency);
   auto dataset = data::DatasetFromCsv(request.dataset_csv);
   if (!dataset.ok()) return dataset.status();
   auto snapshot = store_.Open(request.session, *dataset, request.params);
@@ -98,6 +142,9 @@ Result<TextResponse> ServiceApi::GetAssignment(
 }
 
 Result<TextResponse> ServiceApi::Evaluate(const std::string& session) const {
+  static obs::Histogram* const latency =
+      obs::Registry::Global().GetHistogram("wgrap_service_evaluate_seconds");
+  ScopedEndpointTimer timer(latency);
   auto snapshot = store_.Get(session);
   if (!snapshot.ok()) return snapshot.status();
   if (snapshot->assignment == nullptr) {
@@ -118,6 +165,9 @@ Result<TextResponse> ServiceApi::DescribeSolvers(
 }
 
 Result<SubmitResponse> ServiceApi::Submit(const SubmitRequest& request) {
+  static obs::Histogram* const latency =
+      obs::Registry::Global().GetHistogram("wgrap_service_submit_seconds");
+  ScopedEndpointTimer timer(latency);
   const auto& registry = core::SolverRegistry::Default();
   // Fail fast at submit time: unknown solvers and bad knobs are caught
   // here (with the schema in the message), before a job id is handed out.
@@ -141,7 +191,7 @@ Result<SubmitResponse> ServiceApi::Submit(const SubmitRequest& request) {
   const int64_t id = jobs_.Submit(
       std::string(KindLabel(request.kind)) + ":" + request.solver,
       [this, job_request = std::move(job_request),
-       snap = std::move(snap)](const CancelToken& cancel) {
+       snap = std::move(snap)](const JobContext& context) {
         JobResult result;
         core::SolverRequest solver_request;
         solver_request.kind = job_request.kind;
@@ -152,7 +202,13 @@ Result<SubmitResponse> ServiceApi::Submit(const SubmitRequest& request) {
         solver_request.options.time_limit_seconds =
             job_request.time_limit_seconds;
         solver_request.options.seed = job_request.seed;
-        solver_request.options.cancel = cancel;
+        solver_request.options.cancel = context.cancel;
+        if (context.progress) {
+          solver_request.options.progress =
+              [sink = context.progress](const core::ProgressFrame& frame) {
+                sink(RenderProgressFrame(frame));
+              };
+        }
         solver_request.options.extra = job_request.knobs;
         auto response =
             core::SolverRegistry::Default().Run(solver_request,
@@ -168,9 +224,10 @@ Result<SubmitResponse> ServiceApi::Submit(const SubmitRequest& request) {
           if (job_request.install) {
             // CAS install: only when no mutation superseded the snapshot
             // this solve ran on. A lost race is not a job failure — the
-            // result stays fetchable either way.
-            (void)store_.InstallAssignmentIfCurrent(
+            // result stays fetchable either way (but it is counted).
+            auto installed = store_.InstallAssignmentIfCurrent(
                 snap.name, snap.version, PairsOf(*response->assignment));
+            CountCasConflict(installed.status());
           }
         } else {
           result.report = JraReport(response->jra);
@@ -183,6 +240,9 @@ Result<SubmitResponse> ServiceApi::Submit(const SubmitRequest& request) {
 }
 
 Result<MutateResponse> ServiceApi::Mutate(const MutateRequest& request) {
+  static obs::Histogram* const latency =
+      obs::Registry::Global().GetHistogram("wgrap_service_mutate_seconds");
+  ScopedEndpointTimer timer(latency);
   auto updates = core::ParseMutationScript(request.script);
   if (!updates.ok()) return updates.status();
   auto outcome = store_.Mutate(request.session, *updates);
@@ -200,6 +260,9 @@ Result<MutateResponse> ServiceApi::Mutate(const MutateRequest& request) {
 }
 
 Result<SubmitResponse> ServiceApi::Resolve(const ResolveRequest& request) {
+  static obs::Histogram* const latency =
+      obs::Registry::Global().GetHistogram("wgrap_service_resolve_seconds");
+  ScopedEndpointTimer timer(latency);
   WGRAP_RETURN_IF_ERROR(core::ValidateKnobs(
       "update", core::IncrementalResolveKnobSpecs(), request.knobs));
   auto snapshot = store_.Get(request.session);
@@ -214,7 +277,7 @@ Result<SubmitResponse> ServiceApi::Resolve(const ResolveRequest& request) {
   const int64_t id = jobs_.Submit(
       "resolve:" + request.session,
       [this, job_request = std::move(job_request),
-       snap = std::move(snap)](const CancelToken& cancel) {
+       snap = std::move(snap)](const JobContext& context) {
         JobResult result;
         // Work on a private rebind of the snapshot's assignment — the
         // snapshot itself stays immutable for other readers.
@@ -229,7 +292,13 @@ Result<SubmitResponse> ServiceApi::Resolve(const ResolveRequest& request) {
         core::SolverRunOptions options;
         options.time_limit_seconds = job_request.time_limit_seconds;
         options.seed = job_request.seed;
-        options.cancel = cancel;
+        options.cancel = context.cancel;
+        if (context.progress) {
+          options.progress =
+              [sink = context.progress](const core::ProgressFrame& frame) {
+                sink(RenderProgressFrame(frame));
+              };
+        }
         options.extra = job_request.knobs;
         auto report = core::IncrementalResolve(*snap.instance, &working,
                                                options);
@@ -239,8 +308,9 @@ Result<SubmitResponse> ServiceApi::Resolve(const ResolveRequest& request) {
         }
         result.report = ResolveReport(*report, working);
         result.assignment_csv = AssignmentCsv(working);
-        (void)store_.InstallAssignmentIfCurrent(snap.name, snap.version,
-                                                PairsOf(working));
+        auto installed = store_.InstallAssignmentIfCurrent(
+            snap.name, snap.version, PairsOf(working));
+        CountCasConflict(installed.status());
         return result;
       });
   SubmitResponse response;
@@ -257,6 +327,11 @@ Result<JobResult> ServiceApi::GetJobResult(int64_t job) const {
 }
 
 Result<JobResult> ServiceApi::WaitJob(int64_t job) { return jobs_.Wait(job); }
+
+Result<ProgressPage> ServiceApi::WaitJobProgress(int64_t job,
+                                                 std::size_t from) {
+  return jobs_.WaitProgress(job, from);
+}
 
 Status ServiceApi::CancelJob(int64_t job) { return jobs_.Cancel(job); }
 

@@ -136,6 +136,9 @@ class ServiceApi {
   Result<JobStatus> GetJobStatus(int64_t job) const;
   Result<JobResult> GetJobResult(int64_t job) const;
   Result<JobResult> WaitJob(int64_t job);
+  /// One page of the job's progress stream (see JobQueue::WaitProgress);
+  /// the `watch` protocol verb drains this from index 0.
+  Result<ProgressPage> WaitJobProgress(int64_t job, std::size_t from);
   Status CancelJob(int64_t job);
 
   InstanceStore& store() { return store_; }

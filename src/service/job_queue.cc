@@ -3,6 +3,19 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace wgrap::service {
+namespace {
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const gauge =
+      obs::Registry::Global().GetGauge("wgrap_jobs_queue_depth");
+  return gauge;
+}
+
+}  // namespace
+}  // namespace wgrap::service
 
 namespace wgrap::service {
 
@@ -36,6 +49,9 @@ JobQueue::~JobQueue() {
       job.state = JobState::kDone;
       job.result.status = Status::Cancelled("job queue shut down");
     }
+    if (obs::Gauge* depth = QueueDepthGauge()) {
+      depth->Add(-static_cast<int64_t>(queue_.size()));
+    }
     queue_.clear();
     shutdown_ = true;
   }
@@ -54,17 +70,27 @@ int64_t JobQueue::Submit(std::string label, JobFn fn) {
     job.label = std::move(label);
     job.cancel = MakeCancelSource();
     job.fn = std::move(fn);
+    job.queued.Restart();
     queue_.push_back(id);
   }
+  if (obs::Gauge* depth = QueueDepthGauge()) depth->Add(1);
   work_ready_.notify_one();
   return id;
 }
 
 void JobQueue::WorkerLoop() {
+  static obs::Histogram* const wait_seconds = obs::Registry::Global().GetHistogram(
+      "wgrap_jobs_wait_seconds");
+  static obs::Counter* const completed =
+      obs::Registry::Global().GetCounter("wgrap_jobs_completed_total");
+  static obs::Counter* const evicted =
+      obs::Registry::Global().GetCounter("wgrap_jobs_evicted_total");
   for (;;) {
     Job* job = nullptr;
+    int64_t job_id = 0;
     JobFn fn;
     CancelToken cancel;
+    double queued_seconds = 0.0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -72,19 +98,37 @@ void JobQueue::WorkerLoop() {
       const int64_t id = queue_.front();
       queue_.pop_front();
       job = &jobs_[id];
+      job_id = id;
       job->state = JobState::kRunning;
       ++in_flight_;
       fn = std::move(job->fn);
       job->fn = nullptr;
       cancel = job->cancel;
+      queued_seconds = job->queued.ElapsedSeconds();
     }
+    if (obs::Gauge* depth = QueueDepthGauge()) depth->Add(-1);
+    if (wait_seconds) wait_seconds->Observe(queued_seconds);
     JobResult result;
     if (IsCancelled(cancel)) {
       // Cancelled while queued: never run the body.
       result.status = Status::Cancelled("job cancelled before start");
     } else {
+      JobContext context;
+      context.cancel = cancel;
+      // The sink appends under the queue lock (the body runs unlocked, so
+      // this cannot deadlock) and wakes WaitProgress blockers via the same
+      // cv job completion uses.
+      context.progress = [this, job_id](const std::string& frame) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          Job& self = jobs_[job_id];
+          if (self.progress.size() >= kMaxProgressFrames) return;
+          self.progress.push_back(frame);
+        }
+        job_done_.notify_all();
+      };
       Stopwatch watch;
-      result = fn(cancel);
+      result = fn(context);
       result.seconds = watch.ElapsedSeconds();
     }
     {
@@ -99,8 +143,12 @@ void JobQueue::WorkerLoop() {
         victim.evicted = true;
         victim.result.report.clear();
         victim.result.assignment_csv.clear();
+        victim.progress.clear();
+        victim.progress.shrink_to_fit();
+        if (evicted) evicted->Add();
       }
     }
+    if (completed) completed->Add();
     job_done_.notify_all();
   }
 }
@@ -152,6 +200,29 @@ Result<JobResult> JobQueue::Wait(int64_t id) {
     });
   }
   return GetResult(id);
+}
+
+Result<ProgressPage> JobQueue::WaitProgress(int64_t id, std::size_t from) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  job_done_.wait(lock, [&] {
+    const Job& job = jobs_[id];
+    return job.state == JobState::kDone || job.progress.size() > from;
+  });
+  const Job& job = it->second;
+  if (job.evicted) {
+    return Status::ResourceExhausted("job " + std::to_string(id) +
+                                     " result was evicted");
+  }
+  ProgressPage page;
+  page.done = job.state == JobState::kDone;
+  for (std::size_t i = from; i < job.progress.size(); ++i) {
+    page.frames.push_back(job.progress[i]);
+  }
+  return page;
 }
 
 Status JobQueue::Cancel(int64_t id) {

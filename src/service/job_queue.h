@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -32,6 +33,7 @@
 
 #include "common/cancel.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 
 namespace wgrap::service {
 
@@ -60,6 +62,24 @@ struct JobStatus {
   bool result_available = false;
 };
 
+/// Everything a job body gets from the queue: the cancel token it must
+/// poll, and a progress sink. Frames pushed into `progress` are retained
+/// per job (bounded) and replayable through WaitProgress — the `watch`
+/// protocol verb streams them. The sink is safe to call from the worker
+/// thread only (one job = one worker), and is a no-op after the frame cap.
+struct JobContext {
+  CancelToken cancel;
+  std::function<void(const std::string&)> progress;
+};
+
+/// One page of a job's progress stream: the frames at indices
+/// [from, from + frames.size()) plus whether the job has finished (no
+/// further frames will ever arrive once `done`).
+struct ProgressPage {
+  std::vector<std::string> frames;
+  bool done = false;
+};
+
 class JobQueue {
  public:
   struct Options {
@@ -78,9 +98,15 @@ class JobQueue {
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
 
-  /// The job body: runs on a worker with the job's cancel token; expected
-  /// to poll it (solvers do, through SolverRunOptions::cancel).
-  using JobFn = std::function<JobResult(const CancelToken&)>;
+  /// The job body: runs on a worker with the job's context (cancel token —
+  /// expected to be polled, solvers do through SolverRunOptions::cancel —
+  /// plus the progress sink).
+  using JobFn = std::function<JobResult(const JobContext&)>;
+
+  /// Frames retained per job; further progress calls are dropped. Large
+  /// enough for every solver's round-boundary cadence, small enough that a
+  /// runaway emitter cannot grow the store unboundedly.
+  static constexpr std::size_t kMaxProgressFrames = 1024;
 
   /// Enqueues and returns the job id (ids start at 1).
   int64_t Submit(std::string label, JobFn fn);
@@ -96,6 +122,14 @@ class JobQueue {
 
   /// Blocks until the job finishes, then behaves like GetResult.
   Result<JobResult> Wait(int64_t id);
+
+  /// Blocks until the job has emitted a frame with index >= `from` or has
+  /// finished, then returns every retained frame from `from` on plus the
+  /// done flag. Frames are never dropped from the front while the job's
+  /// result is retained, so a watcher starting at 0 replays the stream
+  /// deterministically. kNotFound for unknown ids, kResourceExhausted once
+  /// the job's payload (and with it the frames) was evicted.
+  Result<ProgressPage> WaitProgress(int64_t id, std::size_t from);
 
   /// Flips the job's cancel flag. Queued jobs finish as kCancelled without
   /// running; running jobs abort at the solver's next poll site.
@@ -114,6 +148,11 @@ class JobQueue {
     std::shared_ptr<std::atomic<bool>> cancel;
     JobFn fn;
     JobResult result;
+    /// Progress frames in emission order (bounded by kMaxProgressFrames);
+    /// cleared together with the payload on eviction.
+    std::vector<std::string> progress;
+    /// Measures queued time (submit → dequeue) for the wait histogram.
+    Stopwatch queued;
   };
 
   void WorkerLoop();

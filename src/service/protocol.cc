@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace wgrap::service {
 
@@ -299,7 +300,32 @@ Reply HandleResolve(ServiceApi& api, const std::vector<std::string>& tokens) {
   return Ok("job " + std::to_string(response->job) + "\n");
 }
 
-Reply HandleJobCommand(ServiceApi& api, const std::vector<std::string>& tokens) {
+/// `watch <job>`: replays the job's progress frames from index 0 — each
+/// through the sink (or into Reply::frames) as its own ok frame — then
+/// finishes exactly like `wait`. Replaying from 0 (rather than "frames
+/// since now") makes the stream independent of when the watcher attached:
+/// a watch of a finished job and a live watch produce the same bytes.
+Reply HandleWatch(ServiceApi& api, int64_t id, const FrameFn& frame,
+                  Reply* collected) {
+  std::size_t cursor = 0;
+  for (;;) {
+    auto page = api.WaitJobProgress(id, cursor);
+    if (!page.ok()) return Err(page.status());
+    for (const std::string& line : page->frames) {
+      if (frame) {
+        frame(line);
+      } else {
+        collected->frames.push_back(line);
+      }
+    }
+    cursor += page->frames.size();
+    if (page->done) break;
+  }
+  return RenderJobResult(api.WaitJob(id));
+}
+
+Reply HandleJobCommand(ServiceApi& api, const std::vector<std::string>& tokens,
+                       const FrameFn& frame) {
   int64_t id = 0;
   if (tokens.size() != 2 || !ParseInt64(tokens[1], &id)) {
     return BadArgs("usage: " + tokens[0] + " <job-id>");
@@ -312,6 +338,12 @@ Reply HandleJobCommand(ServiceApi& api, const std::vector<std::string>& tokens) 
               JobStateToString(status->state) + "\n");
   }
   if (command == "wait") return RenderJobResult(api.WaitJob(id));
+  if (command == "watch") {
+    Reply collected;
+    Reply final = HandleWatch(api, id, frame, &collected);
+    final.frames = std::move(collected.frames);
+    return final;
+  }
   if (command == "result") return RenderJobResult(api.GetJobResult(id));
   // cancel
   if (Status cancelled = api.CancelJob(id); !cancelled.ok()) {
@@ -323,12 +355,18 @@ Reply HandleJobCommand(ServiceApi& api, const std::vector<std::string>& tokens) 
 }  // namespace
 
 Reply HandleCommand(ServiceApi& api, const std::string& line,
-                    const std::string& payload) {
+                    const std::string& payload, FrameFn frame) {
   const std::vector<std::string> tokens = SplitTokens(line);
   if (tokens.empty()) return BadArgs("empty command");
   const std::string& command = tokens[0];
 
   if (command == "ping") return Ok("pong\n");
+  if (command == "stats") {
+    if (tokens.size() != 1) return BadArgs("usage: stats");
+    // The one deliberately non-deterministic payload (real timings) —
+    // CI never byte-diffs it. Empty when the registry is disabled.
+    return Ok(obs::Registry::Global().RenderPrometheus());
+  }
   if (command == "quit") {
     Reply reply = Ok("bye\n");
     reply.quit = true;
@@ -392,9 +430,9 @@ Reply HandleCommand(ServiceApi& api, const std::string& line,
     return Ok(response->text + SessionLine(response->info));
   }
   if (command == "resolve") return HandleResolve(api, tokens);
-  if (command == "status" || command == "wait" || command == "result" ||
-      command == "cancel") {
-    return HandleJobCommand(api, tokens);
+  if (command == "status" || command == "wait" || command == "watch" ||
+      command == "result" || command == "cancel") {
+    return HandleJobCommand(api, tokens, frame);
   }
   return BadArgs("unknown command '" + command + "'");
 }
@@ -437,7 +475,17 @@ void ServeStream(std::istream& in, std::ostream& out, ServiceApi& api) {
         line.erase(marker);
       }
     }
-    if (framed_ok) reply = HandleCommand(api, line, payload);
+    if (framed_ok) {
+      // Streamed frames (watch) are encoded and flushed as they arrive,
+      // so a client following a live job sees progress immediately.
+      reply = HandleCommand(api, line, payload,
+                            [&out](const std::string& frame) {
+                              Reply progress;
+                              progress.payload = frame;
+                              out << EncodeReply(progress);
+                              out.flush();
+                            });
+    }
     out << EncodeReply(reply);
     out.flush();
     if (reply.quit) break;

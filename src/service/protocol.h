@@ -26,19 +26,31 @@
 //                                             incremental re-solve job
 //   status <job>                              "job <id> queued|running|done"
 //   wait <job>                                blocks, then like `result`
+//   watch <job>                               streams one ok frame per
+//                                             progress line ("progress
+//                                             <phase> round <N> best <S>"),
+//                                             then the `wait` reply
 //   result <job>                              the job's report payload
 //   cancel <job>
+//   stats                                     telemetry scrape (Prometheus
+//                                             text; empty when WGRAP_OBS=0)
 //   quit
 //
 // Determinism: job ids count up from 1 and every payload is rendered by
 // service/reports.h without wall-clock numbers, so a scripted session
 // produces a byte-identical response stream on every run — the property
-// the CI smoke diffs against one-shot CLI output.
+// the CI smoke diffs against one-shot CLI output. `watch` replays the
+// job's retained frames from index 0, and solvers emit frames only at
+// round boundaries (never on wall-clock ticks), so a watch of a seeded
+// job is byte-deterministic too. `stats` is the deliberate exception:
+// its payload carries real timings and is never byte-diffed.
 #ifndef WGRAP_SERVICE_PROTOCOL_H_
 #define WGRAP_SERVICE_PROTOCOL_H_
 
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "service/api.h"
@@ -46,18 +58,29 @@
 namespace wgrap::service {
 
 /// Outcome of one command. `payload` is sent on ok; a non-ok status
-/// becomes an `err` frame carrying the status message.
+/// becomes an `err` frame carrying the status message. `frames` holds
+/// intermediate ok-frames a streaming command (watch) produced before the
+/// final reply — populated only when HandleCommand ran without a sink.
 struct Reply {
   Status status = Status::OK();
   std::string payload;
+  std::vector<std::string> frames;
   bool quit = false;
 };
+
+/// Sink for a streaming command's intermediate frames: called with each
+/// frame payload as it becomes available, before HandleCommand returns the
+/// final reply. ServeStream passes one that encodes-and-flushes
+/// immediately, so a `watch` client sees progress live.
+using FrameFn = std::function<void(const std::string&)>;
 
 /// Executes one already-deframed command (line without the `<<N` marker,
 /// plus its payload) against the api. Unknown commands and malformed
 /// arguments come back as kInvalidArgument replies, never exceptions.
+/// Without a `frame` sink, streaming commands collect their intermediate
+/// payloads into Reply::frames instead.
 Reply HandleCommand(ServiceApi& api, const std::string& line,
-                    const std::string& payload);
+                    const std::string& payload, FrameFn frame = {});
 
 /// "ok <N>\n<payload>" or "err <Code> <N>\n<message>".
 std::string EncodeReply(const Reply& reply);

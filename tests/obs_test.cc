@@ -1,0 +1,181 @@
+// Telemetry subsystem tests: sharded counter/histogram correctness under
+// concurrent writers (the merge-at-scrape contract), histogram bucket and
+// quantile math, Prometheus rendering, the kill switch's zero-registration
+// guarantee, and the tracer's deterministic span-tree shape.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wgrap::obs {
+namespace {
+
+TEST(ObsCounterTest, ConcurrentAddsMergeExactly) {
+  Registry registry(/*enabled=*/true);
+  Counter* counter = registry.GetCounter("c");
+  ASSERT_NE(counter, nullptr);
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter->Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Relaxed per-shard adds merged at read time must still be exact — no
+  // update may be lost to a torn or overwritten cell.
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kAddsPerThread);
+}
+
+TEST(ObsHistogramTest, ConcurrentObservationsMergeExactly) {
+  Registry registry(/*enabled=*/true);
+  Histogram* histogram = registry.GetHistogram("h", {1.0, 2.0, 4.0});
+  ASSERT_NE(histogram, nullptr);
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t] {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        histogram->Observe(0.5 * (t % 4));  // 0, 0.5, 1, 1.5 across threads
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram->Count(), int64_t{kThreads} * kObsPerThread);
+  const std::vector<int64_t> buckets = histogram->BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 finite + the +Inf catch-all
+  // 0, 0.5 and 1 land in le=1 (inclusive upper edge); 1.5 in le=2.
+  EXPECT_EQ(buckets[0], int64_t{6} * kObsPerThread);
+  EXPECT_EQ(buckets[1], int64_t{2} * kObsPerThread);
+  EXPECT_EQ(buckets[2], 0);
+  EXPECT_EQ(buckets[3], 0);
+  // Sum is nanounit-exact: each of the four values observed by two
+  // threads, 2×(0+0.5+1+1.5)×5000 = 30000.
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 30000.0);
+}
+
+TEST(ObsHistogramTest, QuantileInterpolatesWithinBuckets) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) histogram.Observe(0.5);   // bucket (0, 1]
+  for (int i = 0; i < 100; ++i) histogram.Observe(1.5);   // bucket (1, 2]
+  EXPECT_EQ(histogram.Count(), 200);
+  // p25 falls midway through the first bucket, p75 midway through the
+  // second; the estimate must stay inside each bucket's edges.
+  EXPECT_GT(histogram.Quantile(0.25), 0.0);
+  EXPECT_LE(histogram.Quantile(0.25), 1.0);
+  EXPECT_GT(histogram.Quantile(0.75), 1.0);
+  EXPECT_LE(histogram.Quantile(0.75), 2.0);
+  // Everything in the +Inf bucket reports the largest finite bound.
+  Histogram overflow({1.0});
+  overflow.Observe(100.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.5), 1.0);
+}
+
+TEST(ObsRegistryTest, HandlesAreStableAndRenderSorted) {
+  Registry registry(/*enabled=*/true);
+  Counter* first = registry.GetCounter("zeta");
+  Counter* again = registry.GetCounter("zeta");
+  EXPECT_EQ(first, again);
+  registry.GetGauge("alpha")->Set(7);
+  first->Add(3);
+  const std::string page = registry.RenderPrometheus();
+  // Sorted by name: alpha before zeta.
+  EXPECT_LT(page.find("alpha"), page.find("zeta"));
+  EXPECT_NE(page.find("alpha 7"), std::string::npos);
+  EXPECT_NE(page.find("zeta 3"), std::string::npos);
+}
+
+TEST(ObsRegistryTest, DisabledRegistryRegistersNothing) {
+  Registry registry(/*enabled=*/false);
+  // The kill switch contract: every lookup is a nullptr (call sites branch
+  // away), nothing is allocated, and the scrape page stays empty.
+  EXPECT_EQ(registry.GetCounter("c"), nullptr);
+  EXPECT_EQ(registry.GetGauge("g"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("h"), nullptr);
+  EXPECT_TRUE(registry.Names().empty());
+  EXPECT_TRUE(registry.RenderPrometheus().empty());
+}
+
+// The span tree's *shape* (names, parents, depths, order) is a pure
+// function of the code path — only durations vary run to run. Two
+// identical traversals must produce identical shapes.
+std::vector<std::string> ShapeOf(const Tracer& tracer) {
+  std::vector<std::string> shape;
+  for (const SpanRecord& span : tracer.spans()) {
+    shape.push_back(span.name + "/" + std::to_string(span.parent) + "/" +
+                    std::to_string(span.depth));
+  }
+  return shape;
+}
+
+void FakeSolve() {
+  ScopedSpan solve("solve");
+  for (int stage = 0; stage < 3; ++stage) {
+    ScopedSpan inner("stage");
+  }
+}
+
+TEST(ObsTraceTest, SpanTreeShapeIsDeterministic) {
+  Tracer first;
+  {
+    ScopedTracerAttach attach(&first);
+    FakeSolve();
+  }
+  Tracer second;
+  {
+    ScopedTracerAttach attach(&second);
+    FakeSolve();
+  }
+  ASSERT_EQ(first.spans().size(), 4u);  // solve + 3 stages, DFS preorder
+  EXPECT_EQ(first.spans()[0].name, "solve");
+  EXPECT_EQ(first.spans()[0].parent, -1);
+  EXPECT_EQ(first.spans()[0].depth, 0);
+  EXPECT_EQ(first.spans()[1].name, "stage");
+  EXPECT_EQ(first.spans()[1].parent, 0);
+  EXPECT_EQ(first.spans()[1].depth, 1);
+  EXPECT_EQ(ShapeOf(first), ShapeOf(second));
+  for (const SpanRecord& span : first.spans()) {
+    EXPECT_GE(span.duration_ns, 0);
+  }
+}
+
+TEST(ObsTraceTest, SpansAreNoOpsWithoutAnAmbientTracer) {
+  // Worker threads never attach a tracer; their spans must vanish without
+  // touching anyone else's tree.
+  EXPECT_EQ(AmbientTracer(), nullptr);
+  { ScopedSpan orphan("orphan"); }
+  Tracer tracer;
+  {
+    ScopedTracerAttach attach(&tracer);
+    std::thread worker([] {
+      EXPECT_EQ(AmbientTracer(), nullptr);  // thread_local, not inherited
+      ScopedSpan span("worker");
+    });
+    worker.join();
+    ScopedSpan span("main");
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].name, "main");
+}
+
+TEST(ObsTraceTest, ChromeJsonIsWellFormed) {
+  Tracer tracer;
+  {
+    ScopedTracerAttach attach(&tracer);
+    FakeSolve();
+  }
+  const std::string json = TraceToChromeJson(tracer);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  EXPECT_NE(json.find("\"name\":\"solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wgrap::obs

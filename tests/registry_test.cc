@@ -5,6 +5,8 @@
 
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "core/registry.h"
@@ -534,6 +536,71 @@ TEST(SolverRegistryTest, PreCancelledTokenAbortsEverySolver) {
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
   }
+}
+
+TEST(SolverProgressTest, SolversEmitMonotoneFrames) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  // Every anytime pipeline must emit at least one frame, with best scores
+  // that never regress — the property `watch` clients rely on to render a
+  // live convergence curve.
+  for (const char* name : {"sdga", "sdga-sra", "sdga-ls", "ilp"}) {
+    SCOPED_TRACE(name);
+    std::vector<core::ProgressFrame> frames;
+    core::SolverRunOptions options;
+    options.progress = [&frames](const core::ProgressFrame& frame) {
+      frames.push_back(frame);
+    };
+    auto result = registry.SolveCra(name, instance, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_FALSE(frames.empty());
+    for (size_t i = 1; i < frames.size(); ++i) {
+      EXPECT_GE(frames[i].best_score, frames[i - 1].best_score)
+          << "frame " << i << " regressed";
+    }
+    // The stream's last best matches the returned assignment — a frame
+    // is a faithful preview of the result, not an estimate.
+    EXPECT_DOUBLE_EQ(frames.back().best_score, result->TotalScore());
+  }
+}
+
+TEST(SolverProgressTest, FrameStreamIsDeterministicForAFixedSeed) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  auto run = [&] {
+    std::vector<std::pair<int64_t, double>> frames;
+    core::SolverRunOptions options;
+    options.seed = 99;
+    options.progress = [&frames](const core::ProgressFrame& frame) {
+      frames.emplace_back(frame.round, frame.best_score);
+    };
+    auto result = registry.SolveCra("sdga-sra", instance, options);
+    WGRAP_CHECK(result.ok());
+    return frames;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SolverProgressTest, CancelDuringSraStopsTheFrameStream) {
+  const auto& registry = core::SolverRegistry::Default();
+  const core::Instance instance = TinyInstance();
+  auto initial = registry.SolveCra("sdga", instance);
+  ASSERT_TRUE(initial.ok());
+  // Cancel from inside the progress callback: the first SRA frame flips
+  // the token, so the refiner must abort at its next poll site without
+  // emitting a meaningfully longer stream.
+  auto source = MakeCancelSource();
+  int frames_seen = 0;
+  core::SolverRunOptions options;
+  options.cancel = source;
+  options.progress = [&](const core::ProgressFrame&) {
+    ++frames_seen;
+    source->store(true);
+  };
+  auto result = registry.RefineCra("sra", instance, *initial, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(frames_seen, 1);
 }
 
 }  // namespace

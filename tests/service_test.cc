@@ -6,6 +6,7 @@
 // sanitizer jobs run this suite under TSan.
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -194,7 +195,7 @@ JobQueue::Options QueueOptions(int workers, int max_results) {
 
 TEST(JobQueueTest, SubmitWaitResultLifecycle) {
   JobQueue queue(QueueOptions(2, 8));
-  const int64_t id = queue.Submit("t", [](const CancelToken&) {
+  const int64_t id = queue.Submit("t", [](const JobContext&) {
     JobResult result;
     result.report = "hello\n";
     return result;
@@ -219,7 +220,7 @@ TEST(JobQueueTest, SubmitWaitResultLifecycle) {
 TEST(JobQueueTest, BoundedResultStoreEvictsOldestFirst) {
   JobQueue queue(QueueOptions(1, 2));
   for (int i = 0; i < 3; ++i) {
-    queue.Submit("t", [i](const CancelToken&) {
+    queue.Submit("t", [i](const JobContext&) {
       JobResult result;
       result.report = "r" + std::to_string(i) + "\n";
       return result;
@@ -243,13 +244,13 @@ TEST(JobQueueTest, CancellingAQueuedJobSkipsItsBody) {
   std::condition_variable cv;
   bool release = false;
   // Blocker occupies the single worker so the next job stays queued.
-  const int64_t blocker = queue.Submit("blocker", [&](const CancelToken&) {
+  const int64_t blocker = queue.Submit("blocker", [&](const JobContext&) {
     std::unique_lock<std::mutex> lock(mutex);
     cv.wait(lock, [&] { return release; });
     return JobResult();
   });
   std::atomic<bool> body_ran{false};
-  const int64_t victim = queue.Submit("victim", [&](const CancelToken&) {
+  const int64_t victim = queue.Submit("victim", [&](const JobContext&) {
     body_ran.store(true);
     return JobResult();
   });
@@ -272,14 +273,14 @@ TEST(JobQueueTest, RunningJobSeesItsCancelToken) {
   std::mutex mutex;
   std::condition_variable cv;
   bool running = false;
-  const int64_t id = queue.Submit("t", [&](const CancelToken& cancel) {
+  const int64_t id = queue.Submit("t", [&](const JobContext& context) {
     {
       std::lock_guard<std::mutex> lock(mutex);
       running = true;
     }
     cv.notify_all();
     // Cooperative poll loop — the shape every solver's deadline check has.
-    while (!IsCancelled(cancel)) {
+    while (!IsCancelled(context.cancel)) {
       std::this_thread::yield();
     }
     JobResult result;
@@ -294,6 +295,87 @@ TEST(JobQueueTest, RunningJobSeesItsCancelToken) {
   auto result = queue.Wait(id);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->status.code(), StatusCode::kCancelled);
+}
+
+TEST(JobQueueTest, ProgressFramesAreRetainedAndReplayable) {
+  JobQueue queue(QueueOptions(1, 8));
+  const int64_t id = queue.Submit("t", [](const JobContext& context) {
+    context.progress("frame 0\n");
+    context.progress("frame 1\n");
+    context.progress("frame 2\n");
+    return JobResult();
+  });
+  ASSERT_TRUE(queue.Wait(id).ok());
+  // Replay from 0 after completion: the full retained stream, done=true.
+  auto page = queue.WaitProgress(id, 0);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_TRUE(page->done);
+  ASSERT_EQ(page->frames.size(), 3u);
+  EXPECT_EQ(page->frames[0], "frame 0\n");
+  EXPECT_EQ(page->frames[2], "frame 2\n");
+  // A cursor mid-stream only returns the tail.
+  auto tail = queue.WaitProgress(id, 2);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->frames.size(), 1u);
+  EXPECT_EQ(tail->frames[0], "frame 2\n");
+  // Past-the-end cursor on a finished job: empty page, still done.
+  auto past = queue.WaitProgress(id, 99);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past->frames.empty());
+  EXPECT_TRUE(past->done);
+
+  EXPECT_EQ(queue.WaitProgress(42, 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(JobQueueTest, WaitProgressStreamsFromALiveJob) {
+  JobQueue queue(QueueOptions(1, 8));
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  const int64_t id = queue.Submit("t", [&](const JobContext& context) {
+    context.progress("early\n");
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+    context.progress("late\n");
+    return JobResult();
+  });
+  // Blocks until the first frame lands — the job is still running.
+  auto first = queue.WaitProgress(id, 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GE(first->frames.size(), 1u);
+  EXPECT_EQ(first->frames[0], "early\n");
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  // Blocks again until either the second frame or completion arrives.
+  auto rest = queue.WaitProgress(id, 1);
+  ASSERT_TRUE(rest.ok());
+  if (rest->frames.empty()) {
+    // Raced past the frame: a later page from the same cursor has it.
+    rest = queue.WaitProgress(id, 1);
+    ASSERT_TRUE(rest.ok());
+  }
+  ASSERT_GE(rest->frames.size(), 1u);
+  EXPECT_EQ(rest->frames[0], "late\n");
+}
+
+TEST(JobQueueTest, EvictionDropsProgressWithThePayload) {
+  JobQueue queue(QueueOptions(1, 1));
+  auto emit = [](const JobContext& context) {
+    context.progress("p\n");
+    return JobResult();
+  };
+  const int64_t first = queue.Submit("a", emit);
+  const int64_t second = queue.Submit("b", emit);
+  queue.Drain();
+  // max_results=1: job `first` was evicted, progress and all.
+  EXPECT_EQ(queue.WaitProgress(first, 0).status().code(),
+            StatusCode::kResourceExhausted);
+  auto kept = queue.WaitProgress(second, 0);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->frames.size(), 1u);
 }
 
 // --- ServiceApi --------------------------------------------------------------
@@ -509,6 +591,43 @@ TEST(ServiceApiTest, ResolveRepairsAfterMutation) {
   bad.session = "conf";
   bad.knobs["update_refine"] = "cold";
   EXPECT_EQ(api.Resolve(bad).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceApiTest, SolveJobStreamsMonotoneProgressFrames) {
+  ServiceApi api;
+  OpenSmall(api, "conf");
+  SubmitRequest request;
+  request.session = "conf";
+  request.solver = "sdga-sra";
+  request.seed = 7;
+  auto submitted = api.Submit(request);
+  ASSERT_TRUE(submitted.ok());
+  auto result = api.WaitJob(submitted->job);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok());
+
+  auto page = api.WaitJobProgress(submitted->job, 0);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_TRUE(page->done);
+  ASSERT_FALSE(page->frames.empty());
+  // Every frame is the fixed wire format, and best never regresses —
+  // SDGA's stages add non-negative marginal gains and SRA/LS only emit on
+  // improvement, so the stream is a monotone convergence curve.
+  double last_best = -1.0;
+  for (const std::string& frame : page->frames) {
+    char phase[16] = {0};
+    long long round = 0;
+    double best = 0.0;
+    ASSERT_EQ(std::sscanf(frame.c_str(), "progress %15s round %lld best %lf",
+                          phase, &round, &best),
+              3)
+        << frame;
+    EXPECT_GE(best, last_best) << frame;
+    last_best = best;
+  }
+  // The job's payload carries no telemetry: the report is untouched by
+  // the progress machinery.
+  EXPECT_EQ(result->report.find("progress"), std::string::npos);
 }
 
 }  // namespace

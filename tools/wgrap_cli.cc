@@ -18,7 +18,12 @@
 //                       [--sra-omega W] [--sra-lambda L]
 //                       [--topics dense|sparse]
 //                       [--gains incremental|rebuild]
+//                       [--trace spans.json] [--verbose]
 //                       [--refine initial.csv] --out a.csv
+//     (--trace records the solver's span tree to a chrome://tracing JSON
+//      file; --verbose prints solver telemetry counters to stderr — both
+//      leave stdout byte-identical to an uninstrumented run, which CI
+//      asserts)
 //     (--refine runs the algo's refine-from-initial hook — sra or ls —
 //      on an existing assignment instead of solving from scratch)
 //   wgrap_cli jra       --dataset d.csv --paper 0 --dp 3 [--topk 5]
@@ -45,10 +50,19 @@
 //      the same service/reports.h formatters the subcommands below print
 //      with, so they are byte-identical to one-shot CLI output — CI diffs
 //      them.)
+//   wgrap_cli watch     --port P --job N
+//     (line-protocol client: connects to a `serve --port P` process,
+//      streams job N's progress frames to stdout as they arrive, then the
+//      final report — the interactive face of the protocol's `watch`)
 //
 // Note: `--topics` means the scoring-kernel selector (dense or CSR-sparse,
 // bit-identical output) on solve/jra/update, but the topic *count* T on
 // generate.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +74,8 @@
 #include <string>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/api.h"
 #include "service/protocol.h"
 #include "service/reports.h"
@@ -304,15 +320,50 @@ int CmdSolve(const Flags& flags) {
   }
   const auto& registry = core::SolverRegistry::Default();
   Result<core::Assignment> assignment = Status::Internal("unset");
-  if (!refine_path.empty()) {
-    // Refine-from-initial: load the assignment and dispatch through the
-    // registry's refine hook (the refiner validates completeness).
-    core::Assignment initial = LoadAssignmentOrDie(instance, refine_path);
-    assignment = registry.RefineCra(algo, instance, initial, options);
-  } else {
-    assignment = registry.SolveCra(algo, instance, options);
+  const std::string trace_path = flags.GetString("trace", "");
+  obs::Tracer tracer;
+  {
+    // Attach only for the solve itself, so the span tree is exactly the
+    // solver's — never report rendering or file IO.
+    std::optional<obs::ScopedTracerAttach> attach;
+    if (!trace_path.empty()) attach.emplace(&tracer);
+    if (!refine_path.empty()) {
+      // Refine-from-initial: load the assignment and dispatch through the
+      // registry's refine hook (the refiner validates completeness).
+      core::Assignment initial = LoadAssignmentOrDie(instance, refine_path);
+      assignment = registry.RefineCra(algo, instance, initial, options);
+    } else {
+      assignment = registry.SolveCra(algo, instance, options);
+    }
   }
   if (!assignment.ok()) Die(assignment.status(), "solve");
+  if (!trace_path.empty()) {
+    WriteFileOrDie(trace_path, obs::TraceToChromeJson(tracer));
+    std::fprintf(stderr, "wrote %zu trace spans to %s\n",
+                 tracer.spans().size(), trace_path.c_str());
+  }
+  if (!flags.GetString("verbose", "").empty()) {
+    // Telemetry stays off stdout so the report is byte-identical to an
+    // uninstrumented run; stderr is where operators look anyway.
+    if (!obs::Enabled()) {
+      std::fprintf(stderr, "telemetry disabled (WGRAP_OBS=0)\n");
+    } else {
+      obs::Registry& metrics = obs::Registry::Global();
+      for (const char* name :
+           {"wgrap_lap_auction_fallbacks_total",
+            "wgrap_lap_auction_phases_total", "wgrap_lap_auction_rounds_total",
+            "wgrap_lap_auction_bids_total", "wgrap_lap_auction_widen_total",
+            "wgrap_gain_cache_patched_cells_total",
+            "wgrap_gain_cache_rebuilt_cells_total",
+            "wgrap_gain_cache_full_builds_total", "wgrap_sra_rounds_total"}) {
+        obs::Counter* counter = metrics.GetCounter(name);
+        if (counter != nullptr) {
+          std::fprintf(stderr, "telemetry: %s %lld\n", name,
+                       static_cast<long long>(counter->Value()));
+        }
+      }
+    }
+  }
   const core::SolverDescriptor* descriptor = registry.Find(algo);
   if (descriptor != nullptr && !descriptor->produces_feasible) {
     std::fprintf(stderr,
@@ -521,6 +572,101 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
+// --- watch: a minimal line-protocol TCP client ------------------------------
+
+bool ReadExactly(int fd, char* buffer, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buffer + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+// One response header line ("ok <N>" / "err <Code> <N>"), byte at a time —
+// throughput is irrelevant here and this needs no buffering state.
+bool ReadHeaderLine(int fd, std::string* line) {
+  line->clear();
+  char c = 0;
+  while (ReadExactly(fd, &c, 1)) {
+    if (c == '\n') return true;
+    *line += c;
+  }
+  return false;
+}
+
+int CmdWatch(const Flags& flags) {
+  const int port = flags.GetInt("port", 0);
+  if (port <= 0) {
+    std::fprintf(stderr, "watch requires --port (a `serve --port` process)\n");
+    return 2;
+  }
+  const int job = std::atoi(flags.Require("job").c_str());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::perror("connect");
+    ::close(fd);
+    return 1;
+  }
+  const std::string command = "watch " + std::to_string(job) + "\n";
+  if (::send(fd, command.data(), command.size(), 0) !=
+      static_cast<ssize_t>(command.size())) {
+    std::perror("send");
+    ::close(fd);
+    return 1;
+  }
+
+  // Progress frames stream as individual ok replies whose payload starts
+  // with "progress "; the first reply that doesn't is the final result
+  // (or an err frame for a failed/cancelled/unknown job).
+  for (;;) {
+    std::string header;
+    if (!ReadHeaderLine(fd, &header)) {
+      std::fprintf(stderr, "watch: connection closed mid-reply\n");
+      ::close(fd);
+      return 1;
+    }
+    const bool ok = header.rfind("ok ", 0) == 0;
+    const std::size_t size_at = header.rfind(' ');
+    if (size_at == std::string::npos) {
+      std::fprintf(stderr, "watch: malformed reply header '%s'\n",
+                   header.c_str());
+      ::close(fd);
+      return 1;
+    }
+    const long long size = std::atoll(header.c_str() + size_at + 1);
+    std::string payload(static_cast<std::size_t>(size < 0 ? 0 : size), '\0');
+    if (size > 0 && !ReadExactly(fd, payload.data(), payload.size())) {
+      std::fprintf(stderr, "watch: truncated payload\n");
+      ::close(fd);
+      return 1;
+    }
+    if (ok && payload.rfind("progress ", 0) == 0) {
+      std::fputs(payload.c_str(), stdout);
+      std::fflush(stdout);
+      continue;
+    }
+    ::close(fd);
+    if (!ok) {
+      std::fprintf(stderr, "watch: %s: %s\n", header.c_str(), payload.c_str());
+      return 1;
+    }
+    std::fputs(payload.c_str(), stdout);
+    return 0;
+  }
+}
+
 int CmdCaseStudy(const Flags& flags) {
   const data::RapDataset dataset = LoadDatasetOrDie(flags.Require("dataset"));
   core::Instance instance = MakeInstanceOrDie(dataset, flags);
@@ -536,7 +682,8 @@ int CmdCaseStudy(const Flags& flags) {
 void Usage() {
   std::fputs(
       "usage: wgrap_cli "
-      "<solvers|generate|solve|jra|evaluate|casestudy|update|serve> [flags]\n"
+      "<solvers|generate|solve|jra|evaluate|casestudy|update|serve|watch> "
+      "[flags]\n"
       "run `wgrap_cli solvers` for the algorithm menu and see the header of "
       "tools/wgrap_cli.cc for the flag list\n",
       stderr);
@@ -559,6 +706,7 @@ int main(int argc, char** argv) {
   if (command == "casestudy") return CmdCaseStudy(flags);
   if (command == "update") return CmdUpdate(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "watch") return CmdWatch(flags);
   Usage();
   return 2;
 }

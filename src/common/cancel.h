@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/status.h"
 
 namespace wgrap {
@@ -32,6 +33,9 @@ inline bool IsCancelled(const CancelToken& token) {
 }
 
 inline Status CheckNotCancelled(const CancelToken& token, const char* what) {
+  // Every solver polls here at its deadline-check boundaries, so this one
+  // site gives the chaos suite a hook into all of them ("solver.poll").
+  WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("solver.poll"));
   if (IsCancelled(token)) {
     return Status::Cancelled(std::string(what) + " cancelled");
   }

@@ -1,0 +1,89 @@
+// Named-failpoint fault injection: every fault boundary in the codebase
+// (dataset parse, socket read/write, snapshot publish, job start/finish,
+// solver deadline polls) hosts a named site that normally costs one
+// relaxed atomic load, and can be armed — from the WGRAP_FAILPOINTS
+// environment variable or live through the service's `failpoints` protocol
+// verb — to inject an error Status, a delay, or both. The chaos suite
+// (tests/chaos_test.cc) drives randomized schedules through these sites to
+// prove the server degrades instead of corrupting or crashing.
+//
+// Spec grammar (the env variable and the protocol verb share it):
+//
+//   WGRAP_FAILPOINTS=<name>=<spec>[,<name>=<spec>...]
+//   <spec> := <action>[|<action>...]
+//   <action> := error              inject Status::Internal
+//             | error:<Code>       inject that StatusCode (e.g.
+//                                  error:Unavailable, error:NotFound)
+//             | delay:<ms>         sleep <ms> milliseconds, then continue
+//             | oneshot            disarm the failpoint after its first trip
+//
+// A spec with only `delay` trips without failing (latency injection); a
+// spec with `error` makes the site return the injected status, which the
+// surrounding code must propagate like any other failure — failpoints
+// never bypass the normal error paths, they exercise them.
+//
+// Kill switch, mirroring the obs registry idiom: compiled with
+// -DWGRAP_FAILPOINT_DISABLED the WGRAP_INJECT_FAULT macro expands to an OK
+// constant — no registry, no atomic load, no strings in the binary — and
+// Arm() reports FailedPrecondition so a misconfigured production build
+// fails loudly rather than silently ignoring a schedule.
+//
+// Each armed failpoint's trips are counted in the obs registry as
+//   wgrap_failpoint_trips_total{name="<name>"}
+// (never rendered into response payloads, per the telemetry invariant).
+#ifndef WGRAP_COMMON_FAILPOINT_H_
+#define WGRAP_COMMON_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wgrap::failpoint {
+
+/// True unless the library was compiled with WGRAP_FAILPOINT_DISABLED.
+bool CompiledIn();
+
+/// The site hook (call through WGRAP_INJECT_FAULT, not directly): returns
+/// OK unless `name` is armed with an error action. Fast path when nothing
+/// at all is armed: one relaxed atomic load, no lock, no allocation.
+Status Check(const char* name);
+
+/// Arms `name` with a spec ("error", "delay:5|oneshot", ...). Re-arming an
+/// armed name replaces its spec and resets nothing else. InvalidArgument
+/// on a malformed spec; FailedPrecondition when compiled out.
+Status Arm(const std::string& name, const std::string& spec);
+
+/// Arms a comma-separated `name=spec` list (the WGRAP_FAILPOINTS grammar).
+/// Stops at the first malformed entry with the earlier entries armed.
+Status ArmList(const std::string& list);
+
+/// Disarms `name`; NotFound when it was not armed.
+Status Disarm(const std::string& name);
+
+/// Disarms everything (test isolation; also what `failpoints clear` runs).
+void DisarmAll();
+
+/// One armed failpoint, for listings.
+struct ArmedInfo {
+  std::string name;
+  std::string spec;     // normalized: actions in error|delay|oneshot order
+  int64_t trips = 0;    // times this site fired since it was armed
+};
+
+/// Currently armed failpoints, name-sorted.
+std::vector<ArmedInfo> List();
+
+}  // namespace wgrap::failpoint
+
+/// The site macro. Usage at a fault boundary:
+///   WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("store.publish"));
+/// or, where a Status return does not fit the control flow:
+///   if (!WGRAP_INJECT_FAULT("tcp.accept").ok()) { ...degrade... }
+#ifdef WGRAP_FAILPOINT_DISABLED
+#define WGRAP_INJECT_FAULT(name) ::wgrap::Status::OK()
+#else
+#define WGRAP_INJECT_FAULT(name) ::wgrap::failpoint::Check(name)
+#endif
+
+#endif  // WGRAP_COMMON_FAILPOINT_H_

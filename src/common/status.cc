@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kCancelled:
       return "Cancelled";
     case StatusCode::kInfeasible:

@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kResourceExhausted,   // e.g. time / iteration budget exceeded
+  kUnavailable,         // load shed — server overloaded, retry later
   kCancelled,           // cooperative cancellation (service job cancel)
   kInfeasible,          // optimization model has no feasible solution
   kUnbounded,           // optimization model is unbounded
@@ -54,6 +55,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));

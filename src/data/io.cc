@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace wgrap::data {
@@ -99,6 +100,7 @@ std::string DatasetToCsv(const RapDataset& dataset) {
 }
 
 Result<RapDataset> DatasetFromCsv(const std::string& csv) {
+  WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("io.parse"));
   std::istringstream stream(csv);
   std::string line;
   RapDataset dataset;
@@ -123,6 +125,9 @@ Result<RapDataset> DatasetFromCsv(const std::string& csv) {
           StrFormat("row %zu: expected %d fields, got %zu", row,
                     num_topics + 4, fields->size()));
     }
+    // "io.alloc" stands in for the per-row allocation failing (the OOM
+    // path is not otherwise reachable in a test).
+    WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("io.alloc"));
     std::vector<double> topics(num_topics);
     for (int t = 0; t < num_topics; ++t) {
       auto v = ParseDouble((*fields)[4 + t], row);
@@ -156,6 +161,7 @@ Status SaveDataset(const RapDataset& dataset, const std::string& path) {
 }
 
 Result<RapDataset> LoadDataset(const std::string& path) {
+  WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("io.load"));
   std::ifstream file(path);
   if (!file) return Status::NotFound("cannot open " + path);
   std::ostringstream buffer;

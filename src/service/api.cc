@@ -17,6 +17,7 @@ JobQueue::Options QueueOptions(const ServiceOptions& options) {
   JobQueue::Options queue;
   queue.workers = options.job_workers;
   queue.max_results = options.max_results;
+  queue.max_queue_depth = options.max_queue_depth;
   return queue;
 }
 
@@ -188,7 +189,7 @@ Result<SubmitResponse> ServiceApi::Submit(const SubmitRequest& request) {
 
   SubmitRequest job_request = request;
   SessionSnapshot snap = *std::move(snapshot);
-  const int64_t id = jobs_.Submit(
+  const Result<int64_t> id = jobs_.Submit(
       std::string(KindLabel(request.kind)) + ":" + request.solver,
       [this, job_request = std::move(job_request),
        snap = std::move(snap)](const JobContext& context) {
@@ -234,8 +235,9 @@ Result<SubmitResponse> ServiceApi::Submit(const SubmitRequest& request) {
         }
         return result;
       });
+  if (!id.ok()) return id.status();  // admission shed (kUnavailable)
   SubmitResponse response;
-  response.job = id;
+  response.job = *id;
   return response;
 }
 
@@ -274,7 +276,7 @@ Result<SubmitResponse> ServiceApi::Resolve(const ResolveRequest& request) {
 
   ResolveRequest job_request = request;
   SessionSnapshot snap = *std::move(snapshot);
-  const int64_t id = jobs_.Submit(
+  const Result<int64_t> id = jobs_.Submit(
       "resolve:" + request.session,
       [this, job_request = std::move(job_request),
        snap = std::move(snap)](const JobContext& context) {
@@ -313,8 +315,9 @@ Result<SubmitResponse> ServiceApi::Resolve(const ResolveRequest& request) {
         CountCasConflict(installed.status());
         return result;
       });
+  if (!id.ok()) return id.status();  // admission shed (kUnavailable)
   SubmitResponse response;
-  response.job = id;
+  response.job = *id;
   return response;
 }
 

@@ -32,6 +32,9 @@ struct ServiceOptions {
   int max_results = 64;
   /// Threads for the store's GainCache maintenance pool.
   int cache_threads = 1;
+  /// Admission control (JobQueue::Options::max_queue_depth): queued-job
+  /// limit past which Submit/Resolve shed with kUnavailable. 0 = off.
+  int max_queue_depth = 0;
 };
 
 struct OpenRequest {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace wgrap::service {
 
@@ -14,6 +15,7 @@ InstanceStore::~InstanceStore() = default;
 Result<SessionSnapshot> InstanceStore::Open(
     const std::string& name, const data::RapDataset& dataset,
     const core::InstanceParams& params) {
+  WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("store.open"));
   if (name.empty()) {
     return Status::InvalidArgument("session name must be non-empty");
   }
@@ -100,6 +102,9 @@ Result<SessionSnapshot> InstanceStore::InstallAssignment(
   if (it == sessions_.end()) {
     return Status::NotFound("no session '" + name + "'");
   }
+  // Before InstallLocked, never inside it: RestoreFromSnapshot replays
+  // through InstallLocked and (correctly) asserts that replay cannot fail.
+  WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("store.install"));
   WGRAP_RETURN_IF_ERROR(InstallLocked(&it->second, pairs));
   return it->second.snapshot;
 }
@@ -118,6 +123,7 @@ Result<SessionSnapshot> InstanceStore::InstallAssignmentIfCurrent(
         std::to_string(it->second.version) + " (result was for v" +
         std::to_string(expected_version) + ")");
   }
+  WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("store.cas"));
   WGRAP_RETURN_IF_ERROR(InstallLocked(&it->second, pairs));
   return it->second.snapshot;
 }
@@ -130,12 +136,20 @@ Result<MutateOutcome> InstanceStore::Mutate(
     return Status::NotFound("no session '" + name + "'");
   }
   Session& session = it->second;
+  WGRAP_RETURN_IF_ERROR(WGRAP_INJECT_FAULT("store.mutate"));
   auto report = session.updater->ApplyAll(updates);
   if (!report.ok()) {
     // ApplyAll stops at the first bad op with the prefix applied; roll the
     // master back to the published snapshot so the batch stays atomic.
     RestoreFromSnapshot(&session);
     return report.status();
+  }
+  // A publish fault lands after the whole batch applied cleanly — the
+  // hardest rollback case, exercising RestoreFromSnapshot's full replay.
+  if (const Status publish = WGRAP_INJECT_FAULT("store.publish");
+      !publish.ok()) {
+    RestoreFromSnapshot(&session);
+    return publish;
   }
   if (session.cache != nullptr) {
     // Settle the patched cache now (targeted re-scores only), keeping it

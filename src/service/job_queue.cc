@@ -1,7 +1,9 @@
 #include "service/job_queue.h"
 
+#include <exception>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 
@@ -12,6 +14,12 @@ obs::Gauge* QueueDepthGauge() {
   static obs::Gauge* const gauge =
       obs::Registry::Global().GetGauge("wgrap_jobs_queue_depth");
   return gauge;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("wgrap_service_shed_total");
+  return counter;
 }
 
 }  // namespace
@@ -32,7 +40,9 @@ const char* JobStateToString(JobState state) {
 }
 
 JobQueue::JobQueue(const Options& options)
-    : max_results_(options.max_results < 1 ? 1 : options.max_results) {
+    : max_results_(options.max_results < 1 ? 1 : options.max_results),
+      max_queue_depth_(options.max_queue_depth < 0 ? 0
+                                                   : options.max_queue_depth) {
   const int workers = options.workers < 1 ? 1 : options.workers;
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -60,10 +70,17 @@ JobQueue::~JobQueue() {
   for (auto& worker : workers_) worker.join();
 }
 
-int64_t JobQueue::Submit(std::string label, JobFn fn) {
+Result<int64_t> JobQueue::Submit(std::string label, JobFn fn) {
   int64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (max_queue_depth_ > 0 &&
+        static_cast<int>(queue_.size()) >= max_queue_depth_) {
+      if (obs::Counter* shed = ShedCounter()) shed->Add();
+      return Status::Unavailable(
+          "job queue full (depth " + std::to_string(queue_.size()) +
+          "); retry after 1s");
+    }
     id = next_id_++;
     Job& job = jobs_[id];
     job.id = id;
@@ -128,7 +145,34 @@ void JobQueue::WorkerLoop() {
         job_done_.notify_all();
       };
       Stopwatch watch;
-      result = fn(context);
+      if (const Status start = WGRAP_INJECT_FAULT("job.start");
+          !start.ok()) {
+        // The fault stands in for the body failing to launch (e.g. solver
+        // construction): the body never runs, the job reports the status.
+        result.status = start;
+      } else {
+        // A job body is a solver run and must not throw — but a worker
+        // thread dying of an escaped exception would take the whole
+        // process down, so the boundary converts throws into kInternal.
+        try {
+          result = fn(context);
+        } catch (const std::exception& e) {
+          result = JobResult{};
+          result.status =
+              Status::Internal(std::string("job body threw: ") + e.what());
+        } catch (...) {
+          result = JobResult{};
+          result.status = Status::Internal("job body threw a non-standard "
+                                           "exception");
+        }
+        if (const Status finish = WGRAP_INJECT_FAULT("job.finish");
+            !finish.ok()) {
+          // Result publication fails: payloads are dropped with the status
+          // so a watcher never sees half a result.
+          result = JobResult{};
+          result.status = finish;
+        }
+      }
       result.seconds = watch.ElapsedSeconds();
     }
     {

@@ -89,6 +89,11 @@ class JobQueue {
     /// Completed results retained; beyond this the oldest completed job's
     /// payload is dropped and GetResult reports the eviction.
     int max_results = 64;
+    /// Admission control: once this many jobs are queued (not yet
+    /// running), Submit sheds with kUnavailable + a retry-after hint
+    /// instead of growing the queue. 0 = unbounded (the default — tests
+    /// and one-shot CLI sessions never shed).
+    int max_queue_depth = 0;
   };
 
   explicit JobQueue(const Options& options);
@@ -108,8 +113,10 @@ class JobQueue {
   /// runaway emitter cannot grow the store unboundedly.
   static constexpr std::size_t kMaxProgressFrames = 1024;
 
-  /// Enqueues and returns the job id (ids start at 1).
-  int64_t Submit(std::string label, JobFn fn);
+  /// Enqueues and returns the job id (ids start at 1; an id is only
+  /// allocated on admission, so shed submissions do not perturb the
+  /// deterministic id sequence). kUnavailable when the queue is full.
+  Result<int64_t> Submit(std::string label, JobFn fn);
 
   /// kNotFound for unknown ids.
   Result<JobStatus> GetStatus(int64_t id) const;
@@ -158,6 +165,7 @@ class JobQueue {
   void WorkerLoop();
 
   const int max_results_;
+  const int max_queue_depth_;
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;  // workers wait for queue_
   std::condition_variable job_done_;    // Wait()/Drain() wait on this

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -352,6 +353,48 @@ Reply HandleJobCommand(ServiceApi& api, const std::vector<std::string>& tokens,
   return Ok("cancelled\n");
 }
 
+/// `failpoints [arm <name> <spec> | disarm <name> | clear]`: live fault
+/// injection over the wire — what the chaos tests and operators poke. The
+/// listing includes trip counts, so like `stats` it is never byte-diffed.
+Reply HandleFailpoints(const std::vector<std::string>& tokens) {
+  if (tokens.size() == 1) {
+    if (!failpoint::CompiledIn()) {
+      return Err(Status::FailedPrecondition(
+          "failpoints compiled out (WGRAP_FAILPOINT_DISABLED)"));
+    }
+    std::string payload;
+    for (const failpoint::ArmedInfo& info : failpoint::List()) {
+      payload += info.name + " " + info.spec + " trips=" +
+                 std::to_string(info.trips) + "\n";
+    }
+    return Ok(std::move(payload));
+  }
+  const std::string& action = tokens[1];
+  if (action == "arm") {
+    if (tokens.size() != 4) {
+      return BadArgs("usage: failpoints arm <name> <spec>");
+    }
+    if (Status armed = failpoint::Arm(tokens[2], tokens[3]); !armed.ok()) {
+      return Err(armed);
+    }
+    return Ok("armed " + tokens[2] + "\n");
+  }
+  if (action == "disarm") {
+    if (tokens.size() != 3) return BadArgs("usage: failpoints disarm <name>");
+    if (Status disarmed = failpoint::Disarm(tokens[2]); !disarmed.ok()) {
+      return Err(disarmed);
+    }
+    return Ok("disarmed " + tokens[2] + "\n");
+  }
+  if (action == "clear") {
+    if (tokens.size() != 2) return BadArgs("usage: failpoints clear");
+    failpoint::DisarmAll();
+    return Ok("cleared\n");
+  }
+  return BadArgs("usage: failpoints [arm <name> <spec> | disarm <name> | "
+                 "clear]");
+}
+
 }  // namespace
 
 Reply HandleCommand(ServiceApi& api, const std::string& line,
@@ -434,6 +477,7 @@ Reply HandleCommand(ServiceApi& api, const std::string& line,
       command == "result" || command == "cancel") {
     return HandleJobCommand(api, tokens, frame);
   }
+  if (command == "failpoints") return HandleFailpoints(tokens);
   return BadArgs("unknown command '" + command + "'");
 }
 
@@ -446,7 +490,8 @@ std::string EncodeReply(const Reply& reply) {
          std::to_string(message.size()) + "\n" + message;
 }
 
-void ServeStream(std::istream& in, std::ostream& out, ServiceApi& api) {
+void ServeStream(std::istream& in, std::ostream& out, ServiceApi& api,
+                 const ServeOptions& options) {
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -464,6 +509,15 @@ void ServeStream(std::istream& in, std::ostream& out, ServiceApi& api) {
       int64_t size = 0;
       if (!ParseInt64(line.substr(marker + 3), &size) || size < 0) {
         reply = BadArgs("bad payload size in '" + line + "'");
+        framed_ok = false;
+      } else if (size > options.max_payload_bytes) {
+        // Refuse before the resize: the attacker-controlled N never turns
+        // into an allocation. The payload bytes (if the client sends them
+        // anyway) fall through as garbage commands — see protocol.h.
+        reply = BadArgs("payload of " + std::to_string(size) +
+                        " bytes exceeds the " +
+                        std::to_string(options.max_payload_bytes) +
+                        "-byte limit");
         framed_ok = false;
       } else {
         payload.resize(static_cast<std::size_t>(size));

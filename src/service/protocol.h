@@ -34,7 +34,19 @@
 //   cancel <job>
 //   stats                                     telemetry scrape (Prometheus
 //                                             text; empty when WGRAP_OBS=0)
+//   failpoints                                one line per armed failpoint
+//   failpoints arm <name> <spec>              live fault injection
+//                                             (common/failpoint.h grammar,
+//                                             e.g. error:Unavailable|oneshot)
+//   failpoints disarm <name>
+//   failpoints clear
 //   quit
+//
+// Degradation: a `<<N` payload larger than ServeOptions::max_payload_bytes
+// is refused with `err InvalidArgument` *without reading the N bytes* —
+// the connection survives, but any payload bytes a client sends anyway
+// parse as (garbage) commands and err individually. Well-behaved clients
+// stop at the err frame; hostile ones only hurt their own stream.
 //
 // Determinism: job ids count up from 1 and every payload is rendered by
 // service/reports.h without wall-clock numbers, so a scripted session
@@ -85,10 +97,19 @@ Reply HandleCommand(ServiceApi& api, const std::string& line,
 /// "ok <N>\n<payload>" or "err <Code> <N>\n<message>".
 std::string EncodeReply(const Reply& reply);
 
+/// Per-stream resource limits.
+struct ServeOptions {
+  /// Largest `<<N` payload the server will buffer for one command. An
+  /// over-limit frame is refused (err kInvalidArgument) without
+  /// allocating; the stream stays open.
+  int64_t max_payload_bytes = 64ll * 1024 * 1024;
+};
+
 /// Reads framed commands from `in` and writes framed replies to `out`
 /// until EOF or `quit`. The stdio transport is exactly this on
 /// std::cin/std::cout; the TCP transport runs it per connection.
-void ServeStream(std::istream& in, std::ostream& out, ServiceApi& api);
+void ServeStream(std::istream& in, std::ostream& out, ServiceApi& api,
+                 const ServeOptions& options = {});
 
 }  // namespace wgrap::service
 

@@ -2,6 +2,7 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -12,14 +13,34 @@
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "obs/metrics.h"
 #include "service/protocol.h"
 
 namespace wgrap::service {
 
 namespace {
 
+obs::Gauge* ConnectionGauge() {
+  static obs::Gauge* const gauge =
+      obs::Registry::Global().GetGauge("wgrap_tcp_connections");
+  return gauge;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Global().GetCounter("wgrap_service_shed_total");
+  return counter;
+}
+
 /// std::streambuf over a connected socket fd, buffered both ways, so
 /// ServeStream can run unchanged on a TCP connection.
+///
+/// Robustness at the fd boundary: reads and writes retry EINTR (a signal
+/// mid-syscall must not drop a connection), and writes go through send()
+/// with MSG_NOSIGNAL — a client that closed mid-reply produces EPIPE,
+/// which surfaces as a failed stream, instead of SIGPIPE, which would
+/// kill the whole process.
 class FdStreambuf : public std::streambuf {
  public:
   explicit FdStreambuf(int fd) : fd_(fd) {
@@ -30,8 +51,14 @@ class FdStreambuf : public std::streambuf {
  protected:
   int_type underflow() override {
     if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    const ssize_t got = ::read(fd_, in_, sizeof(in_));
-    if (got <= 0) return traits_type::eof();
+    // An injected read fault degrades exactly like a peer hangup: EOF,
+    // the serve loop ends, the connection closes.
+    if (!WGRAP_INJECT_FAULT("tcp.read").ok()) return traits_type::eof();
+    ssize_t got;
+    do {
+      got = ::read(fd_, in_, sizeof(in_));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return traits_type::eof();  // EOF, error, or SO_RCVTIMEO
     setg(in_, in_, in_ + got);
     return traits_type::to_int_type(*gptr());
   }
@@ -49,11 +76,13 @@ class FdStreambuf : public std::streambuf {
 
  private:
   int Flush() {
+    if (!WGRAP_INJECT_FAULT("tcp.write").ok()) return -1;
     const char* data = pbase();
     std::size_t left = static_cast<std::size_t>(pptr() - pbase());
     while (left > 0) {
-      const ssize_t wrote = ::write(fd_, data, left);
-      if (wrote <= 0) return -1;
+      const ssize_t wrote = ::send(fd_, data, left, MSG_NOSIGNAL);
+      if (wrote < 0 && errno == EINTR) continue;
+      if (wrote <= 0) return -1;  // EPIPE after client hangup lands here
       data += wrote;
       left -= static_cast<std::size_t>(wrote);
     }
@@ -66,9 +95,27 @@ class FdStreambuf : public std::streambuf {
   char out_[4096];
 };
 
+/// Best-effort write of one encoded reply straight to the fd (the shed
+/// path — no streambuf exists yet for this connection).
+void SendRawReply(int fd, const Reply& reply) {
+  const std::string frame = EncodeReply(reply);
+  const char* data = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t wrote = ::send(fd, data, left, MSG_NOSIGNAL);
+    if (wrote < 0 && errno == EINTR) continue;
+    if (wrote <= 0) return;
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+}
+
 }  // namespace
 
-TcpServer::TcpServer(ServiceApi* api) : api_(api) {}
+TcpServer::TcpServer(ServiceApi* api) : TcpServer(api, Options()) {}
+
+TcpServer::TcpServer(ServiceApi* api, const Options& options)
+    : api_(api), options_(options) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -108,20 +155,75 @@ Status TcpServer::Start(int port) {
   return Status::OK();
 }
 
+void TcpServer::ReapFinished() {
+  // Acceptor-thread only. Join-and-drop every connection thread that has
+  // announced it is done, so the slot list tracks live connections rather
+  // than the server's whole accept history.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i].done->load(std::memory_order_acquire)) {
+      connections_[i].thread.join();
+      continue;
+    }
+    // Guard the self-move: assigning a joinable std::thread onto itself
+    // would hit the joinable() check in operator= and terminate.
+    if (kept != i) connections_[kept] = std::move(connections_[i]);
+    ++kept;
+  }
+  connections_.resize(kept);
+}
+
 void TcpServer::AcceptLoop() {
   for (;;) {
     const int listen_fd = listen_fd_.load();
     if (listen_fd < 0) return;  // Stop() already ran
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    int fd;
+    do {
+      fd = ::accept(listen_fd, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
     if (fd < 0) return;  // listener closed by Stop()
-    connections_.emplace_back([this, fd] {
+    ReapFinished();
+    // An injected accept fault degrades to "this connection was dropped":
+    // the client sees a reset, the server keeps accepting.
+    if (!WGRAP_INJECT_FAULT("tcp.accept").ok()) {
+      ::close(fd);
+      continue;
+    }
+    if (live_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // At capacity: one well-formed shed frame, then hang up. The
+      // client's retry/backoff (wgrap_cli) treats this as transient.
+      Reply shed;
+      shed.status = Status::Unavailable(
+          "server at connection capacity (" +
+          std::to_string(options_.max_connections) + "); retry after 1s");
+      SendRawReply(fd, shed);
+      if (obs::Counter* counter = ShedCounter()) counter->Add();
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+      continue;
+    }
+    if (options_.read_timeout_seconds > 0) {
+      timeval timeout = {};
+      timeout.tv_sec = options_.read_timeout_seconds;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    }
+    live_connections_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Gauge* gauge = ConnectionGauge()) gauge->Add(1);
+    Slot slot;
+    slot.done = std::make_shared<std::atomic<bool>>(false);
+    slot.thread = std::thread([this, fd, done = slot.done] {
       FdStreambuf buf(fd);
       std::istream in(&buf);
       std::ostream out(&buf);
-      ServeStream(in, out, *api_);
+      ServeStream(in, out, *api_, options_.serve);
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);
+      live_connections_.fetch_sub(1, std::memory_order_relaxed);
+      if (obs::Gauge* gauge = ConnectionGauge()) gauge->Add(-1);
+      done->store(true, std::memory_order_release);
     });
+    connections_.push_back(std::move(slot));
   }
 }
 
@@ -134,7 +236,7 @@ void TcpServer::Stop() {
     ::close(fd);
   }
   if (acceptor_.joinable()) acceptor_.join();
-  for (auto& connection : connections_) connection.join();
+  for (Slot& slot : connections_) slot.thread.join();
   connections_.clear();
 }
 

@@ -12,18 +12,35 @@
 #define WGRAP_SERVICE_TCP_H_
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
 #include "service/api.h"
+#include "service/protocol.h"
 
 namespace wgrap::service {
 
 class TcpServer {
  public:
+  struct Options {
+    /// Concurrent connections; one past this is answered with a single
+    /// `err Unavailable` shed frame and closed (slowloris defense, part
+    /// one: a flood cannot pile up threads).
+    int max_connections = 64;
+    /// Per-connection socket read timeout (SO_RCVTIMEO). A connection
+    /// idle longer than this is closed (slowloris defense, part two: a
+    /// trickling client cannot pin its thread forever). 0 = no timeout —
+    /// the default, since interactive sessions legitimately sit idle.
+    int read_timeout_seconds = 0;
+    /// Stream limits handed to ServeStream (payload cap).
+    ServeOptions serve;
+  };
+
   /// Does not take ownership; `api` must outlive the server.
   explicit TcpServer(ServiceApi* api);
+  TcpServer(ServiceApi* api, const Options& options);
   /// Stops and joins if still running.
   ~TcpServer();
 
@@ -42,14 +59,25 @@ class TcpServer {
   void Stop();
 
  private:
+  /// One connection thread; `done` flips when the thread is about to
+  /// exit, letting the acceptor reap (join) it instead of growing the
+  /// slot list for the server's whole lifetime.
+  struct Slot {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void AcceptLoop();
+  void ReapFinished();
 
   ServiceApi* api_;
+  const Options options_;
   // Written by Start()/Stop(), read by the acceptor thread.
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
+  std::atomic<int> live_connections_{0};
   std::thread acceptor_;
-  std::vector<std::thread> connections_;
+  std::vector<Slot> connections_;  // acceptor-thread only (+ Stop after join)
 };
 
 }  // namespace wgrap::service

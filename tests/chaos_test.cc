@@ -1,0 +1,470 @@
+// Chaos suite: randomized failpoint schedules over every fault family the
+// service layer owns — CSV ingest (io.*), the instance store (store.*),
+// the job queue (job.*), solver deadline polls (solver.poll), and the
+// socket transport (tcp.*). Each schedule must degrade, never crash: all
+// replies that reach the client are well-formed frames, and after
+// disarming, the SAME ServiceApi replays the scripted session to a final
+// state byte-identical to a fault-free baseline. Separate tests pin the
+// hangup hardening a chaos schedule cannot reach from inside the process:
+// a client killed mid-watch (SIGPIPE), the connection cap's shed frame,
+// and the idle-read timeout.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/failpoint.h"
+#include "data/io.h"
+#include "fuzz_util.h"
+#include "service/api.h"
+#include "service/job_queue.h"
+#include "service/protocol.h"
+#include "service/tcp.h"
+
+namespace wgrap::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frame parsing: the well-formedness oracle.
+
+struct Frame {
+  bool ok = false;
+  std::string code;     // status code name for err frames
+  std::string payload;  // exactly the advertised byte count
+};
+
+bool AllDigits(const std::string& text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+/// Walks `out` as a sequence of `ok N\n<N bytes>` / `err Code N\n<N bytes>`
+/// frames. Returns false on any malformation. With `allow_truncated` a
+/// partial frame at the very end is tolerated (a connection cut mid-reply
+/// truncates the tail; it must never corrupt what came before).
+bool ParseFrames(const std::string& out, bool allow_truncated,
+                 std::vector<Frame>* frames) {
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) return allow_truncated;
+    const std::string header = out.substr(pos, eol - pos);
+    Frame frame;
+    std::string count;
+    if (header.rfind("ok ", 0) == 0) {
+      frame.ok = true;
+      count = header.substr(3);
+    } else if (header.rfind("err ", 0) == 0) {
+      frame.ok = false;
+      const std::size_t space = header.find(' ', 4);
+      if (space == std::string::npos || space == 4) return false;
+      frame.code = header.substr(4, space - 4);
+      count = header.substr(space + 1);
+    } else {
+      return false;
+    }
+    if (!AllDigits(count)) return false;
+    const std::size_t size = static_cast<std::size_t>(std::stoull(count));
+    if (eol + 1 + size > out.size()) return allow_truncated;
+    frame.payload = out.substr(eol + 1, size);
+    frames->push_back(std::move(frame));
+    pos = eol + 1 + size;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The scripted session every family replays.
+
+core::FuzzInstanceConfig Config() {
+  core::FuzzInstanceConfig config;
+  config.reviewers = 12;
+  config.papers = 8;
+  config.num_topics = 10;
+  config.group_size = 3;
+  config.seed = 99;
+  return config;
+}
+
+std::string FuzzCsv() {
+  auto dataset = core::MakeFuzzDataset(Config());
+  EXPECT_TRUE(dataset.ok());
+  return data::DatasetToCsv(*dataset);
+}
+
+void Send(std::string* script, const std::string& command,
+          const std::string& payload) {
+  *script += command + " <<" + std::to_string(payload.size()) + "\n" + payload;
+}
+
+/// open → solve → mutate → resolve → evaluate → assignment → close: nine
+/// commands, nine replies. Job ids are caller-supplied because a reused
+/// queue keeps counting where the chaos phase left off.
+std::string Script(const std::string& csv, int64_t solve_id,
+                   int64_t resolve_id) {
+  std::string script;
+  Send(&script, "open conf dp=3", csv);
+  script += "submit conf solve sdga-sra seed=1\n";
+  script += "wait " + std::to_string(solve_id) + "\n";
+  Send(&script, "mutate conf", "remove_reviewer 0\n");
+  script += "resolve conf refine=none seed=1\n";
+  script += "wait " + std::to_string(resolve_id) + "\n";
+  script += "evaluate conf\n";
+  script += "assignment conf\n";
+  script += "close conf\n";
+  return script;
+}
+
+constexpr std::size_t kEvaluateReply = 6;
+constexpr std::size_t kAssignmentReply = 7;
+constexpr std::size_t kReplyCount = 9;
+
+std::string RunScript(ServiceApi& api, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  ServeStream(in, out, api);
+  return out.str();
+}
+
+/// Burns one job id so the recovery script can predict the next two —
+/// the chaos phase may or may not have admitted jobs, and shed or failed
+/// submissions leave no holes to count.
+int64_t ProbeJobId(ServiceApi* api) {
+  auto id = api->jobs().Submit(
+      "chaos-probe", [](const JobContext&) { return JobResult{}; });
+  EXPECT_TRUE(id.ok());
+  api->WaitJob(*id);
+  return *id;
+}
+
+// ---------------------------------------------------------------------------
+// Random schedules.
+
+const char* const kSpecs[] = {"error", "error|oneshot", "delay:2",
+                              "error:Unavailable|oneshot"};
+
+void ArmRandomSchedule(const std::vector<std::string>& sites,
+                       std::mt19937* rng) {
+  int armed = 0;
+  for (const std::string& site : sites) {
+    if (((*rng)() & 1u) == 0) continue;
+    ASSERT_TRUE(failpoint::Arm(site, kSpecs[(*rng)() % 4]).ok());
+    ++armed;
+  }
+  if (armed == 0) {
+    // Every schedule injects at least one fault.
+    ASSERT_TRUE(
+        failpoint::Arm(sites[(*rng)() % sites.size()], kSpecs[(*rng)() % 4])
+            .ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Raw loopback client (the tests play the "rude client" themselves, so
+// they cannot go through FdStreambuf).
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Best effort: a server that dropped the connection mid-send is exactly
+/// the scenario under test, so failures are ignored (MSG_NOSIGNAL keeps
+/// EPIPE from killing the test process).
+void SendAll(int fd, const std::string& data) {
+  const char* bytes = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t wrote = ::send(fd, bytes, left, MSG_NOSIGNAL);
+    if (wrote < 0 && errno == EINTR) continue;
+    if (wrote <= 0) return;
+    bytes += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+}
+
+std::string ReadAll(int fd) {
+  std::string out;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // EOF or reset — both end the stream here
+    out.append(buffer, static_cast<std::size_t>(got));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+
+  /// 4 seeds of randomized faults over `sites`, each followed by a
+  /// disarmed replay on the same ServiceApi that must land byte-equal to
+  /// the fault-free baseline.
+  void RunFamily(const std::vector<std::string>& sites) {
+    const std::string csv = FuzzCsv();
+
+    std::string baseline_evaluation;
+    std::string baseline_assignment;
+    {
+      ServiceApi api;
+      std::vector<Frame> frames;
+      const std::string out = RunScript(api, Script(csv, 1, 2));
+      ASSERT_TRUE(ParseFrames(out, /*allow_truncated=*/false, &frames)) << out;
+      ASSERT_EQ(frames.size(), kReplyCount);
+      for (const Frame& frame : frames) {
+        ASSERT_TRUE(frame.ok) << frame.code << " " << frame.payload;
+      }
+      baseline_evaluation = frames[kEvaluateReply].payload;
+      baseline_assignment = frames[kAssignmentReply].payload;
+    }
+
+    for (int seed = 1; seed <= 4; ++seed) {
+      SCOPED_TRACE("seed " + std::to_string(seed));
+      ServiceApi api;
+      std::mt19937 rng(static_cast<uint32_t>(seed));
+      ArmRandomSchedule(sites, &rng);
+
+      // Chaos phase: whatever fails must fail as a complete err frame —
+      // one reply per command, nothing torn.
+      const std::string chaos = RunScript(api, Script(csv, 1, 2));
+      std::vector<Frame> frames;
+      ASSERT_TRUE(ParseFrames(chaos, /*allow_truncated=*/false, &frames))
+          << chaos;
+      EXPECT_EQ(frames.size(), kReplyCount) << chaos;
+
+      // Recovery phase: same api, faults disarmed. The chaos run may have
+      // left the session open (its close command can only run if its open
+      // succeeded) — clear it, then replay and demand the baseline state.
+      failpoint::DisarmAll();
+      RunScript(api, "close conf\n");
+      const int64_t probe = ProbeJobId(&api);
+      const std::string out = RunScript(api, Script(csv, probe + 1, probe + 2));
+      std::vector<Frame> recovered;
+      ASSERT_TRUE(ParseFrames(out, /*allow_truncated=*/false, &recovered))
+          << out;
+      ASSERT_EQ(recovered.size(), kReplyCount) << out;
+      for (const Frame& frame : recovered) {
+        EXPECT_TRUE(frame.ok) << frame.code << " " << frame.payload;
+      }
+      EXPECT_EQ(recovered[kEvaluateReply].payload, baseline_evaluation);
+      EXPECT_EQ(recovered[kAssignmentReply].payload, baseline_assignment);
+    }
+  }
+};
+
+TEST_F(ChaosTest, IoFamilyDegradesAndRecovers) {
+  RunFamily({"io.parse", "io.alloc", "io.load"});
+}
+
+TEST_F(ChaosTest, StoreFamilyDegradesAndRecovers) {
+  RunFamily(
+      {"store.open", "store.install", "store.cas", "store.mutate",
+       "store.publish"});
+}
+
+TEST_F(ChaosTest, JobFamilyDegradesAndRecovers) {
+  RunFamily({"job.start", "job.finish"});
+}
+
+TEST_F(ChaosTest, SolverFamilyDegradesAndRecovers) {
+  RunFamily({"solver.poll"});
+}
+
+TEST_F(ChaosTest, SocketFamilySurvivesFaultSchedules) {
+  const std::string csv = FuzzCsv();
+
+  std::string baseline_evaluation;
+  std::string baseline_assignment;
+  {
+    ServiceApi api;
+    std::vector<Frame> frames;
+    const std::string out = RunScript(api, Script(csv, 1, 2));
+    ASSERT_TRUE(ParseFrames(out, /*allow_truncated=*/false, &frames)) << out;
+    ASSERT_EQ(frames.size(), kReplyCount);
+    baseline_evaluation = frames[kEvaluateReply].payload;
+    baseline_assignment = frames[kAssignmentReply].payload;
+  }
+
+  for (int seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ServiceApi api;
+    TcpServer server(&api);
+    ASSERT_TRUE(server.Start(0).ok());
+
+    std::mt19937 rng(static_cast<uint32_t>(seed));
+    ArmRandomSchedule({"tcp.accept", "tcp.read", "tcp.write"}, &rng);
+
+    // Chaos phase over a real socket. A dropped or write-faulted
+    // connection may truncate the tail, but every complete frame that
+    // reached the client must be well-formed.
+    const int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    SendAll(fd, Script(csv, 1, 2));
+    ::shutdown(fd, SHUT_WR);
+    const std::string received = ReadAll(fd);
+    ::close(fd);
+    std::vector<Frame> frames;
+    EXPECT_TRUE(ParseFrames(received, /*allow_truncated=*/true, &frames))
+        << received;
+
+    // The server survived the schedule: a post-disarm connection serves.
+    failpoint::DisarmAll();
+    const int live = ConnectLoopback(server.port());
+    ASSERT_GE(live, 0);
+    SendAll(live, "ping\n");
+    ::shutdown(live, SHUT_WR);
+    const std::string pong = ReadAll(live);
+    ::close(live);
+    EXPECT_EQ(pong, "ok 5\npong\n");
+    server.Stop();
+
+    // Recovery: the same api, served in-process, reaches baseline state.
+    RunScript(api, "close conf\n");
+    const int64_t probe = ProbeJobId(&api);
+    const std::string out = RunScript(api, Script(csv, probe + 1, probe + 2));
+    std::vector<Frame> recovered;
+    ASSERT_TRUE(ParseFrames(out, /*allow_truncated=*/false, &recovered))
+        << out;
+    ASSERT_EQ(recovered.size(), kReplyCount) << out;
+    EXPECT_EQ(recovered[kEvaluateReply].payload, baseline_evaluation);
+    EXPECT_EQ(recovered[kAssignmentReply].payload, baseline_assignment);
+  }
+}
+
+// A client that disappears mid-watch must cost the server nothing but the
+// connection. Before MSG_NOSIGNAL this was a process-wide SIGPIPE the
+// moment the next progress frame was flushed at the dead socket.
+TEST_F(ChaosTest, ClientKilledMidWatchDoesNotKillTheServer) {
+  ServiceApi api;
+  auto emitter = api.jobs().Submit("emitter", [](const JobContext& context) {
+    for (int i = 0; i < 400 && !IsCancelled(context.cancel); ++i) {
+      context.progress("frame " + std::to_string(i) + "\n");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return JobResult{};
+  });
+  ASSERT_TRUE(emitter.ok());
+
+  TcpServer server(&api);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int watcher = ConnectLoopback(server.port());
+  ASSERT_GE(watcher, 0);
+  SendAll(watcher, "watch " + std::to_string(*emitter) + "\n");
+  // Wait for the stream to actually start, then vanish without goodbye.
+  char buffer[64];
+  ssize_t got;
+  do {
+    got = ::read(watcher, buffer, sizeof(buffer));
+  } while (got < 0 && errno == EINTR);
+  ASSERT_GT(got, 0);
+  ::close(watcher);
+
+  // The server is still alive and serving: cancel the emitter and ping.
+  const int second = ConnectLoopback(server.port());
+  ASSERT_GE(second, 0);
+  SendAll(second, "cancel " + std::to_string(*emitter) + "\nping\n");
+  ::shutdown(second, SHUT_WR);
+  const std::string replies = ReadAll(second);
+  ::close(second);
+  EXPECT_NE(replies.find("pong"), std::string::npos) << replies;
+
+  api.WaitJob(*emitter);
+  server.Stop();
+}
+
+// At the connection cap the server sheds with one complete err frame
+// instead of a silent reset, so retrying clients can tell "overloaded,
+// back off" from "dead".
+TEST_F(ChaosTest, ConnectionCapShedsWithAWellFormedUnavailableFrame) {
+  ServiceApi api;
+  TcpServer::Options options;
+  options.max_connections = 1;
+  TcpServer server(&api, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int first = ConnectLoopback(server.port());
+  ASSERT_GE(first, 0);
+  SendAll(first, "ping\n");
+  // Reading the pong proves the slot is occupied before we over-connect.
+  char buffer[16];
+  ssize_t got;
+  do {
+    got = ::read(first, buffer, sizeof(buffer));
+  } while (got < 0 && errno == EINTR);
+  ASSERT_GT(got, 0);
+
+  const int second = ConnectLoopback(server.port());
+  ASSERT_GE(second, 0);
+  const std::string shed = ReadAll(second);
+  ::close(second);
+  std::vector<Frame> frames;
+  ASSERT_TRUE(ParseFrames(shed, /*allow_truncated=*/false, &frames)) << shed;
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_FALSE(frames[0].ok);
+  EXPECT_EQ(frames[0].code, "Unavailable");
+  EXPECT_NE(frames[0].payload.find("connection capacity"), std::string::npos);
+  EXPECT_NE(frames[0].payload.find("retry"), std::string::npos);
+
+  ::close(first);
+  server.Stop();
+}
+
+// An idle connection is reaped by the read deadline; the listener keeps
+// serving new clients afterwards.
+TEST_F(ChaosTest, ReadTimeoutClosesIdleConnections) {
+  ServiceApi api;
+  TcpServer::Options options;
+  options.read_timeout_seconds = 1;
+  TcpServer server(&api, options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int idle = ConnectLoopback(server.port());
+  ASSERT_GE(idle, 0);
+  const auto start = std::chrono::steady_clock::now();
+  const std::string nothing = ReadAll(idle);  // blocks until the server reaps
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ::close(idle);
+  EXPECT_TRUE(nothing.empty());
+  EXPECT_GE(elapsed, std::chrono::milliseconds(500));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+
+  const int fresh = ConnectLoopback(server.port());
+  ASSERT_GE(fresh, 0);
+  SendAll(fresh, "ping\n");
+  ::shutdown(fresh, SHUT_WR);
+  EXPECT_EQ(ReadAll(fresh), "ok 5\npong\n");
+  ::close(fresh);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace wgrap::service

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "core/registry.h"
 #include "data/io.h"
 #include "obs/metrics.h"
@@ -182,6 +183,77 @@ TEST(ProtocolTest, TruncatedPayloadIsAnError) {
   ServeStream(in, out, api);
   EXPECT_EQ(out.str(), Err(StatusCode::kInvalidArgument,
                            "truncated payload: expected 100 bytes"));
+}
+
+TEST(ProtocolTest, AbsurdPayloadSizeIsRefusedWithoutAllocating) {
+  // Regression: `open s <<9999999999999` used to drive an unbounded
+  // payload.resize(). Now it is refused before any allocation and the
+  // stream keeps serving — no bytes follow the frame, so the next line is
+  // the next command.
+  ServiceApi api;
+  std::istringstream in("open conf <<9999999999999\nping\nquit\n");
+  std::ostringstream out;
+  ServeStream(in, out, api);
+  const std::string expected =
+      Err(StatusCode::kInvalidArgument,
+          "payload of 9999999999999 bytes exceeds the 67108864-byte limit") +
+      Ok("pong\n") + Ok("bye\n");
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ProtocolTest, PayloadCapIsOverridable) {
+  ServiceApi api;
+  ServeOptions options;
+  options.max_payload_bytes = 8;
+  // 9 bytes is over the tiny cap; 3 bytes is fine (and reaches the CSV
+  // parser, proving the under-cap path still reads payloads).
+  std::istringstream in("open conf <<9\nopen conf <<3\nabcquit\n");
+  std::ostringstream out;
+  ServeStream(in, out, api, options);
+  const std::string expected =
+      Err(StatusCode::kInvalidArgument,
+          "payload of 9 bytes exceeds the 8-byte limit") +
+      Err(StatusCode::kInvalidArgument, "missing or malformed header row") +
+      Ok("bye\n");
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ProtocolTest, FailpointsVerbArmsTripsAndClears) {
+  failpoint::DisarmAll();
+  ServiceApi api;
+  auto dataset = core::MakeFuzzDataset(Config());
+  ASSERT_TRUE(dataset.ok());
+  const std::string csv = data::DatasetToCsv(*dataset);
+
+  std::string script;
+  script += "failpoints arm io.parse error\n";
+  Send(&script, "open conf dp=3", csv);  // trips io.parse → err
+  script += "failpoints\n";
+  script += "failpoints disarm io.parse\n";
+  Send(&script, "open conf dp=3", csv);  // succeeds now
+  script += "failpoints bogus\n";
+  script += "failpoints clear\n";
+  script += "quit\n";
+
+  std::istringstream in(script);
+  std::ostringstream out;
+  ServeStream(in, out, api);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find(Ok("armed io.parse\n")), std::string::npos);
+  // The armed open failed with the injected fault, naming the site.
+  EXPECT_NE(text.find("err Internal"), std::string::npos);
+  EXPECT_NE(text.find("failpoint 'io.parse' injected Internal"),
+            std::string::npos);
+  // The listing shows the armed site with its trip count.
+  EXPECT_NE(text.find(Ok("io.parse error:Internal trips=1\n")),
+            std::string::npos);
+  EXPECT_NE(text.find(Ok("disarmed io.parse\n")), std::string::npos);
+  // The disarmed open succeeded.
+  EXPECT_NE(text.find("session conf v1"), std::string::npos);
+  EXPECT_NE(text.find("usage: failpoints"), std::string::npos);
+  EXPECT_NE(text.find(Ok("cleared\n")), std::string::npos);
+  failpoint::DisarmAll();
 }
 
 TEST(ProtocolTest, WatchStreamsProgressFramesThenTheWaitReply) {

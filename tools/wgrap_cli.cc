@@ -42,18 +42,27 @@
 //      comparison, --mode rebuild cross-checks the patch path by
 //      rebuilding the instance from scratch after the mutations)
 //   wgrap_cli serve     [--port P] [--jobs W] [--results M]
-//                       [--cache-threads N]
+//                       [--cache-threads N] [--max-queue D] [--max-conns C]
+//                       [--read-timeout S] [--max-payload BYTES]
 //     (the WGRAP service: named sessions, async solver jobs, incremental
 //      mutations — the line protocol of service/protocol.h on stdin/stdout,
 //      or on 127.0.0.1:P with --port; --port 0 picks an ephemeral port,
 //      printed to stderr. Solve/evaluate/update responses are rendered by
 //      the same service/reports.h formatters the subcommands below print
 //      with, so they are byte-identical to one-shot CLI output — CI diffs
-//      them.)
-//   wgrap_cli watch     --port P --job N
+//      them. Degradation knobs: --max-queue sheds submits past D queued
+//      jobs with err Unavailable, --max-conns caps concurrent TCP
+//      connections, --read-timeout drops connections idle past S seconds,
+//      --max-payload rejects larger `<<N` frames.)
+//   wgrap_cli watch     --port P --job N [--retries R]
 //     (line-protocol client: connects to a `serve --port P` process,
 //      streams job N's progress frames to stdout as they arrive, then the
-//      final report — the interactive face of the protocol's `watch`)
+//      final report — the interactive face of the protocol's `watch`.
+//      Transient failures — connect refused, connection dropped mid-stream
+//      — are retried up to R times (default 5) with jittered exponential
+//      backoff; on reconnect the server replays the job's frames from 0
+//      and already-printed ones are skipped, so the output stream stays
+//      identical to an uninterrupted watch. err replies are not retried.)
 //
 // Note: `--topics` means the scoring-kernel selector (dense or CSR-sparse,
 // bit-identical output) on solve/jra/update, but the topic *count* T on
@@ -64,6 +73,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,7 +81,9 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <random>
 #include <string>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -550,10 +562,19 @@ int CmdServe(const Flags& flags) {
   options.job_workers = flags.GetInt("jobs", 2);
   options.max_results = flags.GetInt("results", 64);
   options.cache_threads = flags.GetInt("cache-threads", 1);
+  options.max_queue_depth = flags.GetInt("max-queue", 0);
+  service::ServeOptions serve_options;
+  serve_options.max_payload_bytes = static_cast<int64_t>(flags.GetUint64(
+      "max-payload",
+      static_cast<uint64_t>(serve_options.max_payload_bytes)));
   service::ServiceApi api(options);
   const int port = flags.GetInt("port", -1);
   if (port >= 0) {
-    service::TcpServer server(&api);
+    service::TcpServer::Options tcp_options;
+    tcp_options.max_connections = flags.GetInt("max-conns", 64);
+    tcp_options.read_timeout_seconds = flags.GetInt("read-timeout", 0);
+    tcp_options.serve = serve_options;
+    service::TcpServer server(&api, tcp_options);
     Status started = server.Start(port);
     if (!started.ok()) Die(started, "serve");
     std::fprintf(stderr, "serving on 127.0.0.1:%d (EOF on stdin stops)\n",
@@ -567,7 +588,7 @@ int CmdServe(const Flags& flags) {
   }
   // stdio mode: the protocol on stdin/stdout, one session per process —
   // what the CI smoke and `printf ... | wgrap_cli serve` scripting use.
-  service::ServeStream(std::cin, std::cout, api);
+  service::ServeStream(std::cin, std::cout, api, serve_options);
   api.jobs().Drain();
   return 0;
 }
@@ -596,6 +617,21 @@ bool ReadHeaderLine(int fd, std::string* line) {
   return false;
 }
 
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 int CmdWatch(const Flags& flags) {
   const int port = flags.GetInt("port", 0);
   if (port <= 0) {
@@ -603,67 +639,90 @@ int CmdWatch(const Flags& flags) {
     return 2;
   }
   const int job = std::atoi(flags.Require("job").c_str());
+  const int max_retries = flags.GetInt("retries", 5);
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    std::perror("connect");
-    ::close(fd);
-    return 1;
-  }
-  const std::string command = "watch " + std::to_string(job) + "\n";
-  if (::send(fd, command.data(), command.size(), 0) !=
-      static_cast<ssize_t>(command.size())) {
-    std::perror("send");
-    ::close(fd);
-    return 1;
-  }
+  // Jittered exponential backoff between reconnect attempts: jitter keeps
+  // a fleet of watchers from re-hitting a recovering server in lockstep.
+  std::mt19937 rng(static_cast<unsigned>(
+      std::chrono::steady_clock::now().time_since_epoch().count() ^
+      static_cast<long long>(::getpid())));
 
-  // Progress frames stream as individual ok replies whose payload starts
-  // with "progress "; the first reply that doesn't is the final result
-  // (or an err frame for a failed/cancelled/unknown job).
+  // Progress frames already printed: `watch` replays the job's frames
+  // from index 0 on every (re)connect, so after a mid-stream reconnect we
+  // skip this many and the output stays identical to an unbroken watch.
+  std::size_t printed = 0;
+  int attempt = 0;
   for (;;) {
-    std::string header;
-    if (!ReadHeaderLine(fd, &header)) {
-      std::fprintf(stderr, "watch: connection closed mid-reply\n");
-      ::close(fd);
+    bool transient = false;
+    const int fd = ConnectLoopback(port);
+    if (fd < 0) {
+      transient = true;
+    } else {
+      const std::string command = "watch " + std::to_string(job) + "\n";
+      if (::send(fd, command.data(), command.size(), MSG_NOSIGNAL) !=
+          static_cast<ssize_t>(command.size())) {
+        transient = true;
+        ::close(fd);
+      } else {
+        // Progress frames stream as individual ok replies whose payload
+        // starts with "progress "; the first reply that doesn't is the
+        // final result (or an err frame for a failed/cancelled/unknown
+        // job — a server *answer*, never retried).
+        std::size_t seen = 0;
+        for (;;) {
+          std::string header;
+          if (!ReadHeaderLine(fd, &header)) {
+            transient = true;  // connection dropped mid-reply
+            break;
+          }
+          const bool ok = header.rfind("ok ", 0) == 0;
+          const std::size_t size_at = header.rfind(' ');
+          if (size_at == std::string::npos) {
+            std::fprintf(stderr, "watch: malformed reply header '%s'\n",
+                         header.c_str());
+            ::close(fd);
+            return 1;
+          }
+          const long long size =
+              std::atoll(header.c_str() + size_at + 1);
+          std::string payload(static_cast<std::size_t>(size < 0 ? 0 : size),
+                              '\0');
+          if (size > 0 && !ReadExactly(fd, payload.data(), payload.size())) {
+            transient = true;
+            break;
+          }
+          if (ok && payload.rfind("progress ", 0) == 0) {
+            if (++seen > printed) {
+              std::fputs(payload.c_str(), stdout);
+              std::fflush(stdout);
+              printed = seen;
+            }
+            continue;
+          }
+          ::close(fd);
+          if (!ok) {
+            std::fprintf(stderr, "watch: %s: %s\n", header.c_str(),
+                         payload.c_str());
+            return 1;
+          }
+          std::fputs(payload.c_str(), stdout);
+          return 0;
+        }
+        ::close(fd);
+      }
+    }
+    if (!transient || attempt >= max_retries) {
+      std::fprintf(stderr, "watch: giving up after %d attempt%s\n",
+                   attempt + 1, attempt == 0 ? "" : "s");
       return 1;
     }
-    const bool ok = header.rfind("ok ", 0) == 0;
-    const std::size_t size_at = header.rfind(' ');
-    if (size_at == std::string::npos) {
-      std::fprintf(stderr, "watch: malformed reply header '%s'\n",
-                   header.c_str());
-      ::close(fd);
-      return 1;
-    }
-    const long long size = std::atoll(header.c_str() + size_at + 1);
-    std::string payload(static_cast<std::size_t>(size < 0 ? 0 : size), '\0');
-    if (size > 0 && !ReadExactly(fd, payload.data(), payload.size())) {
-      std::fprintf(stderr, "watch: truncated payload\n");
-      ::close(fd);
-      return 1;
-    }
-    if (ok && payload.rfind("progress ", 0) == 0) {
-      std::fputs(payload.c_str(), stdout);
-      std::fflush(stdout);
-      continue;
-    }
-    ::close(fd);
-    if (!ok) {
-      std::fprintf(stderr, "watch: %s: %s\n", header.c_str(), payload.c_str());
-      return 1;
-    }
-    std::fputs(payload.c_str(), stdout);
-    return 0;
+    const int base_ms = 100 * (1 << (attempt < 6 ? attempt : 6));
+    std::uniform_int_distribution<int> jitter(0, base_ms / 2);
+    const int delay_ms = base_ms + jitter(rng);
+    std::fprintf(stderr, "watch: connection lost; retry %d/%d in %d ms\n",
+                 attempt + 1, max_retries, delay_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    ++attempt;
   }
 }
 

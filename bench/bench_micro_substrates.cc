@@ -4,7 +4,8 @@
 // density sweeps (BM_SparseVsDense*), the rebuild-vs-incremental
 // stage-profit maintenance sweep (BM_GainCacheVsRebuild), and the
 // thread-count sweeps of the two parallel hot paths (SDGA stage scoring,
-// ATM Gibbs sweeps) that bench/BASELINES.md tracks.
+// ATM Gibbs sweeps) that bench/BASELINES.md tracks, plus the per-kernel
+// scalar-vs-dispatched tracks for the simd/kernels.h layer (BM_Kernel*).
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
@@ -13,6 +14,7 @@
 #include "la/auction.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
+#include "simd/kernels.h"
 #include "sparse/sparse_matrix.h"
 #include "sparse/sparse_scoring.h"
 #include "topic/atm.h"
@@ -128,6 +130,112 @@ BENCHMARK(BM_SparseVsDenseMarginalGain)
     ->Args({300, 30, 0})->Args({300, 30, 1})
     ->Args({300, 300, 0})->Args({300, 300, 1})
     ->Args({30, 3, 0})->Args({30, 3, 1});
+
+// ---- Per-kernel tracks for the runtime-dispatched vector kernels ----
+// (simd/kernels.h). Args end in {backend}: 0 = the scalar reference,
+// 1 = the dispatched entry (AVX2 on machines that report avx2+fma,
+// otherwise the same scalar code, so the pair reads as a wash there).
+// tests/simd_kernel_test.cc proves both tracks byte-identical; the
+// wall-clock gap between them is the kernel-level speedup that
+// bench/BASELINES.md records.
+
+void BM_KernelMaxFold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool dispatched = state.range(1) != 0;
+  Rng rng(8);
+  std::vector<double> acc(n), v(n);
+  for (int i = 0; i < n; ++i) {
+    acc[i] = rng.NextDouble();
+    v[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    if (dispatched) {
+      simd::MaxFold(acc.data(), v.data(), n);
+    } else {
+      simd::scalar::MaxFold(acc.data(), v.data(), n);
+    }
+    benchmark::DoNotOptimize(acc.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_KernelMaxFold)->ArgsProduct({{30, 300, 3000}, {0, 1}});
+
+void BM_KernelScoreSum(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool dispatched = state.range(1) != 0;
+  Rng rng(9);
+  const auto expertise = rng.NextDirichlet(n, 0.2);
+  const auto paper = rng.NextDirichlet(n, 0.2);
+  for (auto _ : state) {
+    const double sum =
+        dispatched
+            ? simd::ScoreSum(core::ScoringFunction::kWeightedCoverage,
+                             expertise.data(), paper.data(), n)
+            : simd::scalar::ScoreSum(core::ScoringFunction::kWeightedCoverage,
+                                     expertise.data(), paper.data(), n);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_KernelScoreSum)->ArgsProduct({{30, 300, 3000}, {0, 1}});
+
+// The auction's real-unit bid scan over a candidate row: ~1/8 of the
+// candidate agents are slotless (price == no_price), like a mid-phase row.
+void BM_KernelTopTwoScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool dispatched = state.range(1) != 0;
+  Rng rng(10);
+  const int agents = std::max(1, n / 4);
+  const int64_t no_price = std::numeric_limits<int64_t>::max();
+  std::vector<int64_t> values(n);
+  std::vector<int64_t> price(agents);
+  std::vector<int> agent_ids(n);
+  for (int a = 0; a < agents; ++a) {
+    price[a] = a % 8 == 0 ? no_price
+                          : static_cast<int64_t>(rng.NextBounded(1 << 20));
+  }
+  for (int k = 0; k < n; ++k) {
+    values[k] = static_cast<int64_t>(rng.NextBounded(int64_t{1} << 30));
+    agent_ids[k] = static_cast<int>(rng.NextBounded(agents));
+  }
+  for (auto _ : state) {
+    const simd::TopTwo top =
+        dispatched ? simd::TopTwoReduced(values.data(), agent_ids.data(), n,
+                                         price.data(), no_price)
+                   : simd::scalar::TopTwoReduced(values.data(),
+                                                 agent_ids.data(), n,
+                                                 price.data(), no_price);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_KernelTopTwoScan)->ArgsProduct({{30, 300, 3000}, {0, 1}});
+
+// The sorted-union merge feeding ScoreSum in the sparse scoring path. It
+// is selection/copy only and shared verbatim by both backends (see
+// kernels.h), so it has a single track; its win is removing the
+// hard-to-predict merge branch from the scoring loop, which the
+// BM_SparseVsDense sweep prices end to end.
+void BM_KernelMergeAlignedPairs(benchmark::State& state) {
+  const int nnz = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<int> ids_a(nnz), ids_b(nnz);
+  std::vector<double> values_a(nnz), values_b(nnz);
+  for (int i = 0; i < nnz; ++i) {
+    // Ascending, unique, ~2/3 overlap between the two supports.
+    ids_a[i] = 3 * i + static_cast<int>(rng.NextBounded(2));
+    ids_b[i] = 3 * i + static_cast<int>(rng.NextBounded(2));
+    values_a[i] = 0.05 + rng.NextDouble();
+    values_b[i] = 0.05 + rng.NextDouble();
+  }
+  std::vector<double> out_a(2 * nnz), out_b(2 * nnz);
+  for (auto _ : state) {
+    const int merged = simd::MergeAlignedPairs(
+        ids_a.data(), values_a.data(), nnz, ids_b.data(), values_b.data(),
+        nnz, out_a.data(), out_b.data());
+    benchmark::DoNotOptimize(merged);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_KernelMergeAlignedPairs)->Arg(15)->Arg(100)->Arg(1000);
 
 void BM_Hungarian(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "simd/kernels.h"
 #include "sparse/sparse_scoring.h"
 
 namespace wgrap::core {
@@ -63,10 +64,8 @@ Status Assignment::AddUnchecked(int paper, int reviewer) {
   if (instance_->has_sparse_topics()) {
     sparse::MaxInto(instance_->ReviewerSparse(reviewer), gv);
   } else {
-    const double* rv = instance_->ReviewerVector(reviewer);
-    for (int t = 0; t < instance_->num_topics(); ++t) {
-      gv[t] = std::max(gv[t], rv[t]);
-    }
+    simd::MaxFold(gv, instance_->ReviewerVector(reviewer),
+                  instance_->num_topics());
   }
   paper_score_[paper] += gain;
   total_score_ += gain;
@@ -135,8 +134,7 @@ double Assignment::ScoreWithReplacement(int paper, int drop, int add,
   gv.assign(T, 0.0);
   double bids = 0.0;
   auto fold = [&](int r) {
-    const double* rv = instance_->ReviewerVector(r);
-    for (int t = 0; t < T; ++t) gv[t] = std::max(gv[t], rv[t]);
+    simd::MaxFold(gv.data(), instance_->ReviewerVector(r), T);
     bids += instance_->BidBonus(r, paper);
   };
   for (int r : groups_[paper]) {
@@ -168,8 +166,7 @@ void Assignment::RecomputePaper(int paper) {
     }
   } else {
     for (int r : groups_[paper]) {
-      const double* rv = instance_->ReviewerVector(r);
-      for (int t = 0; t < T; ++t) gv[t] = std::max(gv[t], rv[t]);
+      simd::MaxFold(gv, instance_->ReviewerVector(r), T);
     }
     if (!groups_[paper].empty()) {
       score = ScoreVectors(instance_->scoring(), gv,

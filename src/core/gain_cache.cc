@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "la/transportation.h"
+#include "simd/kernels.h"
 #include "sparse/sparse_scoring.h"
 
 namespace wgrap::core {
@@ -434,8 +435,7 @@ void ReplacementFoldCache::Prepare(const Assignment& assignment,
         fold.assign(T, 0.0);
         for (int j = 0; j < n; ++j) {
           if (j == skip) continue;
-          const double* rv = instance_->ReviewerVector(group[j]);
-          for (int t = 0; t < T; ++t) fold[t] = std::max(fold[t], rv[t]);
+          simd::MaxFold(fold.data(), instance_->ReviewerVector(group[j]), T);
           folds.kept_bids[skip] += instance_->BidBonus(group[j], p);
         }
       }
@@ -472,8 +472,7 @@ double ReplacementFoldCache::Score(int paper, int drop, int add) const {
   }
   static thread_local std::vector<double> gv;
   gv.assign(folds.fold_values[skip].begin(), folds.fold_values[skip].end());
-  const double* rv = instance_->ReviewerVector(add);
-  for (int t = 0; t < T; ++t) gv[t] = std::max(gv[t], rv[t]);
+  simd::MaxFold(gv.data(), instance_->ReviewerVector(add), T);
   return ScoreVectors(instance_->scoring(), gv.data(),
                       instance_->PaperVector(paper), T,
                       instance_->PaperMass(paper)) +

@@ -1,8 +1,7 @@
 #include "core/scoring.h"
 
-#include <algorithm>
-
 #include "common/check.h"
+#include "simd/kernels.h"
 
 namespace wgrap::core {
 
@@ -23,43 +22,19 @@ std::string ScoringFunctionName(ScoringFunction f) {
 double ScoreVectors(ScoringFunction f, const double* expertise,
                     const double* paper, int num_topics, double paper_mass) {
   WGRAP_CHECK(paper_mass > 0.0);
-  double total = 0.0;
-  switch (f) {  // switch outside the loop keeps the hot path branch-free
-    case ScoringFunction::kWeightedCoverage:
-      for (int t = 0; t < num_topics; ++t) {
-        total += std::min(expertise[t], paper[t]);
-      }
-      break;
-    case ScoringFunction::kReviewerCoverage:
-      for (int t = 0; t < num_topics; ++t) {
-        if (expertise[t] >= paper[t]) total += expertise[t];
-      }
-      break;
-    case ScoringFunction::kPaperCoverage:
-      for (int t = 0; t < num_topics; ++t) {
-        if (expertise[t] >= paper[t]) total += paper[t];
-      }
-      break;
-    case ScoringFunction::kDotProduct:
-      for (int t = 0; t < num_topics; ++t) {
-        total += expertise[t] * paper[t];
-      }
-      break;
-  }
-  return total / paper_mass;
+  // The row reduction lives in simd/kernels.h now: the scalar backend is
+  // the former loop verbatim, the AVX2 backend vectorizes the per-lane
+  // contributions while keeping the left-to-right sum — byte-identical
+  // either way (the kernel-layer contract).
+  return simd::ScoreSum(f, expertise, paper, num_topics) / paper_mass;
 }
 
 double MarginalGainVectors(ScoringFunction f, const double* group,
                            const double* reviewer, const double* paper,
                            int num_topics, double paper_mass) {
   WGRAP_CHECK(paper_mass > 0.0);
-  double gain = 0.0;
-  for (int t = 0; t < num_topics; ++t) {
-    if (reviewer[t] <= group[t]) continue;  // max unchanged at this topic
-    gain += TopicContribution(f, reviewer[t], paper[t]) -
-            TopicContribution(f, group[t], paper[t]);
-  }
-  return gain / paper_mass;
+  return simd::MarginalGainSum(f, group, reviewer, paper, num_topics) /
+         paper_mass;
 }
 
 }  // namespace wgrap::core

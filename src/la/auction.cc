@@ -36,7 +36,39 @@
 // second-cheapest snapshot slot — every cheaper slot just went to an even
 // higher bid (value below w2 - ε), and every pricier slot kept a price ≥
 // the snapshot second-cheapest. Output is bit-identical at any thread
-// count, including none.
+// count, including none. The top-two scans inside bidding are the
+// simd/kernels.h selection kernels (AVX2 when dispatched, same result
+// bit for bit).
+//
+// Demand > 1: task-atomic multi-bids + a reverse repair stage. With
+// demand d, a task's units must land on d DISTINCT agents — an
+// edge-capacitated transportation problem, not a plain assignment.
+// Per-unit bidding with sibling exclusion livelocks near saturation (two
+// siblings chasing the same last agent lock each other out forever), so
+// a task bids atomically for ALL of its m missing units at once: its m
+// best distinct non-held agents at prices that keep every chosen agent's
+// post-bid reduced value at the (m+1)-th best alternative minus ε
+// (Bertsekas & Castañón's similar-object bidding). Distinctness is
+// structural — the m targets are distinct by construction and disjoint
+// from the held set — so no exclusion rule is needed in resolution.
+// Because distinctness is a side constraint the symmetric ε-CS theorem
+// does not cover, optimality comes from an explicit dual certificate
+// for the edge-capacitated LP instead, checked by a repair stage at the
+// end of every phase. The certificate's agent duals are the cheapest
+// slot prices bidders actually see, normalized by subtracting the
+// global minimum cheapest price (see the repair stage comment): the
+// normalization makes the certificate invariant under uniform price
+// inflation, the dummies pin every spare-capacity agent's dual within ε
+// of zero, and — because cert duals and bidder-visible prices agree up
+// to that shared constant — every certificate violation is also a > ε
+// forward-bid improvement for the unit it releases, so release-and-
+// re-bid repairs make direct progress instead of fighting the bidding.
+// Each term the relaxed certificate tolerates costs ≤ ε in the duality
+// gap, values are multiples of M = total_slots + 1, and the final phase
+// runs at ε = 1, so a gap < total_slots·ε < M pins the exact optimum.
+// The min-cost-flow fallback remains as a budget-guarded failsafe
+// (wgrap_lap_auction_fallbacks_total counts it; the equivalence suite
+// pins it at zero).
 //
 // Infeasibility. If the instance is feasible, no slot price can climb
 // more than (units + 1)·(Δ + ε) above its value at the start of a phase
@@ -59,6 +91,7 @@
 #include "common/thread_pool.h"
 #include "la/min_cost_flow.h"
 #include "obs/metrics.h"
+#include "simd/kernels.h"
 
 namespace wgrap::la {
 
@@ -66,6 +99,10 @@ namespace {
 
 constexpr int64_t kNoValue = std::numeric_limits<int64_t>::min();
 constexpr int64_t kNoPrice = std::numeric_limits<int64_t>::max();
+// The top-two kernels reuse the auction's own sentinels, so their results
+// drop straight into the bid arithmetic.
+static_assert(simd::kTopTwoNoValue == kNoValue,
+              "top-two sentinel must match the auction's kNoValue");
 // ε divisor between scaling phases (Bertsekas recommends 4–10).
 constexpr int64_t kEpsilonDivisor = 8;
 
@@ -179,10 +216,11 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
   if (total_slots64 > std::numeric_limits<int>::max() / 2) {
     return Status::FailedPrecondition("instance too large for the auction");
   }
-  // Balance the problem: zero-value dummy units fill the spare slots (see
-  // the header comment — required for ε-scaling price carryover to stay
-  // exact). Real units are [0, num_real); unit u belongs to task
-  // u / demand.
+  // Balance the problem: zero-value dummy units fill the spare slots
+  // (see the header comment — required for ε-scaling price carryover to
+  // stay exact, and for demand > 1 the dummies are also what pins the
+  // spare-capacity agents' duals near the price floor). Real units are
+  // [0, num_real); unit u < num_real belongs to task u / demand.
   const int num_real = static_cast<int>(num_real64);
   const int num_units = static_cast<int>(total_slots64);
 
@@ -279,7 +317,10 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
   touched.reserve(agents);
   std::vector<int> unassigned;
   unassigned.reserve(num_units);
-  const bool exclusive = demand > 1;
+  // Demand > 1: tasks bid atomically for all their missing units (see the
+  // header comment); scratch for grouping the round's bidders.
+  std::vector<int> bidder_tasks;
+  std::vector<int> bidder_dummies;
 
   int64_t work = 0;  // bids + per-round bookkeeping, the actual cost unit
   int64_t rounds = 0;
@@ -290,40 +331,146 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
   // units) bookkeeping, so drawn-out tail wars (one unassigned unit
   // re-bidding for thousands of rounds) are charged honestly. The
   // ε-scaled schedule needs a handful of bids per unit in practice, so
-  // the budget is far above normal convergence — except in exclusive
-  // (demand > 1) mode, where sibling exclusion voids the convergence
-  // theorem and near-saturated instances genuinely livelock: that mode
-  // gets a budget keeping the worst case well under a second before the
-  // guaranteed fallback.
+  // the budget is far above normal convergence.
   const int64_t round_overhead = agents + num_units / 8 + 8;
   const int64_t work_cap =
-      exclusive ? std::max<int64_t>(2'000'000, 500 * int64_t{num_units})
-                : std::max<int64_t>(20'000'000, 5'000 * int64_t{num_units});
-  bool diverged = false;  // work-cap / exclusion-stall escape hatch
-  for (int64_t epsilon = epsilon0;; epsilon /= kEpsilonDivisor) {
-    epsilon = std::max<int64_t>(1, epsilon);
-    // New phase: keep every slot price (the warm start ε-scaling relies
-    // on) but clear all assignments; the phase re-runs at the tighter ε.
-    for (int a = 0; a < agents; ++a) {
-      for (Slot& s : slots[a]) s.unit = -1;
-      std::sort(slots[a].begin(), slots[a].end(), SlotLess);
-    }
-    std::fill(assigned_agent.begin(), assigned_agent.end(), -1);
-    std::fill(assigned_edge.begin(), assigned_edge.end(), -1);
+      std::max<int64_t>(20'000'000, 5'000 * int64_t{num_units});
 
+  // Symmetric bid for one unit: every unit when demand == 1, and the
+  // task-less dummies at any demand (real units with demand > 1 bid
+  // through bid_for_task instead, which owns the sibling-distinctness
+  // constraint). Reads only the immutable snapshot and writes only its own
+  // bid cells — deterministic at any thread count. The scans are the
+  // dispatched top-two kernels; price1[a] == kNoPrice exactly when agent
+  // a has no slots, so the reduced scan needs no separate empty mask.
+  const auto bid_for_unit = [&](int u, int64_t epsilon) {
+    int64_t best_v = 0;  // M-domain value of the chosen agent's edge
+    int64_t best_e = -1;
+    int chosen = -1;
+    simd::TopTwo top;
+    if (u < num_real) {
+      const int t = u / demand;
+      const int64_t begin = problem.row_offsets[t];
+      const int count = static_cast<int>(problem.row_offsets[t + 1] - begin);
+      top = simd::TopTwoReduced(value.data() + begin,
+                                problem.agent_ids.data() + begin, count,
+                                price1.data(), kNoPrice);
+      if (top.index >= 0) {
+        best_e = begin + top.index;
+        best_v = value[best_e];
+        chosen = problem.agent_ids[best_e];
+      }
+    } else {
+      // Dummy unit: value 0 for every agent, i.e. it hunts the cheapest
+      // slot overall (lowest agent index on ties).
+      top = simd::TopTwoNegPrice(price1.data(), agents, kNoPrice);
+      chosen = top.index;
+    }
+    if (chosen < 0) {
+      bid_agent[u] = -1;
+      return;
+    }
+    int64_t second_value = top.second;  // kTopTwoNoValue == kNoValue
+    // The agent's own second-cheapest slot also competes for w2.
+    if (price2[chosen] != kNoPrice) {
+      second_value = std::max(second_value, best_v - price2[chosen]);
+    }
+    if (second_value == kNoValue) {
+      // Single candidate slot: bid high enough to always win it.
+      second_value = top.best - (value_range + epsilon);
+    }
+    bid_agent[u] = chosen;
+    bid_edge[u] = best_e;
+    bid_amount[u] = best_v - second_value + epsilon;
+  };
+
+  // Task-atomic multi-bid (demand > 1): task t bids for all m of its
+  // missing units at once, on its m best distinct non-held agents, each
+  // priced so the chosen agent's post-bid reduced value sits at the
+  // (m+1)-th best alternative minus ε. Every bid strictly beats its
+  // target's snapshot cheapest price (the m-th best reduced value is ≥
+  // the floor by construction), so every round makes progress; and the m
+  // targets are distinct and disjoint from the held set by construction,
+  // which is what lets resolution drop the old sibling-exclusion rule —
+  // and with it the near-saturation livelock that rule caused.
+  const auto bid_for_task = [&](int t, int64_t epsilon) {
+    static thread_local std::vector<int> missing;
+    static thread_local std::vector<int64_t> top_w;
+    static thread_local std::vector<int64_t> top_e;
+    const int base = t * demand;
+    missing.clear();
+    for (int v = base; v < base + demand; ++v) {
+      if (assigned_agent[v] < 0) missing.push_back(v);
+    }
+    const int m = static_cast<int>(missing.size());
+    // Top m+1 candidates by (reduced value desc, edge asc) over agents
+    // with slots that no sibling currently holds. The task has >= demand
+    // usable agents (validated) and holds demand - m of them, so at least
+    // m candidates always exist.
+    top_w.assign(m + 1, kNoValue);
+    top_e.assign(m + 1, -1);
+    for (int64_t e = problem.row_offsets[t]; e < problem.row_offsets[t + 1];
+         ++e) {
+      const int a = problem.agent_ids[e];
+      if (price1[a] == kNoPrice) continue;  // no slots
+      bool held = false;
+      for (int v = base; v < base + demand; ++v) {
+        held = held || assigned_agent[v] == a;
+      }
+      if (held) continue;
+      const int64_t v1 = value[e] - price1[a];
+      if (v1 <= top_w[m]) continue;
+      int pos = m;
+      while (pos > 0 && v1 > top_w[pos - 1]) --pos;
+      for (int q = m; q > pos; --q) {
+        top_w[q] = top_w[q - 1];
+        top_e[q] = top_e[q - 1];
+      }
+      top_w[pos] = v1;
+      top_e[pos] = e;
+    }
+    // Bid floor: the best alternative outside the chosen m. With exactly
+    // m candidates there is no (m+1)-th — synthesize one below every
+    // possible reduced value, as the single-candidate unit bid does.
+    int64_t w_floor = top_w[m];
+    if (w_floor == kNoValue) w_floor = top_w[m - 1] - (value_range + epsilon);
+    for (int k = 0; k < m; ++k) {
+      const int u = missing[k];
+      if (top_e[k] < 0) {  // defensive: cannot happen on validated input
+        bid_agent[u] = -1;
+        continue;
+      }
+      const int64_t e = top_e[k];
+      const int a = problem.agent_ids[e];
+      // The chosen agent's own second-cheapest slot competes as an
+      // alternative exactly as in the unit bid. Alternatives on the other
+      // chosen agents need no special handling: the targets are distinct,
+      // so no sibling's acceptance can consume this bid's slot.
+      int64_t alt = w_floor;
+      if (price2[a] != kNoPrice) {
+        alt = std::max(alt, value[e] - price2[a]);
+      }
+      bid_agent[u] = a;
+      bid_edge[u] = e;
+      bid_amount[u] = value[e] - alt + epsilon;
+    }
+  };
+
+  enum class Rounds { kAssigned, kDiverged, kCeilingHit };
+  // One forward bidding phase at a fixed ε: Jacobi bidding + sequential
+  // resolution until every unit holds a slot, the work budget trips, or a
+  // bid crosses the price ceiling.
+  const auto run_rounds = [&](int64_t epsilon) -> Rounds {
     for (;;) {
       unassigned.clear();
       for (int u = 0; u < num_units; ++u) {
         if (assigned_agent[u] < 0) unassigned.push_back(u);
       }
-      if (unassigned.empty()) break;
+      if (unassigned.empty()) return Rounds::kAssigned;
       ++rounds;
       bids += static_cast<int64_t>(unassigned.size());
       work += static_cast<int64_t>(unassigned.size()) + round_overhead;
-      if (work > work_cap) {
-        diverged = true;
-        break;
-      }
+      if (work > work_cap) return Rounds::kDiverged;
 
       // Immutable price snapshot for this round.
       for (int a = 0; a < agents; ++a) {
@@ -332,81 +479,52 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
         price2[a] = slots[a].size() > 1 ? slots[a][1].price : kNoPrice;
       }
 
-      // Jacobi bidding: each unassigned unit writes only its own bid
-      // cells, from the snapshot — deterministic at any thread count.
-      const auto bid_for = [&](int64_t i) {
-        const int u = unassigned[i];
-        int64_t best_value = kNoValue;
-        int64_t second_value = kNoValue;
-        int64_t best_v = 0;  // M-domain value of the chosen agent's edge
-        int64_t best_e = -1;
-        int chosen = -1;
-        if (u < num_real) {
-          const int t = u / demand;
-          for (int64_t e = problem.row_offsets[t];
-               e < problem.row_offsets[t + 1]; ++e) {
-            const int a = problem.agent_ids[e];
-            if (slots[a].empty()) continue;
-            if (exclusive) {
-              bool held_by_sibling = false;
-              for (int v = t * demand; v < (t + 1) * demand; ++v) {
-                if (v != u && assigned_agent[v] == a) {
-                  held_by_sibling = true;
-                  break;
-                }
-              }
-              if (held_by_sibling) continue;
-            }
-            const int64_t v1 = value[e] - price1[a];
-            if (v1 > best_value) {
-              second_value = best_value;
-              best_value = v1;
-              best_v = value[e];
-              best_e = e;
-              chosen = a;
-            } else if (v1 > second_value) {
-              second_value = v1;
-            }
-          }
+      if (demand == 1) {
+        const auto bid_one = [&](int64_t i) {
+          bid_for_unit(unassigned[i], epsilon);
+        };
+        if (options.pool != nullptr) {
+          options.pool->ParallelFor(0,
+                                    static_cast<int64_t>(unassigned.size()),
+                                    /*grain=*/16, bid_one);
         } else {
-          // Dummy unit: value 0 for every agent, i.e. it hunts the
-          // cheapest slot overall (lowest agent index on ties).
-          for (int a = 0; a < agents; ++a) {
-            if (slots[a].empty()) continue;
-            const int64_t v1 = -price1[a];
-            if (v1 > best_value) {
-              second_value = best_value;
-              best_value = v1;
-              best_v = 0;
-              best_e = -1;
-              chosen = a;
-            } else if (v1 > second_value) {
-              second_value = v1;
-            }
+          for (size_t i = 0; i < unassigned.size(); ++i) {
+            bid_one(static_cast<int64_t>(i));
           }
         }
-        if (chosen < 0) {
-          bid_agent[u] = -1;
-          return;
-        }
-        // The agent's own second-cheapest slot also competes for w2.
-        if (price2[chosen] != kNoPrice) {
-          second_value = std::max(second_value, best_v - price2[chosen]);
-        }
-        if (second_value == kNoValue) {
-          // Single candidate slot: bid high enough to always win it.
-          second_value = best_value - (value_range + epsilon);
-        }
-        bid_agent[u] = chosen;
-        bid_edge[u] = best_e;
-        bid_amount[u] = best_v - second_value + epsilon;
-      };
-      if (options.pool != nullptr) {
-        options.pool->ParallelFor(0, static_cast<int64_t>(unassigned.size()),
-                                  /*grain=*/16, bid_for);
       } else {
-        for (size_t i = 0; i < unassigned.size(); ++i) {
-          bid_for(static_cast<int64_t>(i));
+        // One atomic bid per task with missing real units; dummies bid
+        // alone as in the symmetric case. `unassigned` is ascending with
+        // real units first, so the grouping is deterministic.
+        bidder_tasks.clear();
+        bidder_dummies.clear();
+        int last_task = -1;
+        for (const int u : unassigned) {
+          if (u >= num_real) {
+            bidder_dummies.push_back(u);
+            continue;
+          }
+          const int t = u / demand;
+          if (t != last_task) {
+            bidder_tasks.push_back(t);
+            last_task = t;
+          }
+        }
+        const int64_t num_tasks_bidding =
+            static_cast<int64_t>(bidder_tasks.size());
+        const int64_t num_bidders =
+            num_tasks_bidding + static_cast<int64_t>(bidder_dummies.size());
+        const auto bid_one = [&](int64_t i) {
+          if (i < num_tasks_bidding) {
+            bid_for_task(bidder_tasks[i], epsilon);
+          } else {
+            bid_for_unit(bidder_dummies[i - num_tasks_bidding], epsilon);
+          }
+        };
+        if (options.pool != nullptr) {
+          options.pool->ParallelFor(0, num_bidders, /*grain=*/16, bid_one);
+        } else {
+          for (int64_t i = 0; i < num_bidders; ++i) bid_one(i);
         }
       }
 
@@ -414,7 +532,10 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
       // the j-th cheapest slot while it strictly beats that slot's
       // snapshot price (see the header comment for why this keeps ε-CS
       // exact per slot). Grouping walks units in ascending order and
-      // agents independently, so the outcome is scheduling-free.
+      // agents independently, so the outcome is scheduling-free. No
+      // distinctness check is needed: a task's concurrent bids target
+      // distinct agents by construction and never an agent a sibling
+      // holds.
       bool any_bid = false;
       bool ceiling_hit = false;
       for (const int u : unassigned) {
@@ -424,12 +545,7 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
         if (agent_bids[a].empty()) touched.push_back(a);
         agent_bids[a].emplace_back(bid_amount[u], u);
       }
-      if (!any_bid) {
-        // Every unassigned unit is locked out (demand > 1 sibling
-        // exclusion deadlock); no bid can ever be placed again.
-        diverged = true;
-        break;
-      }
+      if (!any_bid) return Rounds::kDiverged;  // defensive; cannot recur
       for (const int a : touched) {
         std::vector<std::pair<int64_t, int>>& incoming_bids = agent_bids[a];
         std::sort(incoming_bids.begin(), incoming_bids.end(),
@@ -438,33 +554,12 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
                     if (x.first != y.first) return x.first > y.first;
                     return x.second < y.second;
                   });
-        // Decide acceptances against the snapshot slot order: the j-th
-        // accepted bid must beat the j-th cheapest slot, and — in
-        // exclusive mode — no two units of one task may land on the same
-        // agent, so a bid whose sibling already holds (or just won) a
-        // slot here is passed over. Two unassigned siblings can submit
-        // identical bids to the same agent in one round; without this
-        // check both would be accepted, silently violating distinctness.
         accepted.clear();
         for (const auto& bid : incoming_bids) {
           const int j = static_cast<int>(accepted.size());
           if (j >= static_cast<int>(slots[a].size()) ||
               bid.first <= slots[a][j].price) {
             break;
-          }
-          if (exclusive && bid.second < num_real) {
-            const int t = bid.second / demand;
-            bool duplicate = false;
-            for (int v = t * demand; v < (t + 1) * demand && !duplicate;
-                 ++v) {
-              duplicate = v != bid.second && assigned_agent[v] == a;
-            }
-            for (const auto& prior : accepted) {
-              duplicate = duplicate ||
-                          (prior.second < num_real &&
-                           prior.second / demand == t);
-            }
-            if (duplicate) continue;
           }
           accepted.push_back(bid);
         }
@@ -491,31 +586,199 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
         incoming_bids.clear();
       }
       touched.clear();
-      if (ceiling_hit) {
-        // Feasible instances provably stay below the ceiling; confirm
-        // with an exact flow before reporting infeasibility.
-        if (ExactlyFeasible(problem, slots_per_agent, demand)) {
-          return Status::FailedPrecondition(
-              "auction exceeded its price bound on a feasible instance");
+      if (ceiling_hit) return Rounds::kCeilingHit;
+    }
+  };
+
+  // Shared failure handling for a phase that did not fully assign.
+  const auto phase_failure = [&](Rounds outcome) -> Status {
+    if (outcome == Rounds::kCeilingHit) {
+      // Feasible instances provably stay below the ceiling; confirm with
+      // an exact flow before reporting infeasibility.
+      if (ExactlyFeasible(problem, slots_per_agent, demand)) {
+        return Status::FailedPrecondition(
+            "auction exceeded its price bound on a feasible instance");
+      }
+      return Status::Infeasible(
+          "candidate edges cannot cover all tasks (auction price bound)");
+    }
+    if (!ExactlyFeasible(problem, slots_per_agent, demand)) {
+      return Status::Infeasible(
+          "candidate edges cannot cover all tasks (auction stall)");
+    }
+    return Status::FailedPrecondition(
+        "auction did not converge; use the min-cost-flow backend");
+  };
+
+  // Per-phase reverse repair stage for demand > 1 (forward-reverse
+  // auction). The forward rounds assign every unit (so every slot is
+  // held), but the distinctness side constraint means symmetric ε-CS
+  // alone does not certify the edge-capacitated transportation LP — the
+  // repair checks an explicit ε-relaxed dual certificate instead and
+  // releases units until it passes.
+  //
+  // The duals are read straight off the prices bidders actually see:
+  // dual[a] = cheapest slot price of a, NORMALIZED by subtracting the
+  // global minimum cheapest price c. The normalization is what makes the
+  // certificate invariant under uniform price inflation (the forward
+  // auction fixes only price differences, not the level), and the
+  // dummies are what make it tight: a held dummy in ε-CS sits within ε
+  // of the globally cheapest slot, so every agent with spare capacity
+  // has dual ≤ ε and the spare slots contribute ≤ spare·ε to the gap.
+  // Because cert duals and bidder-visible prices agree (up to the shared
+  // constant c), a violation IS a forward-bid improvement of > ε for the
+  // released unit — releasing it makes direct progress, with none of the
+  // price-view misalignment a "free capacity prices at 0" convention
+  // would reintroduce.
+  //
+  // Two conditions are checked, with π(t) = min reduced value over t's
+  // units (reduced value rv = value − dual of the holding agent):
+  //   1. candidate: an edge (t, a) with no unit on a has
+  //      value − dual[a] > π(t) + ε   (t should move a unit to a);
+  //   2. dummy staleness: a held dummy's price exceeds c + ε (its ε-CS
+  //      is from the phase it last bid; re-bidding it restores the
+  //      spare-capacity dual bound at the current resolution).
+  // A unit whose rv sits ABOVE π(t) + ε needs no condition: the edge it
+  // occupies is at its x ≤ 1 capacity, so that edge's own dual absorbs
+  // the overshoot exactly and contributes zero gap. Each surviving ≤-ε
+  // term is paid once in the duality gap: num_real·ε for the units,
+  // spare·ε for the spare slots — total ≤ total_slots·ε < M at the
+  // final ε = 1, so the M-domain optimum is exact. Repairing inside
+  // every phase rather than once at ε = 1 keeps the price wars short:
+  // each phase closes the gaps the previous phase left at 8× coarser
+  // resolution. Budget-guarded, with min-cost flow as the failsafe.
+  std::vector<int64_t> dual_price(agents, 0);
+  std::vector<int64_t> potential(tasks);
+  std::vector<int> worst_unit(tasks, -1);
+  std::vector<int> violating;        // tasks to release a unit from
+  std::vector<int> stale_dummies;    // dummy units to re-bid
+  const auto find_violations = [&](int64_t epsilon) {
+    int64_t c = std::numeric_limits<int64_t>::max();
+    for (int a = 0; a < agents; ++a) {
+      if (slots[a].empty()) continue;
+      dual_price[a] = slots[a][0].price;
+      c = std::min(c, dual_price[a]);
+    }
+    for (int a = 0; a < agents; ++a) {
+      if (!slots[a].empty()) dual_price[a] -= c;
+    }
+    stale_dummies.clear();
+    for (int a = 0; a < agents; ++a) {
+      for (const Slot& s : slots[a]) {
+        if (s.unit >= num_real && s.price > c + epsilon) {
+          stale_dummies.push_back(s.unit);
         }
-        return Status::Infeasible(
-            "candidate edges cannot cover all tasks (auction price bound)");
       }
     }
-    if (diverged) {
-      if (!ExactlyFeasible(problem, slots_per_agent, demand)) {
-        return Status::Infeasible(
-            "candidate edges cannot cover all tasks (auction stall)");
+    std::fill(potential.begin(), potential.end(),
+              std::numeric_limits<int64_t>::max());
+    for (int u = 0; u < num_real; ++u) {
+      const int t = u / demand;
+      const int64_t rv =
+          value[assigned_edge[u]] - dual_price[assigned_agent[u]];
+      if (rv < potential[t]) {
+        potential[t] = rv;
+        worst_unit[t] = u;
       }
-      return Status::FailedPrecondition(
-          "auction did not converge; use the min-cost-flow backend");
+    }
+    violating.clear();
+    for (int t = 0; t < tasks; ++t) {
+      // ε-relaxed: a violation within ε is already paid for by the
+      // duality-gap bound, and chasing it exactly would livelock on
+      // ties.
+      const int64_t bar = potential[t] + epsilon;
+      bool violated = false;
+      for (int64_t e = problem.row_offsets[t];
+           !violated && e < problem.row_offsets[t + 1]; ++e) {
+        const int a = problem.agent_ids[e];
+        if (slots_per_agent[a] == 0) continue;
+        bool assigned_here = false;
+        for (int v = t * demand; v < (t + 1) * demand; ++v) {
+          assigned_here = assigned_here || assigned_agent[v] == a;
+        }
+        if (assigned_here) continue;
+        violated = value[e] - dual_price[a] > bar;
+      }
+      if (violated) violating.push_back(t);
+    }
+  };
+
+  const auto run_repair = [&](int64_t epsilon) -> Status {
+    static obs::Counter* const sweep_count =
+        obs::Registry::Global().GetCounter(
+            "wgrap_lap_auction_reverse_sweeps_total");
+    for (;;) {
+      find_violations(epsilon);
+      if (violating.empty() && stale_dummies.empty()) {
+        return Status::OK();  // ε-relaxed certificate holds
+      }
+      if (work > work_cap) {
+        return Status::FailedPrecondition(
+            "demand > 1 auction could not certify optimality; use the "
+            "min-cost-flow backend");
+      }
+      if (sweep_count) sweep_count->Add();
+      // Release the flagged units — each violating task's worst-value
+      // unit plus every stale dummy — and let the forward rounds re-bid
+      // them. The freed slot's price drops to the agent's cheapest slot
+      // price: the agent's visible price (what bids and duals read) is
+      // unchanged, but the free slot now sorts first, so the next
+      // accepted bid fills it instead of evicting a holder. Keeping the
+      // old (possibly coarse-phase) price would strand an overpriced
+      // relic slot the cheap slots could only climb to in +ε steps — a
+      // multimillion-round musical-chairs war at ε = 1.
+      const auto release = [&](int u) {
+        const int a = assigned_agent[u];
+        for (Slot& s : slots[a]) {
+          if (s.unit == u) {
+            s.unit = -1;
+            s.price = std::min(s.price, slots[a][0].price);
+            break;
+          }
+        }
+        std::sort(slots[a].begin(), slots[a].end(), SlotLess);
+        assigned_agent[u] = -1;
+        assigned_edge[u] = -1;
+      };
+      for (const int t : violating) release(worst_unit[t]);
+      for (const int u : stale_dummies) release(u);
+      // The certificate scan is a full CSR pass — charge it like a round.
+      work += round_overhead + num_edges / 8;
+      const Rounds outcome = run_rounds(epsilon);
+      if (outcome != Rounds::kAssigned) return phase_failure(outcome);
+    }
+  };
+
+  for (int64_t epsilon = epsilon0;; epsilon /= kEpsilonDivisor) {
+    epsilon = std::max<int64_t>(1, epsilon);
+    if (demand == 1) {
+      // New phase: keep every slot price (the warm start ε-scaling relies
+      // on) but clear all assignments; the phase re-runs at the tighter ε.
+      for (int a = 0; a < agents; ++a) {
+        for (Slot& s : slots[a]) s.unit = -1;
+        std::sort(slots[a].begin(), slots[a].end(), SlotLess);
+      }
+      std::fill(assigned_agent.begin(), assigned_agent.end(), -1);
+      std::fill(assigned_edge.begin(), assigned_edge.end(), -1);
+    }
+    // Demand > 1 keeps the assignment across phases instead: the
+    // ε-relaxed certificate's releases drive the re-optimization at each
+    // scale. Clearing would strand the phase's most overpriced slots
+    // free, and the refill war would have to climb back to them in +ε
+    // steps; warm-continuing touches only the units the certificate says
+    // are misplaced.
+    const Rounds outcome = run_rounds(epsilon);
+    if (outcome != Rounds::kAssigned) return phase_failure(outcome);
+    if (demand > 1) {
+      const Status repaired = run_repair(epsilon);
+      if (!repaired.ok()) return repaired;
     }
     if (epsilon == 1) break;
   }
 
-  // Recover the assignment, the duals the pruning guard needs, and — for
-  // demand > 1, where sibling exclusion voids the ε-CS optimality theorem
-  // — certify exact complementary slackness of the final prices.
+  // Recover the assignment and the duals the pruning guard needs (for
+  // demand > 1 the reverse phase above already certified exact
+  // complementary slackness of the final prices).
   result.final_epsilon = 1;
   result.value_unit = unit_value;
   result.rounds = rounds;
@@ -567,9 +830,9 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
   for (int t = 0; t < tasks; ++t) {
     std::sort(result.task_to_agents[t].begin(),
               result.task_to_agents[t].end());
-    // Distinctness is enforced during resolution; this guard is the
-    // cheap insurance that a violation can only ever surface as a
-    // fallback, never as a wrong answer.
+    // Distinctness holds by bid construction; this guard is the cheap
+    // insurance that a violation can only ever surface as a fallback,
+    // never as a wrong answer.
     for (size_t i = 1; i < result.task_to_agents[t].size(); ++i) {
       if (result.task_to_agents[t][i] == result.task_to_agents[t][i - 1]) {
         return Status::FailedPrecondition(
@@ -585,46 +848,6 @@ Result<AuctionResult> SolveAuctionSparse(const SparseLapProblem& problem,
     }
   }
 
-  if (exclusive) {
-    // Exact dual certificate for the edge-capacitated transportation
-    // polytope: agent price 0 unless saturated by real units, task
-    // potential the worst assigned reduced value; optimal iff no
-    // unassigned candidate edge beats the potential. (Exact — no ε slack
-    // — hence the fallback.)
-    std::vector<int64_t> dual_price(agents, 0);
-    for (int a = 0; a < agents; ++a) {
-      if (slots[a].empty()) continue;
-      bool real_saturated = true;
-      for (const Slot& s : slots[a]) {
-        real_saturated = real_saturated && s.unit >= 0 && s.unit < num_real;
-      }
-      dual_price[a] = real_saturated ? slots[a][0].price : 0;
-    }
-    std::vector<int64_t> potential(tasks,
-                                   std::numeric_limits<int64_t>::max());
-    for (int u = 0; u < num_real; ++u) {
-      const int t = u / demand;
-      potential[t] =
-          std::min(potential[t],
-                   value[assigned_edge[u]] - dual_price[assigned_agent[u]]);
-    }
-    for (int t = 0; t < tasks; ++t) {
-      for (int64_t e = problem.row_offsets[t];
-           e < problem.row_offsets[t + 1]; ++e) {
-        const int a = problem.agent_ids[e];
-        if (slots_per_agent[a] == 0) continue;
-        bool assigned_here = false;
-        for (int v = t * demand; v < (t + 1) * demand; ++v) {
-          assigned_here = assigned_here || assigned_agent[v] == a;
-        }
-        if (assigned_here) continue;
-        if (value[e] - dual_price[a] > potential[t]) {
-          return Status::FailedPrecondition(
-              "demand > 1 auction could not certify optimality");
-        }
-      }
-    }
-  }
   return result;
 }
 
@@ -637,12 +860,14 @@ SparseLapProblem CsrFromDense(const Matrix& profit) {
   problem.num_tasks = profit.rows();
   problem.num_agents = profit.cols();
   problem.row_offsets.assign(1, 0);
+  std::vector<int> kept(profit.cols());
   for (int t = 0; t < profit.rows(); ++t) {
-    for (int a = 0; a < profit.cols(); ++a) {
-      const double p = profit.At(t, a);
-      if (p <= kTransportForbidden / 2) continue;
-      problem.agent_ids.push_back(a);
-      problem.profits.push_back(p);
+    const double* row = profit.Row(t);
+    const int count = simd::FilterGreaterThan(
+        row, profit.cols(), kTransportForbidden / 2, kept.data());
+    for (int i = 0; i < count; ++i) {
+      problem.agent_ids.push_back(kept[i]);
+      problem.profits.push_back(row[kept[i]]);
     }
     problem.row_offsets.push_back(
         static_cast<int64_t>(problem.agent_ids.size()));
@@ -700,12 +925,15 @@ PrunedCandidates BuildTopKCandidates(const Matrix& profit, int top_k,
   std::vector<std::vector<std::pair<int, double>>> rows(tasks);
   const auto select_row = [&](int64_t t64) {
     const int t = static_cast<int>(t64);
+    static thread_local std::vector<int> kept;
+    kept.resize(agents);
+    const double* row = profit.Row(t);
+    const int count = simd::FilterGreaterThan(
+        row, agents, kTransportForbidden / 2, kept.data());
     std::vector<std::pair<double, int>> candidates;  // (profit, agent)
-    candidates.reserve(agents);
-    for (int a = 0; a < agents; ++a) {
-      const double p = profit.At(t, a);
-      if (p <= kTransportForbidden / 2) continue;
-      candidates.emplace_back(p, a);
+    candidates.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      candidates.emplace_back(row[kept[i]], kept[i]);
     }
     // Rank in the 1e9-scaled integer domain the auction itself optimizes:
     // profits that differ only below the quantum (e.g. the raw doubles of

@@ -1,0 +1,55 @@
+#include "simd/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace wgrap::simd {
+
+namespace {
+
+bool RuntimeDisabled() {
+  const char* env = std::getenv("WGRAP_SIMD");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "false") == 0;
+}
+
+Backend Resolve() {
+  Backend backend = Backend::kScalar;
+#if defined(WGRAP_SIMD_HAVE_AVX2)
+  if (!RuntimeDisabled() && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    backend = Backend::kAvx2;
+  }
+#endif
+  // Exported eagerly (not lazily per scrape) so a `stats` page taken
+  // before any solve still attributes the hardware; nullptr when
+  // telemetry is off (WGRAP_OBS=0).
+  obs::Gauge* gauge =
+      obs::Registry::Global().GetGauge("wgrap_simd_backend_avx2");
+  if (gauge != nullptr) gauge->Set(backend == Backend::kAvx2 ? 1 : 0);
+  return backend;
+}
+
+}  // namespace
+
+Backend ActiveBackend() {
+  static const Backend backend = Resolve();
+  return backend;
+}
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+const char* ActiveBackendName() { return BackendName(ActiveBackend()); }
+
+}  // namespace wgrap::simd

@@ -1,0 +1,187 @@
+// Vector kernels for the hot comparison/selection loops, runtime-dispatched
+// between a scalar reference backend and an AVX2 backend (simd/dispatch.h).
+//
+// The bit-identity contract. Every kernel here returns byte-identical
+// results from both backends — that is what lets the solvers call them
+// without weakening the repo-wide invariant that every optimization is
+// bit-identical to the path it replaces. Selection kernels honor the
+// contract for ANY input, NaN and ±inf included. Accumulating kernels
+// honor it for any input whose running sum never manufactures a NaN from
+// opposite-signed infinities: the sign/payload of an invalid-operation
+// NaN depends on which operand the compiler places first in the
+// commutative add, which C++ does not pin down (solver inputs are
+// validated finite, so the exclusion is theoretical). The contract is
+// kept by construction, not by tolerance:
+//
+//  * Floating-point ACCUMULATION ORDER is never vectorized. ScoreSum and
+//    MarginalGainSum add contributions strictly left-to-right, exactly
+//    like the dense loops in core/scoring.cc; the AVX2 backend vectorizes
+//    only the per-lane contribution values (min/cmp/mul — IEEE-exact per
+//    lane) and then sums the lanes in index order.
+//  * Comparison semantics mirror the scalar source expression, including
+//    NaN and signed-zero behavior: min lanes use VMINPD, whose
+//    (a < b) ? a : b semantics equal TopicContribution's kWeightedCoverage
+//    ternary; predicated lanes use the exact predicate complement
+//    (_CMP_NLE_UQ for `!(a <= b)`, _CMP_GE_OQ for `a >= b`); max folds use
+//    compare+blend, NOT VMAXPD (which differs from std::max on ±0.0/NaN).
+//  * Integer kernels (top-two scans, filters, merges) are exact by nature;
+//    ties select the lowest index, matching the scalar scan order.
+//
+// tests/simd_kernel_test.cc fuzzes every kernel across backends and fails
+// on the first differing byte.
+#ifndef WGRAP_SIMD_KERNELS_H_
+#define WGRAP_SIMD_KERNELS_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "core/scoring.h"  // header-only: ScoringFunction + TopicContribution
+#include "simd/dispatch.h"
+
+namespace wgrap::simd {
+
+/// Sentinel for "no candidate seen" in the top-two scans — the same value
+/// the auction uses for kNoValue.
+inline constexpr int64_t kTopTwoNoValue = std::numeric_limits<int64_t>::min();
+
+/// Result of a top-two selection scan: the best and second-best candidate
+/// values and the position of the best. `best == kTopTwoNoValue` means no
+/// candidate survived the skip predicate (then index == -1); `second ==
+/// kTopTwoNoValue` means exactly one did. Ties go to the lowest position,
+/// matching a sequential scan with a strictly-greater update.
+struct TopTwo {
+  int64_t best = kTopTwoNoValue;
+  int64_t second = kTopTwoNoValue;
+  int index = -1;
+};
+
+// Per-backend entry points. `scalar` is always compiled and is the
+// reference; `avx2` exists only in WGRAP_SIMD builds on x86-64
+// (WGRAP_SIMD_HAVE_AVX2). Call the dispatched wrappers below unless you
+// are the equivalence test.
+namespace scalar {
+void MaxFold(double* acc, const double* v, int n);
+double ScoreSum(core::ScoringFunction f, const double* expertise,
+                const double* paper, int n);
+double MarginalGainSum(core::ScoringFunction f, const double* group,
+                       const double* reviewer, const double* paper, int n);
+int FilterGreaterThan(const double* values, int n, double threshold,
+                      int* out_indices);
+TopTwo TopTwoReduced(const int64_t* values, const int* agent_ids, int n,
+                     const int64_t* price, int64_t no_price);
+TopTwo TopTwoNegPrice(const int64_t* price, int n, int64_t no_price);
+}  // namespace scalar
+
+#if defined(WGRAP_SIMD_HAVE_AVX2)
+namespace avx2 {
+void MaxFold(double* acc, const double* v, int n);
+double ScoreSum(core::ScoringFunction f, const double* expertise,
+                const double* paper, int n);
+double MarginalGainSum(core::ScoringFunction f, const double* group,
+                       const double* reviewer, const double* paper, int n);
+int FilterGreaterThan(const double* values, int n, double threshold,
+                      int* out_indices);
+TopTwo TopTwoReduced(const int64_t* values, const int* agent_ids, int n,
+                     const int64_t* price, int64_t no_price);
+TopTwo TopTwoNegPrice(const int64_t* price, int n, int64_t no_price);
+}  // namespace avx2
+#endif  // WGRAP_SIMD_HAVE_AVX2
+
+/// acc[t] = std::max(acc[t], v[t]) for t in [0, n) — the Definition 2
+/// group max fold over dense rows (core::Assignment, GainCache).
+inline void MaxFold(double* acc, const double* v, int n) {
+#if defined(WGRAP_SIMD_HAVE_AVX2)
+  if (UseAvx2()) return avx2::MaxFold(acc, v, n);
+#endif
+  scalar::MaxFold(acc, v, n);
+}
+
+/// Σ_t TopicContribution(f, expertise[t], paper[t]), summed strictly in
+/// ascending t — the un-normalized core of core::ScoreVectors (the caller
+/// divides by paper mass).
+inline double ScoreSum(core::ScoringFunction f, const double* expertise,
+                       const double* paper, int n) {
+#if defined(WGRAP_SIMD_HAVE_AVX2)
+  if (UseAvx2()) return avx2::ScoreSum(f, expertise, paper, n);
+#endif
+  return scalar::ScoreSum(f, expertise, paper, n);
+}
+
+/// The un-normalized core of core::MarginalGainVectors: for every t with
+/// reviewer[t] > group[t] (exactly `!(reviewer[t] <= group[t])`, NaN
+/// included), accumulates the contribution delta in ascending t. The AVX2
+/// backend vectorizes only the skip test — surviving lanes run the exact
+/// scalar arithmetic in order.
+inline double MarginalGainSum(core::ScoringFunction f, const double* group,
+                              const double* reviewer, const double* paper,
+                              int n) {
+#if defined(WGRAP_SIMD_HAVE_AVX2)
+  if (UseAvx2()) return avx2::MarginalGainSum(f, group, reviewer, paper, n);
+#endif
+  return scalar::MarginalGainSum(f, group, reviewer, paper, n);
+}
+
+/// Writes the indices i with values[i] > threshold (exactly
+/// `!(values[i] <= threshold)`, so NaN passes — matching the scalar
+/// `if (p <= threshold) continue` filters) to out_indices, ascending.
+/// Returns the count. The auction's candidate filters use this with
+/// threshold = kTransportForbidden / 2.
+inline int FilterGreaterThan(const double* values, int n, double threshold,
+                             int* out_indices) {
+#if defined(WGRAP_SIMD_HAVE_AVX2)
+  if (UseAvx2()) return avx2::FilterGreaterThan(values, n, threshold,
+                                                out_indices);
+#endif
+  return scalar::FilterGreaterThan(values, n, threshold, out_indices);
+}
+
+/// The auction's real-unit bid scan: over k in [0, n), skip entries whose
+/// agent has no slots (price[agent_ids[k]] == no_price), otherwise rank
+/// candidate k by values[k] - price[agent_ids[k]]. Returns the top two
+/// reduced values and the position k of the best (lowest k on ties).
+inline TopTwo TopTwoReduced(const int64_t* values, const int* agent_ids,
+                            int n, const int64_t* price, int64_t no_price) {
+#if defined(WGRAP_SIMD_HAVE_AVX2)
+  if (UseAvx2()) return avx2::TopTwoReduced(values, agent_ids, n, price,
+                                            no_price);
+#endif
+  return scalar::TopTwoReduced(values, agent_ids, n, price, no_price);
+}
+
+/// The auction's dummy-unit bid scan: over agents a in [0, n), skip
+/// price[a] == no_price, rank by -price[a] (the cheapest slot wins,
+/// lowest agent id on ties).
+inline TopTwo TopTwoNegPrice(const int64_t* price, int n, int64_t no_price) {
+#if defined(WGRAP_SIMD_HAVE_AVX2)
+  if (UseAvx2()) return avx2::TopTwoNegPrice(price, n, no_price);
+#endif
+  return scalar::TopTwoNegPrice(price, n, no_price);
+}
+
+/// Branch-free sorted-union merge of two sparse operands into aligned
+/// value pairs: on exit (out_a[k], out_b[k]) for k in [0, return) hold the
+/// two operand values over the ascending union of the supports, with 0.0
+/// where a side is absent — exactly the (r, p) pairs the fused merge in
+/// sparse/sparse_scoring.cc feeds to TopicContribution, in the same
+/// order. Selection/copy only (no FP arithmetic), so both backends share
+/// this one implementation. NOTE: measured SLOWER than the fused merge
+/// loops at every density (the compiler compiles those to conditional
+/// moves, and this split pass adds a store/reload of the pair buffers),
+/// so sparse_scoring.cc does not dispatch it — it stays as the
+/// benchmarked negative result (BM_KernelMergeAlignedPairs,
+/// bench/BASELINES.md). Output buffers must have room for na + nb
+/// entries.
+int MergeAlignedPairs(const int* ids_a, const double* values_a, int na,
+                      const int* ids_b, const double* values_b, int nb,
+                      double* out_a, double* out_b);
+
+/// MergeAlignedPairs with a dense left operand restricted to the sorted
+/// support `ids_a` (the SparseGroupAccumulator path): left values are read
+/// from acc[ids_a[i]].
+int MergeAlignedPairsDenseLeft(const double* acc, const int* ids_a, int na,
+                               const int* ids_b, const double* values_b,
+                               int nb, double* out_a, double* out_b);
+
+}  // namespace wgrap::simd
+
+#endif  // WGRAP_SIMD_KERNELS_H_

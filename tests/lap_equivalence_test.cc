@@ -19,6 +19,7 @@
 #include "la/auction.h"
 #include "la/hungarian.h"
 #include "la/transportation.h"
+#include "obs/metrics.h"
 
 namespace wgrap::la {
 namespace {
@@ -178,9 +179,88 @@ TEST(LapEquivalenceTest, DemandAuctionMatchesFlowOrFallsBack) {
   }
 }
 
+// The forward-reverse auction must solve near-saturated and tie-heavy
+// demand > 1 instances outright — no min-cost-flow fallback. Both
+// families were the old certify-or-fallback auction's failure modes:
+// with total capacity exactly equal to total demand every agent must
+// saturate and the old sibling-exclusion rule livelocked siblings
+// chasing the last open agent, while quantized profits (massive ties)
+// stressed the exact dual certificate. Convergence is asserted two ways:
+// the raw auction solve must succeed (kFailedPrecondition is the
+// fallback trigger), and the public backend's fallback counter must not
+// move across the whole sweep.
+TEST(LapEquivalenceTest, AdversarialDemandInstancesNeedNoFallback) {
+  obs::Counter* const fallbacks = obs::Registry::Global().GetCounter(
+      "wgrap_lap_auction_fallbacks_total");
+  const int64_t fallbacks_before = fallbacks ? fallbacks->Value() : 0;
+  ThreadPool pool(8);
+  int solves = 0;
+  for (const bool tie_heavy : {false, true}) {
+    for (const int demand : {2, 3}) {
+      for (const int tasks : {8, 13}) {
+        for (const int spare : {0, 1}) {
+          Rng rng(31000 + 2 * tasks + 100 * demand + spare +
+                  (tie_heavy ? 7777 : 0));
+          const int agents = 6;
+          Matrix profit(tasks, agents, kTransportForbidden);
+          for (int t = 0; t < tasks; ++t) {
+            for (int a = 0; a < agents; ++a) {
+              profit.At(t, a) = tie_heavy ? 0.25 * rng.NextInt(0, 3)
+                                          : 2.0 * rng.NextDouble() - 1.0;
+            }
+          }
+          // spare == 0 is exact saturation: total slots == total demand.
+          const int total = tasks * demand + spare;
+          std::vector<int> capacity(agents, total / agents);
+          for (int a = 0; a < total % agents; ++a) ++capacity[a];
+          auto flow = SolveTransportationWithDemand(profit, capacity, demand);
+          ASSERT_TRUE(flow.ok()) << flow.status().ToString();
+          const int64_t optimum = ScaledObjective(profit, flow->task_to_agents);
+
+          AuctionOptions options;
+          options.demand = demand;
+          options.pool = &pool;
+          auto direct = SolveAuctionSparse(
+              BuildTopKCandidates(profit, 0, nullptr).problem, capacity,
+              options);
+          ASSERT_TRUE(direct.ok())
+              << "demand=" << demand << " tasks=" << tasks << " spare="
+              << spare << " tie_heavy=" << tie_heavy << ": "
+              << direct.status().ToString();
+          EXPECT_EQ(optimum, ScaledObjective(profit, direct->task_to_agents));
+          for (int t = 0; t < tasks; ++t) {
+            ASSERT_EQ(direct->task_to_agents[t].size(),
+                      static_cast<size_t>(demand));
+            for (size_t i = 1; i < direct->task_to_agents[t].size(); ++i) {
+              EXPECT_NE(direct->task_to_agents[t][i],
+                        direct->task_to_agents[t][i - 1]);
+            }
+          }
+
+          TransportationOptions backend;
+          backend.backend = TransportationBackend::kAuction;
+          backend.pool = &pool;
+          auto via_backend =
+              SolveTransportationWithDemand(profit, capacity, demand, backend);
+          ASSERT_TRUE(via_backend.ok());
+          EXPECT_EQ(optimum,
+                    ScaledObjective(profit, via_backend->task_to_agents));
+          ++solves;
+        }
+      }
+    }
+  }
+  EXPECT_GT(solves, 10);
+  if (fallbacks) {
+    EXPECT_EQ(fallbacks->Value(), fallbacks_before)
+        << "the forward-reverse auction fell back to min-cost flow";
+  }
+}
+
 // Regression: two unassigned units of one task can submit identical bids
-// to the same agent in one round; the resolution must not accept both
-// (distinct-agent constraint). Before the fix this produced
+// to the same agent in one round; with the task-atomic multi-bid the
+// targets are distinct by construction, and the result-assembly guard is
+// the last line of defense. Before the original fix this produced
 // task_to_agents[t] = [a, a] on ~1 in 9 of these seeds.
 TEST(LapEquivalenceTest, DemandUnitsNeverShareAnAgent) {
   for (uint64_t seed = 0; seed < 60; ++seed) {
@@ -366,7 +446,15 @@ TEST(LapEquivalenceTest, IlpArapAuctionBackendMatchesFlow) {
   auction_options.num_threads = 4;
   auto auction = SolveCraIlpArap(instance, auction_options);
   ASSERT_TRUE(auction.ok()) << auction.status().ToString();
-  EXPECT_EQ(Groups(*flow, instance), Groups(*auction, instance));
+  // This pool contains an exact score tie (reviewers 1 and 2 score paper
+  // 1 identically), and the forward-reverse auction and the flow backend
+  // legitimately pick different members of the tied optimum — the seed-era
+  // version of this test only saw identical groups because demand > 1
+  // auctions always fell back to the flow solver. Compare objectives and
+  // completeness instead; AdversarialDemandInstancesNeedNoFallback pins
+  // the scaled objective exactly across a whole sweep.
+  EXPECT_NEAR(flow->TotalScore(), auction->TotalScore(), 1e-9);
+  EXPECT_TRUE(auction->ValidateComplete().ok());
 }
 
 }  // namespace

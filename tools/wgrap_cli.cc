@@ -21,9 +21,9 @@
 //                       [--trace spans.json] [--verbose]
 //                       [--refine initial.csv] --out a.csv
 //     (--trace records the solver's span tree to a chrome://tracing JSON
-//      file; --verbose prints solver telemetry counters to stderr — both
-//      leave stdout byte-identical to an uninstrumented run, which CI
-//      asserts)
+//      file; --verbose prints the dispatched kernel backend (avx2/scalar)
+//      and solver telemetry counters to stderr — both leave stdout
+//      byte-identical to an uninstrumented run, which CI asserts)
 //     (--refine runs the algo's refine-from-initial hook — sra or ls —
 //      on an existing assignment instead of solving from scratch)
 //   wgrap_cli jra       --dataset d.csv --paper 0 --dp 3 [--topk 5]
@@ -92,6 +92,7 @@
 #include "service/protocol.h"
 #include "service/reports.h"
 #include "service/tcp.h"
+#include "simd/dispatch.h"
 #include "wgrap.h"
 
 namespace {
@@ -356,7 +357,11 @@ int CmdSolve(const Flags& flags) {
   }
   if (!flags.GetString("verbose", "").empty()) {
     // Telemetry stays off stdout so the report is byte-identical to an
-    // uninstrumented run; stderr is where operators look anyway.
+    // uninstrumented run; stderr is where operators look anyway. The
+    // kernel backend makes bench/telemetry records attributable to the
+    // hardware they ran on (also exported as the wgrap_simd_backend_avx2
+    // gauge).
+    std::fprintf(stderr, "kernel backend: %s\n", simd::ActiveBackendName());
     if (!obs::Enabled()) {
       std::fprintf(stderr, "telemetry disabled (WGRAP_OBS=0)\n");
     } else {
@@ -365,6 +370,7 @@ int CmdSolve(const Flags& flags) {
            {"wgrap_lap_auction_fallbacks_total",
             "wgrap_lap_auction_phases_total", "wgrap_lap_auction_rounds_total",
             "wgrap_lap_auction_bids_total", "wgrap_lap_auction_widen_total",
+            "wgrap_lap_auction_reverse_sweeps_total",
             "wgrap_gain_cache_patched_cells_total",
             "wgrap_gain_cache_rebuilt_cells_total",
             "wgrap_gain_cache_full_builds_total", "wgrap_sra_rounds_total"}) {
@@ -558,6 +564,9 @@ int CmdUpdate(const Flags& flags) {
 }
 
 int CmdServe(const Flags& flags) {
+  // Resolve the kernel backend now so the wgrap_simd_backend_avx2 gauge
+  // is on the `stats` page before the first solve touches a kernel.
+  simd::ActiveBackend();
   service::ServiceOptions options;
   options.job_workers = flags.GetInt("jobs", 2);
   options.max_results = flags.GetInt("results", 64);
